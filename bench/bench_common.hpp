@@ -1,0 +1,51 @@
+#pragma once
+// Shared plumbing for the figure/table reproduction harnesses.
+//
+// Environment knobs (keep default runs fast but allow full-fidelity runs):
+//   WRSN_BENCH_DAYS     simulated days per replica   (default 60)
+//   WRSN_BENCH_SEEDS    replicas averaged per point  (default 2)
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/table.hpp"
+#include "core/thread_pool.hpp"
+#include "sim/runner.hpp"
+
+namespace wrsn::bench {
+
+inline double env_or(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+inline double sim_days() { return env_or("WRSN_BENCH_DAYS", 60.0); }
+inline std::size_t num_seeds() {
+  return static_cast<std::size_t>(env_or("WRSN_BENCH_SEEDS", 2.0));
+}
+
+// Table II defaults with the repo's calibrated operating point (see
+// DESIGN.md section 3) and the bench horizon applied.
+inline SimConfig bench_config() {
+  SimConfig cfg = SimConfig::paper_defaults();
+  cfg.sim_duration = days(sim_days());
+  return cfg;
+}
+
+inline MetricsReport run_point(const SimConfig& cfg) {
+  static ThreadPool pool;
+  return run_mean(cfg, num_seeds(), &pool);
+}
+
+inline void print_header(const std::string& title, const std::string& paper_note) {
+  std::cout << "==================================================================\n"
+            << title << '\n'
+            << "paper reference: " << paper_note << '\n'
+            << "horizon: " << sim_days() << " simulated days, " << num_seeds()
+            << " seed(s) per point\n"
+            << "==================================================================\n";
+}
+
+}  // namespace wrsn::bench

@@ -1,0 +1,32 @@
+// Fig. 5 reproduction: the trade-off between energy efficiency and network
+// performance under the greedy scheduler — RV traveling energy declines with
+// ERP while the target missing rate rises (jumping above zero once ERP
+// exceeds ~0.6 in the paper).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/table.hpp"
+
+int main() {
+  using namespace wrsn;
+  bench::print_header("Fig. 5 - trade-off between energy efficiency and coverage",
+                      "Fig. 5, Section V-B (greedy scheduler)");
+
+  Table t({"ERP", "traveling energy (MJ)", "missing rate (%)",
+           "coverage (%)", "nonfunctional (%)"});
+  t.set_precision(4);
+
+  for (double erp : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    SimConfig cfg = bench::bench_config();
+    cfg.scheduler = SchedulerKind::kGreedy;
+    cfg.energy_request_percentage = erp;
+    const MetricsReport r = bench::run_point(cfg);
+    t.add_row({erp, r.rv_travel_energy.value() / 1e6, 100.0 * r.missing_rate,
+               100.0 * r.coverage_ratio, r.nonfunctional_pct});
+  }
+  t.print(std::cout);
+  std::cout << "\nshape check: traveling energy should decline with ERP while the\n"
+               "missing rate stays near its structural floor at low ERP and rises\n"
+               "once ERP passes ~0.4-0.6 (paper: jump above 0.6).\n";
+  return 0;
+}

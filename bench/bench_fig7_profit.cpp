@@ -1,0 +1,50 @@
+// Fig. 7 reproduction: recharge profit evaluation.
+//   7(a) total energy recharged vs ERP - declines with ERP; Combined highest
+//   7(b) objective score (expression (2): recharged minus traveling energy)
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/table.hpp"
+
+int main() {
+  using namespace wrsn;
+  bench::print_header("Fig. 7 - evaluation of recharge profit",
+                      "Fig. 7(a)-(b), Section V-D, expression (2)");
+
+  Table t({"scheme", "ERP", "energy recharged (MJ)", "travel (MJ)",
+           "objective score (MJ)"});
+  t.set_precision(3);
+
+  double rech[3] = {0, 0, 0}, obj[3] = {0, 0, 0};
+  int n = 0, idx = 0;
+  for (auto sched : {SchedulerKind::kGreedy, SchedulerKind::kPartition,
+                     SchedulerKind::kCombined}) {
+    n = 0;
+    for (double erp : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+      SimConfig cfg = bench::bench_config();
+      cfg.scheduler = sched;
+      cfg.energy_request_percentage = erp;
+      const MetricsReport r = bench::run_point(cfg);
+      t.add_row({to_string(sched), erp, r.energy_recharged.value() / 1e6,
+                 r.rv_travel_energy.value() / 1e6,
+                 r.objective_score().value() / 1e6});
+      rech[idx] += r.energy_recharged.value() / 1e6;
+      obj[idx] += r.objective_score().value() / 1e6;
+      ++n;
+    }
+    ++idx;
+  }
+  t.print(std::cout);
+
+  const char* names[] = {"greedy", "partition", "combined"};
+  std::cout << "\nERP-averaged:\n";
+  for (int i = 0; i < 3; ++i) {
+    std::cout << "  " << names[i] << ": recharged " << rech[i] / n
+              << " MJ, objective " << obj[i] / n << " MJ\n";
+  }
+  std::cout << "\nshape check: energy recharged declines as ERP grows (fewer,\n"
+               "later requests); the Combined-Scheme recharges the most (paper\n"
+               "Fig. 7a) because its global view lets RVs pick up every\n"
+               "profitable node.\n";
+  return 0;
+}

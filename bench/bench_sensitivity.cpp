@@ -1,0 +1,66 @@
+// Sensitivity analysis backing two remarks in the paper's evaluation:
+//   * "the advantages of the sensor activity management will become more
+//     evident if there are more targets" (Section V-A, last paragraph) —
+//     swept over M;
+//   * fleet sizing — the same metrics swept over the number of RVs m.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/table.hpp"
+
+int main() {
+  using namespace wrsn;
+  bench::print_header("Sensitivity - number of targets M and fleet size m",
+                      "Section V-A closing remark; fleet dimensioning");
+
+  {
+    Table t({"targets M", "travel NoERC-Full (MJ)", "travel ERC-RR (MJ)",
+             "activity-mgmt saving (%)"});
+    t.set_precision(3);
+    // Up to M=20 the 3-RV fleet stays travel-bound; beyond that it
+    // saturates on charge time and travel stops being the binding metric.
+    for (std::size_t m : {5u, 8u, 10u, 15u, 20u}) {
+      SimConfig base = bench::bench_config();
+      base.num_targets = m;
+      base.scheduler = SchedulerKind::kCombined;
+
+      SimConfig worst = base;
+      worst.energy_request_control = false;
+      worst.activation = ActivationPolicy::kFullTime;
+      SimConfig bst = base;
+      bst.energy_request_control = true;
+      bst.activation = ActivationPolicy::kRoundRobin;
+
+      const double e_worst =
+          bench::run_point(worst).rv_travel_energy.value() / 1e6;
+      const double e_best = bench::run_point(bst).rv_travel_energy.value() / 1e6;
+      t.add_row({static_cast<long long>(m), e_worst, e_best,
+                 e_worst > 0 ? 100.0 * (e_worst - e_best) / e_worst : 0.0});
+    }
+    t.print(std::cout);
+    std::cout << "\nshape check: the saving grows with M — more targets mean a\n"
+                 "larger share of sensors benefits from clustering, RR and ERC\n"
+                 "(the paper's closing remark of Section V-A). Past ~M=20 the\n"
+                 "3-RV fleet saturates on charging time and the comparison\n"
+                 "stops being travel-bound.\n\n";
+  }
+
+  {
+    Table t({"RVs m", "coverage (%)", "nonfunc (%)", "latency (min)",
+             "cost (m/sensor)"});
+    t.set_precision(2);
+    for (std::size_t m : {1u, 2u, 3u, 5u, 8u}) {
+      SimConfig cfg = bench::bench_config();
+      cfg.num_rvs = m;
+      const MetricsReport r = bench::run_point(cfg);
+      t.add_row({static_cast<long long>(m), 100.0 * r.coverage_ratio,
+                 r.nonfunctional_pct, r.avg_request_latency.value() / 60.0,
+                 r.recharging_cost_m_per_sensor()});
+    }
+    t.print(std::cout);
+    std::cout << "\nshape check: latency and nonfunctional percentage fall\n"
+                 "steeply from m=1 and saturate — Table II's m=3 sits at the\n"
+                 "knee of the curve.\n";
+  }
+  return 0;
+}

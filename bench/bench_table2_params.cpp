@@ -1,0 +1,57 @@
+// Table II reproduction: prints the parameter settings the simulator runs
+// with, next to the values the paper lists, and validates the derived device
+// constants.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/table.hpp"
+#include "geom/coverage.hpp"
+
+int main() {
+  using namespace wrsn;
+  bench::print_header("Table II - Parameter Settings",
+                      "Table II, Section V, first paragraph");
+
+  const SimConfig cfg = SimConfig::paper_defaults();
+
+  Table t({"parameter", "paper", "this repo"});
+  t.add_row({std::string("number of sensors N"), std::string("500"),
+             static_cast<long long>(cfg.num_sensors)});
+  t.add_row({std::string("number of targets M"), std::string("15"),
+             static_cast<long long>(cfg.num_targets)});
+  t.add_row({std::string("number of RVs m"), std::string("3"),
+             static_cast<long long>(cfg.num_rvs)});
+  t.add_row({std::string("side length L (m)"), std::string("200"),
+             cfg.field_side.value()});
+  t.add_row({std::string("transmission range d_c (m)"), std::string("12"),
+             cfg.comm_range.value()});
+  t.add_row({std::string("sensing range d_s (m)"), std::string("8"),
+             cfg.sensing_range.value()});
+  t.add_row({std::string("simulation time (days)"), std::string("120"),
+             cfg.sim_duration.value() / 86400.0});
+  t.add_row({std::string("target period (h)"), std::string("3"),
+             cfg.target_period.value() / 3600.0});
+  t.add_row({std::string("threshold E_th (% of E_c)"), std::string("50"),
+             cfg.battery.threshold_fraction * 100.0});
+  t.add_row({std::string("RV moving consumption e_m (J/m)"), std::string("5.6"),
+             cfg.rv.move_cost.value()});
+  t.add_row({std::string("RV speed v_r (m/s)"), std::string("1"),
+             cfg.rv.speed.value()});
+  t.add_row({std::string("data rate lambda (pkt/min)"), std::string("15"),
+             cfg.data_rate_pkt_per_min});
+  t.add_row({std::string("battery capacity E_c (J, 2xAAA Ni-MH)"),
+             std::string("(derived)"), cfg.battery.capacity.value()});
+  t.add_row({std::string("radio tx/rx power (mW, CC2480)"), std::string("81"),
+             cfg.radio.tx_power.value() * 1e3});
+  t.add_row({std::string("PIR active power (mW)"), std::string("30"),
+             cfg.sensing.active_power.value() * 1e3});
+  t.add_row({std::string("PIR idle power (mW)"), std::string("0.51"),
+             cfg.sensing.idle_power.value() * 1e3});
+  t.set_precision(2);
+  t.print(std::cout);
+
+  std::cout << "\nEq. (1) minimum sensors for full coverage at L=200, r=8: "
+            << min_sensors_for_coverage(200.0 * 200.0, 8.0)
+            << " (deployed: " << cfg.num_sensors << ")\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fleet planning: how many recharging vehicles does a deployment need, and
+// which scheduling scheme should they run?
+//
+// Sweeps the fleet size for each scheduler and prints coverage, request
+// latency and the recharging cost so an operator can pick the cheapest fleet
+// meeting a coverage target.
+//
+//   ./fleet_planning [days]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/config.hpp"
+#include "core/table.hpp"
+#include "core/thread_pool.hpp"
+#include "sim/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wrsn;
+
+  const double horizon_days = argc > 1 ? std::atof(argv[1]) : 30.0;
+  const double coverage_target = 0.99;
+
+  std::cout << "Fleet planning sweep (" << horizon_days
+            << " simulated days per point, coverage target "
+            << 100.0 * coverage_target << " %)\n\n";
+
+  ThreadPool pool;
+  Table t({"scheduler", "RVs", "coverage (%)", "nonfunc (%)",
+           "mean latency (min)", "RV km", "cost (m/sensor)"});
+  t.set_precision(2);
+
+  struct Pick {
+    std::string name;
+    std::size_t rvs = 0;
+    double cost = 0.0;
+  };
+  std::vector<Pick> picks;
+
+  for (auto sched : {SchedulerKind::kGreedy, SchedulerKind::kPartition,
+                     SchedulerKind::kCombined}) {
+    Pick pick{to_string(sched), 0, 0.0};
+    for (std::size_t m = 1; m <= 5; ++m) {
+      SimConfig cfg = SimConfig::paper_defaults();
+      cfg.sim_duration = days(horizon_days);
+      cfg.scheduler = sched;
+      cfg.num_rvs = m;
+      const MetricsReport r = run_mean(cfg, 2, &pool);
+      t.add_row({to_string(sched), static_cast<long long>(m),
+                 100.0 * r.coverage_ratio, r.nonfunctional_pct,
+                 r.avg_request_latency.value() / 60.0,
+                 r.rv_travel_distance.value() / 1e3,
+                 r.recharging_cost_m_per_sensor()});
+      if (pick.rvs == 0 && r.coverage_ratio >= coverage_target) {
+        pick.rvs = m;
+        pick.cost = r.recharging_cost_m_per_sensor();
+      }
+    }
+    picks.push_back(pick);
+  }
+  t.print(std::cout);
+
+  std::cout << "\nsmallest fleet meeting the coverage target:\n";
+  for (const auto& p : picks) {
+    if (p.rvs == 0) {
+      std::cout << "  " << p.name << ": not met with <= 5 RVs\n";
+    } else {
+      std::cout << "  " << p.name << ": " << p.rvs << " RV(s) at "
+                << p.cost << " m/sensor\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Wildlife monitoring scenario (the paper's motivating example: detecting
+// the presence of rare animals with densely deployed sensors).
+//
+// A handful of animals roam a large reserve; sensors are dense enough that
+// each animal is covered by several sensors, so round-robin activation plus
+// ERC batching keeps the network alive with few recharging vehicles. The
+// example prints a day-by-day trajectory so the dynamics are visible.
+//
+//   ./wildlife_monitoring [days]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "activity/redundancy.hpp"
+#include "core/config.hpp"
+#include "core/table.hpp"
+#include "sim/world.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wrsn;
+
+  SimConfig cfg;
+  cfg.num_sensors = 800;                 // dense deployment over a reserve
+  cfg.num_targets = 8;                   // animals under observation
+  cfg.num_rvs = 2;
+  cfg.field_side = meters(300.0);
+  cfg.comm_range = meters(18.0);
+  cfg.sensing_range = meters(10.0);
+  cfg.target_period = hours(6.0);        // rest period between walks
+  cfg.target_motion = TargetMotion::kRandomWaypoint;  // animals walk, not jump
+  cfg.target_speed = MeterPerSecond{0.3};
+  cfg.sim_duration = days(argc > 1 ? std::atof(argv[1]) : 20.0);
+  cfg.scheduler = SchedulerKind::kPartition;  // reserve is large: confine RVs
+  cfg.activation = ActivationPolicy::kRoundRobin;
+  cfg.energy_request_percentage = 0.5;
+  cfg.metrics_sample_period = days(1.0);
+  cfg.seed = 20260706;
+
+  World world(cfg);
+  world.enable_time_series(true);
+
+  // Pre-flight redundancy check: how much sensing overlap does the reserve
+  // have for round-robin to convert into lifetime?
+  {
+    Xoshiro256 rng(1);
+    const auto red = analyze_redundancy(world.network(), world.clusters(),
+                                        /*max_k=*/4, /*field_samples=*/20000, rng);
+    std::cout << "redundancy: animals covered by " << red.min_degree << ".."
+              << red.max_degree << " sensors (mean "
+              << red.mean_degree << "); field 1/2/3-coverage "
+              << 100.0 * red.k_coverage[1] << "/"
+              << 100.0 * red.k_coverage[2] << "/"
+              << 100.0 * red.k_coverage[3]
+              << " %; round-robin can idle "
+              << 100.0 * red.rr_sleep_fraction
+              << " % of clustered sensors at any instant\n\n";
+  }
+
+  const MetricsReport r = world.run();
+
+  std::cout << "Wildlife monitoring: " << cfg.num_targets << " animals, "
+            << cfg.num_sensors << " sensors over "
+            << cfg.field_side.value() << " m x " << cfg.field_side.value()
+            << " m, " << cfg.num_rvs << " RVs ("
+            << to_string(cfg.scheduler) << " scheduling)\n\n";
+
+  Table t({"day", "alive sensors", "animals covered", "coverable",
+           "pending requests", "RV km so far"});
+  t.set_precision(1);
+  for (const auto& p : world.time_series()) {
+    t.add_row({p.t / 86400.0, static_cast<long long>(p.alive),
+               static_cast<long long>(p.covered),
+               static_cast<long long>(p.coverable),
+               static_cast<long long>(p.pending_requests),
+               p.rv_travel_distance / 1e3});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nsummary: coverage " << std::fixed << std::setprecision(2)
+            << 100.0 * r.coverage_ratio << " %, missing rate "
+            << 100.0 * r.missing_rate << " %, " << r.sensors_recharged
+            << " recharges over " << r.rv_travel_distance.value() / 1e3
+            << " km of RV travel\n"
+            << "recharging cost: " << r.recharging_cost_m_per_sensor()
+            << " m per operational sensor\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Plot wrsn_sweep CSV output.
+
+Usage:
+    tools/wrsn_sweep --sweep scheduler=greedy,partition,combined \
+        --sweep energy_request_percentage=0,0.2,0.4,0.6,0.8,1 \
+        --days 120 --seeds 3 --csv fig6.csv
+    scripts/plot_results.py fig6.csv --x energy_request_percentage \
+        --y travel_mj --series scheduler --out fig6a.png
+
+Produces one line per series value with 95% CI error bars (the *_ci95
+columns wrsn_sweep emits), mirroring the panels of the paper's Fig. 5-7.
+Requires matplotlib.
+"""
+
+import argparse
+import csv
+import sys
+from collections import defaultdict
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv_file")
+    parser.add_argument("--x", required=True, help="column for the x axis")
+    parser.add_argument("--y", required=True, help="metric column to plot")
+    parser.add_argument("--series", default=None,
+                        help="column whose values become separate lines")
+    parser.add_argument("--out", default=None, help="output image (else show)")
+    parser.add_argument("--title", default=None)
+    args = parser.parse_args()
+
+    with open(args.csv_file, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    if not rows:
+        print("no data rows in", args.csv_file, file=sys.stderr)
+        return 1
+    for col in (args.x, args.y):
+        if col not in rows[0]:
+            print(f"column '{col}' not in CSV; available: {list(rows[0])}",
+                  file=sys.stderr)
+            return 1
+
+    ci_col = args.y + "_ci95" if args.y + "_ci95" in rows[0] else None
+    series = defaultdict(list)
+    for row in rows:
+        key = row[args.series] if args.series else args.y
+        ci = float(row[ci_col]) if ci_col else 0.0
+        series[key].append((float(row[args.x]), float(row[args.y]), ci))
+
+    import matplotlib
+    if args.out:
+        matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for name, points in series.items():
+        points.sort()
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        cis = [p[2] for p in points]
+        ax.errorbar(xs, ys, yerr=cis, marker="o", capsize=3, label=str(name))
+    ax.set_xlabel(args.x)
+    ax.set_ylabel(args.y)
+    if args.title:
+        ax.set_title(args.title)
+    if args.series:
+        ax.legend()
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    if args.out:
+        fig.savefig(args.out, dpi=150)
+        print("wrote", args.out)
+    else:
+        plt.show()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

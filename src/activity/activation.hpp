@@ -1,0 +1,69 @@
+#pragma once
+// Round-robin sensor activation (Section III-C).
+//
+// Inside a cluster exactly one member monitors the target per time slot.
+// Rotation starts from the lowest sensor ID and passes a virtual
+// "notification packet" to the next member each slot; a member that fails to
+// acknowledge (depleted battery) is skipped. When every member is dead the
+// rotor reports kInvalidId and the target goes unmonitored until a recharge.
+
+#include <algorithm>
+#include <vector>
+
+#include "core/error.hpp"
+#include "net/ids.hpp"
+
+namespace wrsn {
+
+class ClusterRotor {
+ public:
+  ClusterRotor() = default;
+  explicit ClusterRotor(std::vector<SensorId> members) : members_(std::move(members)) {
+    std::sort(members_.begin(), members_.end());
+  }
+
+  [[nodiscard]] const std::vector<SensorId>& members() const { return members_; }
+  [[nodiscard]] bool empty() const { return members_.empty(); }
+  [[nodiscard]] SensorId current() const {
+    return cursor_ < members_.size() ? members_[cursor_] : kInvalidId;
+  }
+
+  // Picks the first alive member in ID order (the paper's "lowest ID first")
+  // and makes it current. Returns kInvalidId when none is alive.
+  template <typename AlivePred>
+  SensorId select_first(AlivePred&& alive) {
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (alive(members_[i])) {
+        cursor_ = i;
+        return members_[i];
+      }
+    }
+    cursor_ = members_.size();
+    return kInvalidId;
+  }
+
+  // Moves to the next alive member after the current one (cyclically),
+  // emulating the notification/ack handover. If only the current member is
+  // alive it stays current. Returns the new current id or kInvalidId.
+  template <typename AlivePred>
+  SensorId advance(AlivePred&& alive) {
+    if (members_.empty()) return kInvalidId;
+    const std::size_t n = members_.size();
+    const std::size_t start = cursor_ < n ? cursor_ : n - 1;
+    for (std::size_t step = 1; step <= n; ++step) {
+      const std::size_t i = (start + step) % n;
+      if (alive(members_[i])) {
+        cursor_ = i;
+        return members_[i];
+      }
+    }
+    cursor_ = n;
+    return kInvalidId;
+  }
+
+ private:
+  std::vector<SensorId> members_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace wrsn

@@ -1,0 +1,133 @@
+#include "activity/clustering.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace wrsn {
+
+namespace {
+
+bool is_eligible(const std::vector<bool>& eligible, SensorId s) {
+  return eligible.empty() || eligible[s];
+}
+
+// Phase 1 of Algorithm 1: candidate sets P(t) per target, loads per sensor,
+// and the candidate pool A.
+struct Candidates {
+  std::vector<std::vector<SensorId>> per_target;  // P
+  std::vector<std::size_t> loads;
+  std::vector<SensorId> pool;  // A
+};
+
+Candidates build_candidates(const std::vector<Vec2>& sensor_pos,
+                            const std::vector<Vec2>& target_pos,
+                            double sensing_range,
+                            const std::vector<bool>& eligible) {
+  WRSN_REQUIRE(sensing_range > 0.0, "sensing range must be positive");
+  WRSN_REQUIRE(eligible.empty() || eligible.size() == sensor_pos.size(),
+               "eligible mask size mismatch");
+  Candidates c;
+  c.per_target.resize(target_pos.size());
+  c.loads.assign(sensor_pos.size(), 0);
+  const double r2 = sensing_range * sensing_range;
+  for (TargetId t = 0; t < target_pos.size(); ++t) {
+    for (SensorId s = 0; s < sensor_pos.size(); ++s) {
+      if (!is_eligible(eligible, s)) continue;
+      if (squared_distance(sensor_pos[s], target_pos[t]) <= r2) {
+        c.per_target[t].push_back(s);
+        ++c.loads[s];
+      }
+    }
+  }
+  for (SensorId s = 0; s < sensor_pos.size(); ++s) {
+    if (c.loads[s] > 0) c.pool.push_back(s);
+  }
+  return c;
+}
+
+}  // namespace
+
+std::size_t ClusterSet::imbalance() const {
+  std::size_t lo = std::numeric_limits<std::size_t>::max();
+  std::size_t hi = 0;
+  bool any = false;
+  for (const auto& cluster : members) {
+    // Clusters that could never receive a sensor (no candidates) do not
+    // count against balance quality.
+    if (cluster.empty()) continue;
+    any = true;
+    lo = std::min(lo, cluster.size());
+    hi = std::max(hi, cluster.size());
+  }
+  return any ? hi - lo : 0;
+}
+
+ClusterSet balanced_clustering(const std::vector<Vec2>& sensor_pos,
+                               const std::vector<Vec2>& target_pos,
+                               double sensing_range,
+                               const std::vector<bool>& eligible) {
+  Candidates cand = build_candidates(sensor_pos, target_pos, sensing_range, eligible);
+
+  ClusterSet out;
+  out.members.resize(target_pos.size());
+  out.assignment.assign(sensor_pos.size(), kInvalidId);
+  out.loads = cand.loads;
+
+  // A sorted ascending by load; ties broken by id for determinism.
+  std::stable_sort(cand.pool.begin(), cand.pool.end(), [&](SensorId a, SensorId b) {
+    return cand.loads[a] < cand.loads[b];
+  });
+
+  // Membership lookup: covered[t] answers "is s in P(t)" in O(1).
+  std::vector<std::vector<bool>> covered(target_pos.size(),
+                                         std::vector<bool>(sensor_pos.size(), false));
+  for (TargetId t = 0; t < target_pos.size(); ++t) {
+    for (SensorId s : cand.per_target[t]) covered[t][s] = true;
+  }
+
+  // Phase 2: each sensor joins the smallest cluster (U ascending, ties by
+  // target id via stable sort) that can use it.
+  std::vector<std::size_t> sizes(target_pos.size(), 0);  // U
+  std::vector<TargetId> order(target_pos.size());
+  for (TargetId t = 0; t < target_pos.size(); ++t) order[t] = t;
+
+  for (SensorId s : cand.pool) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](TargetId a, TargetId b) { return sizes[a] < sizes[b]; });
+    for (TargetId t : order) {
+      if (covered[t][s]) {
+        out.members[t].push_back(s);
+        out.assignment[s] = t;
+        ++sizes[t];
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+ClusterSet naive_clustering(const std::vector<Vec2>& sensor_pos,
+                            const std::vector<Vec2>& target_pos,
+                            double sensing_range,
+                            const std::vector<bool>& eligible) {
+  Candidates cand = build_candidates(sensor_pos, target_pos, sensing_range, eligible);
+
+  ClusterSet out;
+  out.members.resize(target_pos.size());
+  out.assignment.assign(sensor_pos.size(), kInvalidId);
+  out.loads = cand.loads;
+
+  for (TargetId t = 0; t < target_pos.size(); ++t) {
+    for (SensorId s : cand.per_target[t]) {
+      if (out.assignment[s] == kInvalidId) {
+        out.members[t].push_back(s);
+        out.assignment[s] = t;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wrsn

@@ -1,0 +1,49 @@
+#pragma once
+// Balanced Clustering (Algorithm 1, Section III-A).
+//
+// Sensors that can detect at least one target are assigned to exactly one
+// target each, so every target ends up with a cluster of near-equal size.
+// Assignment order is ascending sensor load (number of detectable targets:
+// fewer choices first), and each sensor joins the currently smallest
+// eligible cluster.
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "net/ids.hpp"
+
+namespace wrsn {
+
+struct ClusterSet {
+  // members[t] = sensors assigned to target t, in assignment order.
+  std::vector<std::vector<SensorId>> members;
+  // assignment[s] = target of sensor s, kInvalidId when unassigned.
+  std::vector<TargetId> assignment;
+  // loads[s] = number of targets sensor s can detect (candidate count).
+  std::vector<std::size_t> loads;
+
+  [[nodiscard]] std::size_t num_clusters() const { return members.size(); }
+  [[nodiscard]] std::size_t cluster_size(TargetId t) const { return members[t].size(); }
+  // Max minus min size over non-empty-candidate clusters; the balance
+  // quality metric used by tests.
+  [[nodiscard]] std::size_t imbalance() const;
+};
+
+// `eligible[s]` (when non-empty) masks which sensors may be clustered — the
+// simulator passes the alive mask. Runs in O(M*N + |A|*M log M), matching
+// the paper's analysis.
+[[nodiscard]] ClusterSet balanced_clustering(const std::vector<Vec2>& sensor_pos,
+                                             const std::vector<Vec2>& target_pos,
+                                             double sensing_range,
+                                             const std::vector<bool>& eligible = {});
+
+// Baseline used in tests/ablation: first-come (unbalanced) clustering, i.e.
+// every sensor simply joins the first target it detects. Exposes how much
+// Algorithm 1's balancing actually buys.
+[[nodiscard]] ClusterSet naive_clustering(const std::vector<Vec2>& sensor_pos,
+                                          const std::vector<Vec2>& target_pos,
+                                          double sensing_range,
+                                          const std::vector<bool>& eligible = {});
+
+}  // namespace wrsn

@@ -1,0 +1,31 @@
+#include "activity/erp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace wrsn {
+
+std::size_t erp_trigger_count(std::size_t cluster_size, double erp) {
+  WRSN_REQUIRE(erp >= 0.0 && erp <= 1.0, "ERP must lie in [0,1]");
+  if (cluster_size == 0) return 1;
+  const auto triggered =
+      static_cast<std::size_t>(std::ceil(static_cast<double>(cluster_size) * erp));
+  return std::clamp<std::size_t>(triggered, 1, cluster_size);
+}
+
+Joule travel_energy_without_erc(std::size_t cluster_size, Meter dist,
+                                JoulePerMeter em) {
+  return 2.0 * static_cast<double>(cluster_size) * (em * dist);
+}
+
+Joule travel_energy_with_erc(std::size_t cluster_size, double erp, Meter dist,
+                             JoulePerMeter em) {
+  WRSN_REQUIRE(erp >= 0.0 && erp <= 1.0, "ERP must lie in [0,1]");
+  const double nc = static_cast<double>(cluster_size);
+  const double batch = std::max(nc * erp, 1.0);
+  return 2.0 * nc / batch * (em * dist);
+}
+
+}  // namespace wrsn

@@ -1,0 +1,29 @@
+#pragma once
+// Energy Request Control via the Energy Request Percentage (ERP / K,
+// Section III-B).
+//
+// A cluster of size n_c holds individual recharge requests back until the
+// number of members below the recharge threshold reaches
+//   max(ceil(n_c * K), 1)
+// and then releases them together, so a single RV visit serves the whole
+// batch. K = 0 degenerates to the per-sensor behaviour of prior work.
+
+#include <cstddef>
+
+#include "core/units.hpp"
+
+namespace wrsn {
+
+// Number of below-threshold members that triggers the cluster's request.
+[[nodiscard]] std::size_t erp_trigger_count(std::size_t cluster_size, double erp);
+
+// Closed-form RV traveling-energy model of Section III-B: worst-case energy
+// to serve a cluster of n_c sensors at distance `dist` from the base.
+//   without ERC:  2 * n_c * dist * e_m
+//   with ERC:     2 * n_c / max(n_c*K, 1) * dist * e_m
+[[nodiscard]] Joule travel_energy_without_erc(std::size_t cluster_size, Meter dist,
+                                              JoulePerMeter em);
+[[nodiscard]] Joule travel_energy_with_erc(std::size_t cluster_size, double erp,
+                                           Meter dist, JoulePerMeter em);
+
+}  // namespace wrsn

@@ -1,0 +1,67 @@
+#include "activity/redundancy.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "net/deployment.hpp"
+
+namespace wrsn {
+
+RedundancyReport analyze_redundancy(const Network& net, const ClusterSet& clusters,
+                                    std::size_t max_k, std::size_t field_samples,
+                                    Xoshiro256& rng) {
+  WRSN_REQUIRE(max_k >= 1, "max_k must be at least 1");
+  RedundancyReport report;
+
+  // Per-target degrees.
+  report.degree_per_target.reserve(net.num_targets());
+  double degree_sum = 0.0;
+  for (const Target& t : net.targets()) {
+    const std::size_t degree = net.sensors_covering(t.pos).size();
+    report.degree_per_target.push_back(degree);
+    degree_sum += static_cast<double>(degree);
+    if (degree == 0) ++report.uncovered_targets;
+  }
+  if (!report.degree_per_target.empty()) {
+    report.min_degree = *std::min_element(report.degree_per_target.begin(),
+                                          report.degree_per_target.end());
+    report.max_degree = *std::max_element(report.degree_per_target.begin(),
+                                          report.degree_per_target.end());
+    report.mean_degree =
+        degree_sum / static_cast<double>(report.degree_per_target.size());
+  }
+
+  // Field k-coverage by sampling.
+  report.k_coverage.assign(max_k + 1, 0.0);
+  report.k_coverage[0] = 1.0;
+  if (field_samples > 0) {
+    std::vector<std::size_t> at_least(max_k + 1, 0);
+    at_least[0] = field_samples;
+    const double side = net.config().field_side.value();
+    for (std::size_t i = 0; i < field_samples; ++i) {
+      const Vec2 p = random_location(side, rng);
+      const std::size_t covering = net.sensors_covering(p).size();
+      for (std::size_t k = 1; k <= std::min(covering, max_k); ++k) {
+        ++at_least[k];
+      }
+    }
+    for (std::size_t k = 1; k <= max_k; ++k) {
+      report.k_coverage[k] =
+          static_cast<double>(at_least[k]) / static_cast<double>(field_samples);
+    }
+  }
+
+  // Round-robin sleep capacity.
+  std::size_t members = 0, sleepers = 0;
+  for (const auto& cluster : clusters.members) {
+    if (cluster.empty()) continue;
+    members += cluster.size();
+    sleepers += cluster.size() - 1;
+  }
+  report.rr_sleep_fraction =
+      members > 0 ? static_cast<double>(sleepers) / static_cast<double>(members)
+                  : 0.0;
+  return report;
+}
+
+}  // namespace wrsn

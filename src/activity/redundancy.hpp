@@ -1,0 +1,42 @@
+#pragma once
+// Coverage-redundancy analysis (the quantity Section III converts into
+// lifetime): how many sensors cover each target, the field's k-coverage
+// distribution, and the fraction of sensing capacity round-robin can put to
+// sleep.
+
+#include <cstddef>
+#include <vector>
+
+#include "activity/clustering.hpp"
+#include "core/rng.hpp"
+#include "net/network.hpp"
+
+namespace wrsn {
+
+struct RedundancyReport {
+  // Sensors within sensing range of each current target.
+  std::vector<std::size_t> degree_per_target;
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+  double mean_degree = 0.0;
+  std::size_t uncovered_targets = 0;
+
+  // Monte-Carlo field k-coverage: k_coverage[k] = fraction of field points
+  // covered by at least k sensors (k_coverage[0] == 1 by definition).
+  std::vector<double> k_coverage;
+
+  // Fraction of clustered sensors idle at any instant under round-robin:
+  // sum(n_c - 1) / sum(n_c) over non-empty clusters. This is the sensing
+  // capacity Algorithm 1 + RR converts into lifetime.
+  double rr_sleep_fraction = 0.0;
+};
+
+// `field_samples` Monte-Carlo points estimate the k-coverage curve up to
+// k = max_k.
+[[nodiscard]] RedundancyReport analyze_redundancy(const Network& net,
+                                                  const ClusterSet& clusters,
+                                                  std::size_t max_k,
+                                                  std::size_t field_samples,
+                                                  Xoshiro256& rng);
+
+}  // namespace wrsn

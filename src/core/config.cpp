@@ -1,0 +1,84 @@
+#include "core/config.hpp"
+
+#include "core/error.hpp"
+
+namespace wrsn {
+
+std::string to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kGreedy: return "greedy";
+    case SchedulerKind::kPartition: return "partition";
+    case SchedulerKind::kCombined: return "combined";
+    case SchedulerKind::kNearestFirst: return "nearest-first";
+    case SchedulerKind::kFcfs: return "fcfs";
+    case SchedulerKind::kEdf: return "edf";
+  }
+  return "unknown";
+}
+
+std::string to_string(ActivationPolicy policy) {
+  switch (policy) {
+    case ActivationPolicy::kFullTime: return "full-time";
+    case ActivationPolicy::kRoundRobin: return "round-robin";
+  }
+  return "unknown";
+}
+
+std::string to_string(ChargeProfileKind profile) {
+  switch (profile) {
+    case ChargeProfileKind::kConstantPower: return "constant-power";
+    case ChargeProfileKind::kTaperedCcCv: return "tapered-cc-cv";
+  }
+  return "unknown";
+}
+
+std::string to_string(TargetMotion motion) {
+  switch (motion) {
+    case TargetMotion::kTeleport: return "teleport";
+    case TargetMotion::kRandomWaypoint: return "random-waypoint";
+  }
+  return "unknown";
+}
+
+void SimConfig::validate() const {
+  WRSN_REQUIRE(num_sensors > 0, "need at least one sensor");
+  WRSN_REQUIRE(num_rvs > 0, "need at least one RV");
+  WRSN_REQUIRE(field_side.value() > 0.0, "field side must be positive");
+  WRSN_REQUIRE(comm_range.value() > 0.0, "communication range must be positive");
+  WRSN_REQUIRE(sensing_range.value() > 0.0, "sensing range must be positive");
+  WRSN_REQUIRE(sim_duration.value() > 0.0, "simulation duration must be positive");
+  WRSN_REQUIRE(target_period.value() > 0.0, "target period must be positive");
+  WRSN_REQUIRE(data_rate_pkt_per_min >= 0.0, "data rate must be non-negative");
+  WRSN_REQUIRE(target_speed.value() > 0.0, "target speed must be positive");
+  WRSN_REQUIRE(energy_request_percentage >= 0.0 && energy_request_percentage <= 1.0,
+               "ERP must lie in [0,1]");
+  WRSN_REQUIRE(activation_slot.value() > 0.0, "activation slot must be positive");
+  WRSN_REQUIRE(critical_fraction >= 0.0 && critical_fraction < 1.0,
+               "critical fraction must lie in [0,1)");
+  WRSN_REQUIRE(battery.capacity.value() > 0.0, "battery capacity must be positive");
+  WRSN_REQUIRE(battery.threshold_fraction > 0.0 && battery.threshold_fraction < 1.0,
+               "battery threshold fraction must lie in (0,1)");
+  WRSN_REQUIRE(battery.self_discharge_per_day >= 0.0 &&
+                   battery.self_discharge_per_day < 1.0,
+               "self-discharge per day must lie in [0,1)");
+  WRSN_REQUIRE(rv.capacity.value() > 0.0, "RV capacity must be positive");
+  WRSN_REQUIRE(rv.move_cost.value() >= 0.0, "RV move cost must be non-negative");
+  WRSN_REQUIRE(rv.speed.value() > 0.0, "RV speed must be positive");
+  WRSN_REQUIRE(rv.charge_power.value() > 0.0, "RV charge power must be positive");
+  WRSN_REQUIRE(rv.base_recharge_power.value() > 0.0,
+               "base recharge power must be positive");
+  WRSN_REQUIRE(rv.reserve_fraction >= 0.0 && rv.reserve_fraction < 1.0,
+               "RV reserve fraction must lie in [0,1)");
+  WRSN_REQUIRE(rv.charge_knee_soc > 0.0 && rv.charge_knee_soc < 1.0,
+               "charge knee SoC must lie in (0,1)");
+  WRSN_REQUIRE(rv.charge_trickle_fraction > 0.0 && rv.charge_trickle_fraction <= 1.0,
+               "charge trickle fraction must lie in (0,1]");
+  WRSN_REQUIRE(rv.self_recharge_fraction >= rv.reserve_fraction &&
+                   rv.self_recharge_fraction < 1.0,
+               "RV self-recharge fraction must lie in [reserve, 1)");
+  WRSN_REQUIRE(metrics_sample_period.value() > 0.0,
+               "metrics sample period must be positive");
+  WRSN_REQUIRE(radio.bitrate_bps > 0.0, "radio bitrate must be positive");
+}
+
+}  // namespace wrsn

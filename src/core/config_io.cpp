@@ -1,0 +1,330 @@
+#include "core/config_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace wrsn {
+
+namespace {
+
+struct KeyHandler {
+  std::string name;
+  std::function<std::string(const SimConfig&)> get;
+  std::function<void(SimConfig&, const std::string&)> set;
+};
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  const std::string v = trim(value);
+  std::size_t consumed = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(v, &consumed);
+  } catch (const std::exception&) {
+    throw InvalidArgument("config key '" + key + "': cannot parse number '" + v + "'");
+  }
+  WRSN_REQUIRE(consumed == v.size(),
+               "config key '" + key + "': trailing junk in '" + v + "'");
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  const double d = parse_double(key, value);
+  WRSN_REQUIRE(d >= 0.0 && d == static_cast<double>(static_cast<std::uint64_t>(d)),
+               "config key '" + key + "' requires a non-negative integer");
+  return static_cast<std::uint64_t>(d);
+}
+
+bool parse_bool(const std::string& key, const std::string& value) {
+  const std::string v = trim(value);
+  if (v == "true" || v == "1" || v == "on" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "off" || v == "no") return false;
+  throw InvalidArgument("config key '" + key + "': expected a boolean, got '" + v +
+                        "'");
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+SchedulerKind parse_scheduler(const std::string& v) {
+  for (auto k : {SchedulerKind::kGreedy, SchedulerKind::kPartition,
+                 SchedulerKind::kCombined, SchedulerKind::kNearestFirst,
+                 SchedulerKind::kFcfs, SchedulerKind::kEdf}) {
+    if (to_string(k) == v) return k;
+  }
+  throw InvalidArgument("unknown scheduler '" + v + "'");
+}
+
+ActivationPolicy parse_activation(const std::string& v) {
+  for (auto p : {ActivationPolicy::kFullTime, ActivationPolicy::kRoundRobin}) {
+    if (to_string(p) == v) return p;
+  }
+  throw InvalidArgument("unknown activation policy '" + v + "'");
+}
+
+const std::vector<KeyHandler>& handlers() {
+  static const std::vector<KeyHandler> kHandlers = {
+      {"num_sensors",
+       [](const SimConfig& c) { return std::to_string(c.num_sensors); },
+       [](SimConfig& c, const std::string& v) {
+         c.num_sensors = parse_u64("num_sensors", v);
+       }},
+      {"num_targets",
+       [](const SimConfig& c) { return std::to_string(c.num_targets); },
+       [](SimConfig& c, const std::string& v) {
+         c.num_targets = parse_u64("num_targets", v);
+       }},
+      {"num_rvs", [](const SimConfig& c) { return std::to_string(c.num_rvs); },
+       [](SimConfig& c, const std::string& v) { c.num_rvs = parse_u64("num_rvs", v); }},
+      {"field_side_m",
+       [](const SimConfig& c) { return fmt(c.field_side.value()); },
+       [](SimConfig& c, const std::string& v) {
+         c.field_side = meters(parse_double("field_side_m", v));
+       }},
+      {"comm_range_m",
+       [](const SimConfig& c) { return fmt(c.comm_range.value()); },
+       [](SimConfig& c, const std::string& v) {
+         c.comm_range = meters(parse_double("comm_range_m", v));
+       }},
+      {"sensing_range_m",
+       [](const SimConfig& c) { return fmt(c.sensing_range.value()); },
+       [](SimConfig& c, const std::string& v) {
+         c.sensing_range = meters(parse_double("sensing_range_m", v));
+       }},
+      {"sim_days",
+       [](const SimConfig& c) { return fmt(c.sim_duration.value() / 86400.0); },
+       [](SimConfig& c, const std::string& v) {
+         c.sim_duration = days(parse_double("sim_days", v));
+       }},
+      {"target_period_h",
+       [](const SimConfig& c) { return fmt(c.target_period.value() / 3600.0); },
+       [](SimConfig& c, const std::string& v) {
+         c.target_period = hours(parse_double("target_period_h", v));
+       }},
+      {"data_rate_pkt_per_min",
+       [](const SimConfig& c) { return fmt(c.data_rate_pkt_per_min); },
+       [](SimConfig& c, const std::string& v) {
+         c.data_rate_pkt_per_min = parse_double("data_rate_pkt_per_min", v);
+       }},
+      {"target_motion",
+       [](const SimConfig& c) { return to_string(c.target_motion); },
+       [](SimConfig& c, const std::string& v) {
+         const std::string t = trim(v);
+         if (t == to_string(TargetMotion::kTeleport)) {
+           c.target_motion = TargetMotion::kTeleport;
+         } else if (t == to_string(TargetMotion::kRandomWaypoint)) {
+           c.target_motion = TargetMotion::kRandomWaypoint;
+         } else {
+           throw InvalidArgument("unknown target motion '" + t + "'");
+         }
+       }},
+      {"target_speed_m_per_s",
+       [](const SimConfig& c) { return fmt(c.target_speed.value()); },
+       [](SimConfig& c, const std::string& v) {
+         c.target_speed = MeterPerSecond{parse_double("target_speed_m_per_s", v)};
+       }},
+      {"scheduler", [](const SimConfig& c) { return to_string(c.scheduler); },
+       [](SimConfig& c, const std::string& v) { c.scheduler = parse_scheduler(trim(v)); }},
+      {"activation", [](const SimConfig& c) { return to_string(c.activation); },
+       [](SimConfig& c, const std::string& v) {
+         c.activation = parse_activation(trim(v));
+       }},
+      {"two_opt_tours",
+       [](const SimConfig& c) { return c.two_opt_tours ? "true" : "false"; },
+       [](SimConfig& c, const std::string& v) {
+         c.two_opt_tours = parse_bool("two_opt_tours", v);
+       }},
+      {"energy_request_control",
+       [](const SimConfig& c) { return c.energy_request_control ? "true" : "false"; },
+       [](SimConfig& c, const std::string& v) {
+         c.energy_request_control = parse_bool("energy_request_control", v);
+       }},
+      {"energy_request_percentage",
+       [](const SimConfig& c) { return fmt(c.energy_request_percentage); },
+       [](SimConfig& c, const std::string& v) {
+         c.energy_request_percentage = parse_double("energy_request_percentage", v);
+       }},
+      {"activation_slot_min",
+       [](const SimConfig& c) { return fmt(c.activation_slot.value() / 60.0); },
+       [](SimConfig& c, const std::string& v) {
+         c.activation_slot = minutes(parse_double("activation_slot_min", v));
+       }},
+      {"critical_fraction",
+       [](const SimConfig& c) { return fmt(c.critical_fraction); },
+       [](SimConfig& c, const std::string& v) {
+         c.critical_fraction = parse_double("critical_fraction", v);
+       }},
+      {"radio.listen_duty_cycle",
+       [](const SimConfig& c) { return fmt(c.radio.listen_duty_cycle); },
+       [](SimConfig& c, const std::string& v) {
+         c.radio.listen_duty_cycle = parse_double("radio.listen_duty_cycle", v);
+       }},
+      {"battery.capacity_j",
+       [](const SimConfig& c) { return fmt(c.battery.capacity.value()); },
+       [](SimConfig& c, const std::string& v) {
+         c.battery.capacity = joules(parse_double("battery.capacity_j", v));
+       }},
+      {"battery.self_discharge_per_day",
+       [](const SimConfig& c) { return fmt(c.battery.self_discharge_per_day); },
+       [](SimConfig& c, const std::string& v) {
+         c.battery.self_discharge_per_day =
+             parse_double("battery.self_discharge_per_day", v);
+       }},
+      {"battery.threshold_fraction",
+       [](const SimConfig& c) { return fmt(c.battery.threshold_fraction); },
+       [](SimConfig& c, const std::string& v) {
+         c.battery.threshold_fraction = parse_double("battery.threshold_fraction", v);
+       }},
+      {"rv.capacity_j",
+       [](const SimConfig& c) { return fmt(c.rv.capacity.value()); },
+       [](SimConfig& c, const std::string& v) {
+         c.rv.capacity = joules(parse_double("rv.capacity_j", v));
+       }},
+      {"rv.move_cost_j_per_m",
+       [](const SimConfig& c) { return fmt(c.rv.move_cost.value()); },
+       [](SimConfig& c, const std::string& v) {
+         c.rv.move_cost = JoulePerMeter{parse_double("rv.move_cost_j_per_m", v)};
+       }},
+      {"rv.speed_m_per_s",
+       [](const SimConfig& c) { return fmt(c.rv.speed.value()); },
+       [](SimConfig& c, const std::string& v) {
+         c.rv.speed = MeterPerSecond{parse_double("rv.speed_m_per_s", v)};
+       }},
+      {"rv.charge_power_w",
+       [](const SimConfig& c) { return fmt(c.rv.charge_power.value()); },
+       [](SimConfig& c, const std::string& v) {
+         c.rv.charge_power = watts(parse_double("rv.charge_power_w", v));
+       }},
+      {"rv.charge_profile",
+       [](const SimConfig& c) { return to_string(c.rv.charge_profile); },
+       [](SimConfig& c, const std::string& v) {
+         const std::string t = trim(v);
+         if (t == to_string(ChargeProfileKind::kConstantPower)) {
+           c.rv.charge_profile = ChargeProfileKind::kConstantPower;
+         } else if (t == to_string(ChargeProfileKind::kTaperedCcCv)) {
+           c.rv.charge_profile = ChargeProfileKind::kTaperedCcCv;
+         } else {
+           throw InvalidArgument("unknown charge profile '" + t + "'");
+         }
+       }},
+      {"rv.charge_knee_soc",
+       [](const SimConfig& c) { return fmt(c.rv.charge_knee_soc); },
+       [](SimConfig& c, const std::string& v) {
+         c.rv.charge_knee_soc = parse_double("rv.charge_knee_soc", v);
+       }},
+      {"rv.charge_trickle_fraction",
+       [](const SimConfig& c) { return fmt(c.rv.charge_trickle_fraction); },
+       [](SimConfig& c, const std::string& v) {
+         c.rv.charge_trickle_fraction =
+             parse_double("rv.charge_trickle_fraction", v);
+       }},
+      {"rv.base_recharge_power_w",
+       [](const SimConfig& c) { return fmt(c.rv.base_recharge_power.value()); },
+       [](SimConfig& c, const std::string& v) {
+         c.rv.base_recharge_power =
+             watts(parse_double("rv.base_recharge_power_w", v));
+       }},
+      {"rv.reserve_fraction",
+       [](const SimConfig& c) { return fmt(c.rv.reserve_fraction); },
+       [](SimConfig& c, const std::string& v) {
+         c.rv.reserve_fraction = parse_double("rv.reserve_fraction", v);
+       }},
+      {"rv.self_recharge_fraction",
+       [](const SimConfig& c) { return fmt(c.rv.self_recharge_fraction); },
+       [](SimConfig& c, const std::string& v) {
+         c.rv.self_recharge_fraction =
+             parse_double("rv.self_recharge_fraction", v);
+       }},
+      {"metrics_sample_min",
+       [](const SimConfig& c) { return fmt(c.metrics_sample_period.value() / 60.0); },
+       [](SimConfig& c, const std::string& v) {
+         c.metrics_sample_period = minutes(parse_double("metrics_sample_min", v));
+       }},
+      {"seed", [](const SimConfig& c) { return std::to_string(c.seed); },
+       [](SimConfig& c, const std::string& v) { c.seed = parse_u64("seed", v); }},
+  };
+  return kHandlers;
+}
+
+const KeyHandler& find_handler(const std::string& key) {
+  for (const KeyHandler& h : handlers()) {
+    if (h.name == key) return h;
+  }
+  throw InvalidArgument("unknown config key '" + key + "'");
+}
+
+}  // namespace
+
+std::vector<std::string> config_keys() {
+  std::vector<std::string> keys;
+  keys.reserve(handlers().size());
+  for (const KeyHandler& h : handlers()) keys.push_back(h.name);
+  return keys;
+}
+
+std::string config_get(const SimConfig& config, const std::string& key) {
+  return find_handler(key).get(config);
+}
+
+void config_set(SimConfig& config, const std::string& key, const std::string& value) {
+  find_handler(key).set(config, value);
+}
+
+std::string config_to_text(const SimConfig& config) {
+  std::ostringstream os;
+  os << "# wrsn simulation configuration (Table II defaults unless noted)\n";
+  for (const KeyHandler& h : handlers()) {
+    os << h.name << " = " << h.get(config) << '\n';
+  }
+  return os.str();
+}
+
+SimConfig config_from_text(const std::string& text, const SimConfig& base) {
+  SimConfig config = base;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    WRSN_REQUIRE(eq != std::string::npos,
+                 "config line " + std::to_string(line_no) + " has no '='");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    config_set(config, key, value);
+  }
+  return config;
+}
+
+void save_config(const std::string& path, const SimConfig& config) {
+  std::ofstream os(path);
+  WRSN_REQUIRE(os.good(), "cannot open '" + path + "' for writing");
+  os << config_to_text(config);
+}
+
+SimConfig load_config(const std::string& path, const SimConfig& base) {
+  std::ifstream is(path);
+  WRSN_REQUIRE(is.good(), "cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return config_from_text(buffer.str(), base);
+}
+
+}  // namespace wrsn

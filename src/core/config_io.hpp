@@ -1,0 +1,37 @@
+#pragma once
+// Textual (de)serialization of SimConfig: a flat `key = value` format with
+// `#` comments, used by the wrsn_sim CLI (`--config file`, `--set k=v`) and
+// by experiment scripts. Unknown keys are an error — silent typos in
+// experiment configs are how wrong papers get written.
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace wrsn {
+
+// All recognized keys, in serialization order.
+[[nodiscard]] std::vector<std::string> config_keys();
+
+// Current value of one key, formatted as it would be serialized.
+[[nodiscard]] std::string config_get(const SimConfig& config, const std::string& key);
+
+// Sets one key from its textual value. Throws InvalidArgument on unknown
+// keys or unparsable values.
+void config_set(SimConfig& config, const std::string& key, const std::string& value);
+
+// Full round-trippable dump (every key, one per line, with a header).
+[[nodiscard]] std::string config_to_text(const SimConfig& config);
+
+// Applies `key = value` lines on top of `base`. Blank lines and lines
+// starting with '#' are ignored; inline `# ...` comments are stripped.
+[[nodiscard]] SimConfig config_from_text(const std::string& text,
+                                         const SimConfig& base = SimConfig{});
+
+// File variants.
+void save_config(const std::string& path, const SimConfig& config);
+[[nodiscard]] SimConfig load_config(const std::string& path,
+                                    const SimConfig& base = SimConfig{});
+
+}  // namespace wrsn

@@ -1,0 +1,26 @@
+#include "core/error.hpp"
+
+#include <sstream>
+
+namespace wrsn::detail {
+
+namespace {
+std::string format(const char* kind, const char* expr, const char* file, int line,
+                   const std::string& msg) {
+  std::ostringstream os;
+  os << kind << ": " << msg << " [" << expr << "] at " << file << ":" << line;
+  return os.str();
+}
+}  // namespace
+
+void throw_invalid_argument(const char* expr, const char* file, int line,
+                            const std::string& msg) {
+  throw InvalidArgument(format("invalid argument", expr, file, line, msg));
+}
+
+void throw_logic_error(const char* expr, const char* file, int line,
+                       const std::string& msg) {
+  throw LogicError(format("invariant violated", expr, file, line, msg));
+}
+
+}  // namespace wrsn::detail

@@ -1,0 +1,45 @@
+#pragma once
+// Precondition / invariant checking.
+//
+// Public API entry points validate arguments with WRSN_REQUIRE (throws
+// wrsn::InvalidArgument, always on). Internal invariants use WRSN_ASSERT,
+// which throws wrsn::LogicError and stays enabled in release builds — the
+// simulator is cheap enough that we keep our own guard rails on.
+
+#include <stdexcept>
+#include <string>
+
+namespace wrsn {
+
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+class LogicError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid_argument(const char* expr, const char* file, int line,
+                                         const std::string& msg);
+[[noreturn]] void throw_logic_error(const char* expr, const char* file, int line,
+                                    const std::string& msg);
+}  // namespace detail
+
+}  // namespace wrsn
+
+#define WRSN_REQUIRE(expr, msg)                                                  \
+  do {                                                                           \
+    if (!(expr)) {                                                               \
+      ::wrsn::detail::throw_invalid_argument(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                            \
+  } while (false)
+
+#define WRSN_ASSERT(expr, msg)                                               \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::wrsn::detail::throw_logic_error(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                        \
+  } while (false)

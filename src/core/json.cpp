@@ -1,0 +1,140 @@
+#include "core/json.hpp"
+
+#include <cmath>
+#include <iomanip>
+
+#include "core/error.hpp"
+
+namespace wrsn {
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream os;
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(c);
+          out += os.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::prefix() {
+  if (stack_.empty()) {
+    WRSN_REQUIRE(!started_, "JSON document already complete");
+    started_ = true;
+    return;
+  }
+  Scope& top = stack_.back();
+  if (top.kind == 'o') {
+    WRSN_REQUIRE(top.expecting_value, "JSON object values need a key first");
+    top.expecting_value = false;
+  } else {
+    if (top.has_items) out_ << ',';
+    top.has_items = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prefix();
+  out_ << '{';
+  stack_.push_back({'o'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  WRSN_REQUIRE(!stack_.empty() && stack_.back().kind == 'o',
+               "end_object without matching begin_object");
+  WRSN_REQUIRE(!stack_.back().expecting_value, "dangling key in JSON object");
+  stack_.pop_back();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prefix();
+  out_ << '[';
+  stack_.push_back({'a'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  WRSN_REQUIRE(!stack_.empty() && stack_.back().kind == 'a',
+               "end_array without matching begin_array");
+  stack_.pop_back();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  WRSN_REQUIRE(!stack_.empty() && stack_.back().kind == 'o',
+               "keys are only valid inside objects");
+  Scope& top = stack_.back();
+  WRSN_REQUIRE(!top.expecting_value, "two keys in a row");
+  if (top.has_items) out_ << ',';
+  top.has_items = true;
+  top.expecting_value = true;
+  out_ << '"' << escape(name) << "\":";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  prefix();
+  out_ << '"' << escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  prefix();
+  if (std::isfinite(v)) {
+    out_ << std::setprecision(17) << v;
+  } else {
+    out_ << "null";  // JSON has no inf/nan
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  prefix();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  prefix();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  prefix();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  prefix();
+  out_ << "null";
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  WRSN_REQUIRE(complete(), "JSON document has unclosed scopes");
+  return out_.str();
+}
+
+}  // namespace wrsn

@@ -1,0 +1,57 @@
+#pragma once
+// Minimal streaming JSON writer (objects, arrays, scalars, escaping) for
+// machine-readable experiment output. Deliberately tiny: no DOM, no parsing
+// — results flow out of the simulator, never back in.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace wrsn {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Key for the next value (objects only).
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  // Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& field(const std::string& name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  // Finished document; valid once all scopes are closed.
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] bool complete() const { return stack_.empty() && started_; }
+
+ private:
+  void prefix();  // emits separators/indentation before a value or key
+  static std::string escape(const std::string& s);
+
+  std::ostringstream out_;
+  // Scope stack: 'o' = object, 'a' = array; tracks whether the scope already
+  // has at least one element (for comma placement).
+  struct Scope {
+    char kind;
+    bool has_items = false;
+    bool expecting_value = false;  // a key was just written
+  };
+  std::vector<Scope> stack_;
+  bool started_ = false;
+};
+
+}  // namespace wrsn

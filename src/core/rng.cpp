@@ -1,0 +1,121 @@
+#include "core/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace wrsn {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+Xoshiro256::Xoshiro256(const std::array<std::uint64_t, 4>& state) : s_(state) {
+  WRSN_REQUIRE(state[0] | state[1] | state[2] | state[3],
+               "xoshiro256 state must not be all-zero");
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::long_jump() {
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL,
+      0x77710069854ee241ULL, 0x39109bb02acbe635ULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        for (std::size_t i = 0; i < 4; ++i) acc[i] ^= s_[i];
+      }
+      next();
+    }
+  }
+  s_ = acc;
+}
+
+double Xoshiro256::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) {
+  WRSN_REQUIRE(lo <= hi, "uniform(lo,hi) requires lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Xoshiro256::uniform_int(std::uint64_t n) {
+  WRSN_REQUIRE(n > 0, "uniform_int(n) requires n > 0");
+  // Lemire's nearly-divisionless unbiased method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = -n % n;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::normal(double mean, double stddev) {
+  // Box-Muller; draws two uniforms, returns one variate (keeps the generator
+  // call count deterministic per invocation).
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Xoshiro256::exponential(double rate) {
+  WRSN_REQUIRE(rate > 0.0, "exponential rate must be positive");
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -std::log(u) / rate;
+}
+
+bool Xoshiro256::bernoulli(double p) {
+  WRSN_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli p must be in [0,1]");
+  return uniform() < p;
+}
+
+Xoshiro256 RngStreams::stream(std::string_view name) const {
+  return Xoshiro256(master_seed_ ^ fnv1a(name));
+}
+
+Xoshiro256 RngStreams::stream(std::string_view name, std::uint64_t index) const {
+  SplitMix64 sm(master_seed_ ^ fnv1a(name));
+  const std::uint64_t base = sm.next();
+  SplitMix64 mix(base + 0x9e3779b97f4a7c15ULL * (index + 1));
+  return Xoshiro256(mix.next());
+}
+
+}  // namespace wrsn

@@ -1,0 +1,96 @@
+#pragma once
+// Deterministic random number generation.
+//
+// All stochastic inputs of a simulation replica (deployment, target motion,
+// tie-breaking) are derived from one master seed through named sub-streams,
+// so a replica is exactly reproducible regardless of evaluation order and
+// independent replicas never share a stream. xoshiro256** is used instead of
+// std::mt19937_64 because its state is 4 words (cheap to fork per stream)
+// and, unlike libstdc++'s distributions, our uniform helpers are
+// bit-reproducible across standard library implementations.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "core/error.hpp"
+
+namespace wrsn {
+
+// SplitMix64: used to expand seeds into xoshiro state and to hash stream
+// names. Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+// generators" (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256** 1.0 (Blackman & Vigna, public domain reference code).
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed);
+  explicit Xoshiro256(const std::array<std::uint64_t, 4>& state);
+
+  std::uint64_t next();
+  std::uint64_t operator()() { return next(); }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  // Equivalent to 2^128 calls of next(); used to fork non-overlapping
+  // streams from one generator.
+  void long_jump();
+
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const { return s_; }
+
+  // --- distributions (bit-reproducible, unlike <random> adaptors) -------
+
+  // Uniform double in [0, 1).
+  double uniform();
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n). Uses Lemire's unbiased bounded method.
+  std::uint64_t uniform_int(std::uint64_t n);
+  // Standard normal via Box-Muller (no cached spare: stateless wrt calls).
+  double normal(double mean = 0.0, double stddev = 1.0);
+  // Exponential with the given rate (1/mean).
+  double exponential(double rate);
+  // Bernoulli trial.
+  bool bernoulli(double p);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+// Derives named, statistically independent sub-streams from a master seed:
+//   RngStreams streams(seed);
+//   Xoshiro256 deploy = streams.stream("deployment");
+// The stream name is hashed (FNV-1a) into the seed expansion so adding a new
+// stream never perturbs existing ones.
+class RngStreams {
+ public:
+  explicit RngStreams(std::uint64_t master_seed) : master_seed_(master_seed) {}
+
+  [[nodiscard]] Xoshiro256 stream(std::string_view name) const;
+  // Convenience for per-entity streams, e.g. one per target.
+  [[nodiscard]] Xoshiro256 stream(std::string_view name, std::uint64_t index) const;
+
+  [[nodiscard]] std::uint64_t master_seed() const { return master_seed_; }
+
+ private:
+  std::uint64_t master_seed_;
+};
+
+}  // namespace wrsn

@@ -1,0 +1,51 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace wrsn {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::sem() const {
+  return n_ > 0 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+double RunningStats::ci95_halfwidth() const {
+  if (n_ < 2) return 0.0;
+  // Two-sided 95% Student-t critical values for 1..30 degrees of freedom.
+  static constexpr std::array<double, 30> kT95 = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  const std::size_t dof = n_ - 1;
+  const double t = dof <= kT95.size() ? kT95[dof - 1] : 1.96;
+  return t * sem();
+}
+
+RunningStats summarize(const std::vector<double>& values) {
+  RunningStats stats;
+  for (double v : values) stats.add(v);
+  return stats;
+}
+
+}  // namespace wrsn

@@ -1,0 +1,40 @@
+#pragma once
+// Streaming summary statistics (Welford) and replica-level confidence
+// intervals for the experiment harness. The figure benches report means;
+// EXPERIMENTS.md quality claims are backed by the CI variants.
+
+#include <cstddef>
+#include <vector>
+
+namespace wrsn {
+
+// Numerically stable running mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  // Standard error of the mean.
+  [[nodiscard]] double sem() const;
+  // Half-width of the ~95% confidence interval (Student-t for small n,
+  // tabulated up to 30 d.o.f., 1.96 beyond).
+  [[nodiscard]] double ci95_halfwidth() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Convenience: stats over a vector.
+[[nodiscard]] RunningStats summarize(const std::vector<double>& values);
+
+}  // namespace wrsn

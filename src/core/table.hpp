@@ -1,0 +1,40 @@
+#pragma once
+// Small tabular report writer used by the figure/table benchmark harnesses.
+// Prints an aligned fixed-width table to a stream and can also emit CSV so
+// results are easy to plot externally.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace wrsn {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, long long>;
+
+  explicit Table(std::vector<std::string> headers);
+
+  // Number of cells must equal the number of headers.
+  void add_row(std::vector<Cell> cells);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const { return headers_.size(); }
+
+  // Digits after the decimal point for double cells (default 3).
+  void set_precision(int digits);
+
+  void print(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+
+ private:
+  [[nodiscard]] std::string format_cell(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 3;
+};
+
+}  // namespace wrsn

@@ -1,0 +1,91 @@
+#pragma once
+// Strong-typed physical quantities for the WRSN energy accounting.
+//
+// The simulator mixes joules, watts, metres and seconds in closed-form
+// expressions (battery crossing times, traction energy, charge dwell).
+// Tagged doubles make unit mistakes a compile error while compiling down to
+// plain doubles. Only the unit algebra the codebase actually needs is
+// defined (W*s=J, J/W=s, m/(m/s)=s, ...), on purpose: an unexpected
+// combination should fail to compile and prompt a new explicit rule.
+
+#include <compare>
+#include <ostream>
+
+namespace wrsn {
+
+template <typename Tag>
+struct Quantity {
+  double v{0.0};
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double value) : v(value) {}
+
+  [[nodiscard]] constexpr double value() const { return v; }
+
+  constexpr Quantity& operator+=(Quantity o) { v += o.v; return *this; }
+  constexpr Quantity& operator-=(Quantity o) { v -= o.v; return *this; }
+  constexpr Quantity& operator*=(double s) { v *= s; return *this; }
+  constexpr Quantity& operator/=(double s) { v /= s; return *this; }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) { return Quantity{a.v + b.v}; }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) { return Quantity{a.v - b.v}; }
+  friend constexpr Quantity operator-(Quantity a) { return Quantity{-a.v}; }
+  friend constexpr Quantity operator*(Quantity a, double s) { return Quantity{a.v * s}; }
+  friend constexpr Quantity operator*(double s, Quantity a) { return Quantity{a.v * s}; }
+  friend constexpr Quantity operator/(Quantity a, double s) { return Quantity{a.v / s}; }
+  friend constexpr double operator/(Quantity a, Quantity b) { return a.v / b.v; }
+
+  friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Quantity q) { return os << q.v; }
+};
+
+struct JouleTag {};
+struct WattTag {};
+struct MeterTag {};
+struct SecondTag {};
+struct SpeedTag {};         // m/s
+struct EnergyPerMeterTag {};  // J/m (RV traction)
+
+using Joule = Quantity<JouleTag>;
+using Watt = Quantity<WattTag>;
+using Meter = Quantity<MeterTag>;
+using Second = Quantity<SecondTag>;
+using MeterPerSecond = Quantity<SpeedTag>;
+using JoulePerMeter = Quantity<EnergyPerMeterTag>;
+
+// --- cross-unit algebra ------------------------------------------------
+constexpr Joule operator*(Watt p, Second t) { return Joule{p.v * t.v}; }
+constexpr Joule operator*(Second t, Watt p) { return p * t; }
+constexpr Second operator/(Joule e, Watt p) { return Second{e.v / p.v}; }
+constexpr Watt operator/(Joule e, Second t) { return Watt{e.v / t.v}; }
+constexpr Second operator/(Meter d, MeterPerSecond s) { return Second{d.v / s.v}; }
+constexpr Meter operator*(MeterPerSecond s, Second t) { return Meter{s.v * t.v}; }
+constexpr Joule operator*(JoulePerMeter em, Meter d) { return Joule{em.v * d.v}; }
+constexpr Joule operator*(Meter d, JoulePerMeter em) { return em * d; }
+constexpr Watt operator*(JoulePerMeter em, MeterPerSecond s) { return Watt{em.v * s.v}; }
+
+// --- literal-style helpers ---------------------------------------------
+constexpr Joule joules(double v) { return Joule{v}; }
+constexpr Joule kilojoules(double v) { return Joule{v * 1e3}; }
+constexpr Joule megajoules(double v) { return Joule{v * 1e6}; }
+constexpr Watt watts(double v) { return Watt{v}; }
+constexpr Watt milliwatts(double v) { return Watt{v * 1e-3}; }
+constexpr Watt microwatts(double v) { return Watt{v * 1e-6}; }
+constexpr Meter meters(double v) { return Meter{v}; }
+constexpr Second seconds(double v) { return Second{v}; }
+constexpr Second minutes(double v) { return Second{v * 60.0}; }
+constexpr Second hours(double v) { return Second{v * 3600.0}; }
+constexpr Second days(double v) { return Second{v * 86400.0}; }
+
+// Energy of a battery given voltage (V) and charge (mAh).
+constexpr Joule battery_energy(double volts, double milliamp_hours) {
+  return Joule{volts * milliamp_hours * 1e-3 * 3600.0};
+}
+
+// Power drawn at `volts` volts and `milliamps` mA.
+constexpr Watt power_draw(double volts, double milliamps) {
+  return Watt{volts * milliamps * 1e-3};
+}
+
+}  // namespace wrsn

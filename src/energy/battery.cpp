@@ -1,0 +1,38 @@
+#include "energy/battery.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace wrsn {
+
+Battery::Battery(Joule capacity) : Battery(capacity, capacity) {}
+
+Battery::Battery(Joule capacity, Joule initial_level)
+    : capacity_(capacity), level_(initial_level) {
+  WRSN_REQUIRE(capacity.value() > 0.0, "battery capacity must be positive");
+  WRSN_REQUIRE(initial_level.value() >= 0.0 && initial_level <= capacity,
+               "initial level must lie in [0, capacity]");
+}
+
+Joule Battery::drain(Joule amount) {
+  WRSN_REQUIRE(amount.value() >= 0.0, "drain amount must be non-negative");
+  const Joule drawn = std::min(amount, level_);
+  level_ -= drawn;
+  return drawn;
+}
+
+Joule Battery::charge(Joule amount) {
+  WRSN_REQUIRE(amount.value() >= 0.0, "charge amount must be non-negative");
+  const Joule stored = std::min(amount, capacity_ - level_);
+  level_ += stored;
+  return stored;
+}
+
+std::optional<Second> Battery::time_to_reach(Joule threshold, Watt power) const {
+  if (power.value() <= 0.0) return std::nullopt;
+  if (level_ <= threshold) return Second{0.0};
+  return (level_ - threshold) / power;
+}
+
+}  // namespace wrsn

@@ -1,0 +1,48 @@
+#pragma once
+// Sensor/RV battery with piecewise-constant discharge.
+//
+// The discrete-event engine never "ticks" batteries: between events each
+// battery drains at a constant power, so the level at any time and the time
+// of the next threshold crossing are closed-form. Battery owns only energy
+// book-keeping; which power applies when is the simulator's job.
+
+#include <optional>
+
+#include "core/units.hpp"
+
+namespace wrsn {
+
+class Battery {
+ public:
+  Battery() = default;
+  // Starts full.
+  explicit Battery(Joule capacity);
+  Battery(Joule capacity, Joule initial_level);
+
+  [[nodiscard]] Joule capacity() const { return capacity_; }
+  [[nodiscard]] Joule level() const { return level_; }
+  [[nodiscard]] bool depleted() const { return level_.value() <= 0.0; }
+  [[nodiscard]] double fraction() const {
+    return capacity_.value() > 0.0 ? level_.value() / capacity_.value() : 0.0;
+  }
+  // Demand d_i of Section IV-A: capacity minus current level.
+  [[nodiscard]] Joule demand() const { return capacity_ - level_; }
+
+  // Removes energy; clamps at zero and returns the energy actually drawn.
+  Joule drain(Joule amount);
+  // Adds energy; clamps at capacity and returns the energy actually stored.
+  Joule charge(Joule amount);
+  void refill() { level_ = capacity_; }
+
+  // Time until the level falls to `threshold` when draining at `power`.
+  // nullopt when power is zero/negative or the level is already at or below
+  // the threshold is *not* special-cased to zero: callers distinguish
+  // "already below" themselves, so this returns 0 s in that case.
+  [[nodiscard]] std::optional<Second> time_to_reach(Joule threshold, Watt power) const;
+
+ private:
+  Joule capacity_{0.0};
+  Joule level_{0.0};
+};
+
+}  // namespace wrsn

@@ -1,0 +1,103 @@
+#include "energy/charge_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace wrsn {
+
+void ChargeProfile::validate() const {
+  WRSN_REQUIRE(rated_power.value() > 0.0, "charger power must be positive");
+  WRSN_REQUIRE(knee_soc > 0.0 && knee_soc < 1.0, "knee SoC must lie in (0,1)");
+  WRSN_REQUIRE(trickle_fraction > 0.0 && trickle_fraction <= 1.0,
+               "trickle fraction must lie in (0,1]");
+}
+
+namespace {
+
+// Taper coefficients: P(s) = P * (a - b*s) for s in [knee, 1], with
+// P(knee) = P and P(1) = trickle * P.
+struct Taper {
+  double a;
+  double b;
+};
+
+Taper taper_of(const ChargeProfile& p) {
+  const double beta = (1.0 - p.trickle_fraction) / (1.0 - p.knee_soc);
+  return {1.0 + beta * p.knee_soc, beta};
+}
+
+}  // namespace
+
+Second ChargeProfile::time_to_reach(const Battery& battery, Joule target_level) const {
+  validate();
+  const double cap = battery.capacity().value();
+  const double s0 = battery.fraction();
+  const double s1 =
+      std::clamp(target_level.value() / cap, s0, 1.0);
+  if (s1 <= s0) return Second{0.0};
+  const double pw = rated_power.value();
+
+  if (kind == ChargeProfileKind::kConstantPower) {
+    return Second{cap * (s1 - s0) / pw};
+  }
+
+  double t = 0.0;
+  double s = s0;
+  if (s < knee_soc) {
+    const double s_cc_end = std::min(s1, knee_soc);
+    t += cap * (s_cc_end - s) / pw;
+    s = s_cc_end;
+  }
+  if (s1 > s) {
+    const Taper tp = taper_of(*this);
+    if (tp.b <= 1e-12) {
+      t += cap * (s1 - s) / pw;  // trickle == 1: no actual taper
+    } else {
+      // ds/dt = (P/C) (a - b s)  =>  t = C/(P b) ln((a - b s)/(a - b s1)).
+      t += cap / (pw * tp.b) * std::log((tp.a - tp.b * s) / (tp.a - tp.b * s1));
+    }
+  }
+  return Second{t};
+}
+
+Second ChargeProfile::time_to_full(const Battery& battery) const {
+  return time_to_reach(battery, battery.capacity());
+}
+
+Joule ChargeProfile::energy_after(const Battery& battery, Second duration) const {
+  validate();
+  WRSN_REQUIRE(duration.value() >= 0.0, "duration must be non-negative");
+  const double cap = battery.capacity().value();
+  const double s0 = battery.fraction();
+  const double pw = rated_power.value();
+  double t = duration.value();
+  double s = s0;
+
+  if (kind == ChargeProfileKind::kConstantPower) {
+    s = std::min(1.0, s0 + pw * t / cap);
+    return Joule{cap * (s - s0)};
+  }
+
+  if (s < knee_soc) {
+    const double t_knee = cap * (knee_soc - s) / pw;
+    if (t <= t_knee) {
+      s += pw * t / cap;
+      return Joule{cap * (s - s0)};
+    }
+    s = knee_soc;
+    t -= t_knee;
+  }
+  const Taper tp = taper_of(*this);
+  if (tp.b <= 1e-12) {
+    s = std::min(1.0, s + pw * t / cap);
+  } else {
+    // Invert the taper solution: a - b s(t) = (a - b s) e^{-P b t / C}.
+    const double decayed = (tp.a - tp.b * s) * std::exp(-pw * tp.b * t / cap);
+    s = std::min(1.0, (tp.a - decayed) / tp.b);
+  }
+  return Joule{cap * (s - s0)};
+}
+
+}  // namespace wrsn

@@ -1,0 +1,43 @@
+#pragma once
+// Charging time models for the wireless energy transfer (the paper cites the
+// Panasonic Ni-MH handbook [15] for its "recharge time model").
+//
+//   * kConstantPower — energy flows at the charger's rated power until full;
+//     dwell = demand / P. The default, and what Section IV's schedulers
+//     implicitly assume (dwell proportional to demand).
+//   * kTaperedCcCv  — constant power until the knee state-of-charge, then
+//     the acceptance power tapers linearly to a trickle at 100% (the classic
+//     -dV/dt endgame of Ni-MH charging). Same average behaviour at low
+//     state-of-charge, materially longer dwell for nearly-full batteries.
+//
+// Both models are exactly integrable, so the DES can schedule charge-done
+// events in closed form.
+
+#include "core/config.hpp"
+#include "core/units.hpp"
+#include "energy/battery.hpp"
+
+namespace wrsn {
+
+struct ChargeProfile {
+  ChargeProfileKind kind = ChargeProfileKind::kConstantPower;
+  Watt rated_power{1.2};
+  // Taper parameters (kTaperedCcCv only): full power below `knee_soc`, then
+  // linear taper down to `trickle_fraction` * rated_power at SoC = 1.
+  double knee_soc = 0.8;
+  double trickle_fraction = 0.1;
+
+  // Time to charge `battery` from its current level up to `target_level`.
+  // target_level is clamped to [level, capacity].
+  [[nodiscard]] Second time_to_reach(const Battery& battery, Joule target_level) const;
+  // Convenience: time to full.
+  [[nodiscard]] Second time_to_full(const Battery& battery) const;
+
+  // Energy delivered after charging `battery` for `duration` (closed form,
+  // inverse of time_to_reach). Does not modify the battery.
+  [[nodiscard]] Joule energy_after(const Battery& battery, Second duration) const;
+
+  void validate() const;
+};
+
+}  // namespace wrsn

@@ -1,0 +1,27 @@
+#include "energy/charger.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace wrsn {
+
+Charger::Charger(Watt output_power) : power_(output_power) {
+  WRSN_REQUIRE(output_power.value() > 0.0, "charger power must be positive");
+}
+
+Second Charger::transfer_time(Joule amount) const {
+  WRSN_REQUIRE(amount.value() >= 0.0, "transfer amount must be non-negative");
+  return amount / power_;
+}
+
+Joule Charger::deliver(Battery& sink, Joule budget) const {
+  WRSN_REQUIRE(budget.value() >= 0.0, "charge budget must be non-negative");
+  return sink.charge(std::min(budget, sink.demand()));
+}
+
+Joule Charger::deliver_full(Battery& sink) const {
+  return sink.charge(sink.demand());
+}
+
+}  // namespace wrsn

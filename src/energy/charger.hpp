@@ -1,0 +1,39 @@
+#pragma once
+// Wireless charging model (recharge time per the Ni-MH handbook [15]):
+// a constant-power transfer, so charging a demand d takes d / P seconds.
+// Also models the RV traction energy e_m and the base-station dock.
+
+#include "core/units.hpp"
+#include "energy/battery.hpp"
+
+namespace wrsn {
+
+class Charger {
+ public:
+  explicit Charger(Watt output_power);
+
+  [[nodiscard]] Watt output_power() const { return power_; }
+
+  // Time to transfer `amount` of energy.
+  [[nodiscard]] Second transfer_time(Joule amount) const;
+
+  // Transfers up to `budget` into `sink`, bounded by the sink's headroom.
+  // Returns the energy actually delivered.
+  Joule deliver(Battery& sink, Joule budget) const;
+  // Fills the sink completely (budget = demand).
+  Joule deliver_full(Battery& sink) const;
+
+ private:
+  Watt power_;
+};
+
+// Traction model of an RV: energy and time to cover a distance.
+struct Traction {
+  JoulePerMeter move_cost;
+  MeterPerSecond speed;
+
+  [[nodiscard]] Joule energy(Meter d) const { return move_cost * d; }
+  [[nodiscard]] Second time(Meter d) const { return d / speed; }
+};
+
+}  // namespace wrsn

@@ -1,0 +1,26 @@
+#include "geom/coverage.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/error.hpp"
+
+namespace wrsn {
+
+std::size_t min_sensors_for_coverage(double field_area, double sensing_range) {
+  WRSN_REQUIRE(field_area > 0.0, "field area must be positive");
+  WRSN_REQUIRE(sensing_range > 0.0, "sensing range must be positive");
+  const double pi = std::numbers::pi;
+  const double n =
+      3.0 * std::sqrt(3.0) * field_area / (2.0 * pi * pi * sensing_range * sensing_range);
+  return static_cast<std::size_t>(std::ceil(n));
+}
+
+double expected_coverage_degree(std::size_t n, double side, double sensing_range) {
+  WRSN_REQUIRE(side > 0.0, "field side must be positive");
+  WRSN_REQUIRE(sensing_range > 0.0, "sensing range must be positive");
+  return static_cast<double>(n) * std::numbers::pi * sensing_range * sensing_range /
+         (side * side);
+}
+
+}  // namespace wrsn

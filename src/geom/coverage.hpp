@@ -1,0 +1,23 @@
+#pragma once
+// Coverage density math from Section II-B of the paper.
+
+#include <cstddef>
+
+namespace wrsn {
+
+// Eq. (1): minimum number of sensors for full coverage of area `field_area`
+// with sensing radius `sensing_range`, from the triangular-lattice result of
+// Williams [20]:  N = 3*sqrt(3)*S_a / (2*pi^2*r^2)  -- as printed in the
+// paper (the classic lattice constant is 2*pi*r^2/(3*sqrt(3)) per sensor; we
+// reproduce the paper's formula verbatim).
+[[nodiscard]] std::size_t min_sensors_for_coverage(double field_area,
+                                                   double sensing_range);
+
+// Expected number of sensors covering a uniformly random target when `n`
+// sensors are uniform over a square field of side `side` (boundary effects
+// ignored): n * pi * r^2 / side^2. Used by tests and the ablation bench to
+// predict cluster sizes.
+[[nodiscard]] double expected_coverage_degree(std::size_t n, double side,
+                                              double sensing_range);
+
+}  // namespace wrsn

@@ -1,0 +1,75 @@
+#include "geom/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace wrsn {
+
+SpatialGrid::SpatialGrid(double field_side, double cell_size)
+    : field_side_(field_side), cell_size_(cell_size) {
+  WRSN_REQUIRE(field_side > 0.0, "field side must be positive");
+  WRSN_REQUIRE(cell_size > 0.0, "cell size must be positive");
+  cells_per_side_ =
+      std::max(1, static_cast<int>(std::ceil(field_side / cell_size)));
+}
+
+int SpatialGrid::cell_coord(double v) const {
+  const int c = static_cast<int>(std::floor(v / cell_size_));
+  return std::clamp(c, 0, cells_per_side_ - 1);
+}
+
+std::size_t SpatialGrid::cell_index(int cx, int cy) const {
+  return static_cast<std::size_t>(cy) * static_cast<std::size_t>(cells_per_side_) +
+         static_cast<std::size_t>(cx);
+}
+
+void SpatialGrid::build(const std::vector<Vec2>& points) {
+  points_ = points;
+  const std::size_t num_cells =
+      static_cast<std::size_t>(cells_per_side_) * static_cast<std::size_t>(cells_per_side_);
+  std::vector<std::size_t> counts(num_cells, 0);
+  std::vector<std::size_t> cell_of(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    cell_of[i] = cell_index(cell_coord(points_[i].x), cell_coord(points_[i].y));
+    ++counts[cell_of[i]];
+  }
+  starts_.assign(num_cells + 1, 0);
+  for (std::size_t c = 0; c < num_cells; ++c) starts_[c + 1] = starts_[c] + counts[c];
+  ids_.resize(points_.size());
+  std::vector<std::size_t> cursor(starts_.begin(), starts_.end() - 1);
+  // Insert in ascending id order so each cell slice is already sorted.
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    ids_[cursor[cell_of[i]]++] = i;
+  }
+}
+
+std::vector<std::size_t> SpatialGrid::query_radius(Vec2 q, double radius) const {
+  std::vector<std::size_t> result;
+  for_each_in_radius(q, radius, [&](std::size_t id) { result.push_back(id); });
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::size_t SpatialGrid::nearest(Vec2 q) const {
+  WRSN_REQUIRE(!points_.empty(), "nearest() on an empty grid");
+  // Expand the search ring until a hit is found, then verify one extra ring
+  // (a point in a farther cell can still be closer than one found earlier).
+  double best_d2 = std::numeric_limits<double>::infinity();
+  std::size_t best = 0;
+  for (double radius = cell_size_;; radius *= 2.0) {
+    for_each_in_radius(q, radius, [&](std::size_t id) {
+      const double d2 = squared_distance(points_[id], q);
+      if (d2 < best_d2 || (d2 == best_d2 && id < best)) {
+        best_d2 = d2;
+        best = id;
+      }
+    });
+    if (best_d2 <= radius * radius || radius > 2.0 * field_side_) break;
+  }
+  return best;
+}
+
+}  // namespace wrsn

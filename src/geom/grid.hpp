@@ -1,0 +1,66 @@
+#pragma once
+// Uniform spatial hash grid over the square sensing field.
+//
+// Supports the two queries the framework needs, both in O(points in the
+// neighbouring cells) instead of O(N):
+//   * all points within radius r of a query point (which sensors cover a
+//     target; which sensors are communication neighbours),
+//   * the nearest point to a query point.
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace wrsn {
+
+class SpatialGrid {
+ public:
+  // `field_side` is the square field's side length; `cell_size` should be of
+  // the order of the most common query radius.
+  SpatialGrid(double field_side, double cell_size);
+
+  // Builds the index over `points`; ids are the indices into `points`.
+  void build(const std::vector<Vec2>& points);
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+  // Ids of all points with distance(p, q) <= radius, in ascending id order.
+  [[nodiscard]] std::vector<std::size_t> query_radius(Vec2 q, double radius) const;
+
+  // Visits ids within radius without allocating.
+  template <typename Fn>
+  void for_each_in_radius(Vec2 q, double radius, Fn&& fn) const {
+    const double r2 = radius * radius;
+    const int lo_x = cell_coord(q.x - radius);
+    const int hi_x = cell_coord(q.x + radius);
+    const int lo_y = cell_coord(q.y - radius);
+    const int hi_y = cell_coord(q.y + radius);
+    for (int cy = lo_y; cy <= hi_y; ++cy) {
+      for (int cx = lo_x; cx <= hi_x; ++cx) {
+        const std::size_t cell = cell_index(cx, cy);
+        for (std::size_t k = starts_[cell]; k < starts_[cell + 1]; ++k) {
+          const std::size_t id = ids_[k];
+          if (squared_distance(points_[id], q) <= r2) fn(id);
+        }
+      }
+    }
+  }
+
+  // Id of the nearest point to q; size() must be > 0.
+  [[nodiscard]] std::size_t nearest(Vec2 q) const;
+
+ private:
+  [[nodiscard]] int cell_coord(double v) const;
+  [[nodiscard]] std::size_t cell_index(int cx, int cy) const;
+
+  double field_side_;
+  double cell_size_;
+  int cells_per_side_;
+  std::vector<Vec2> points_;
+  // CSR layout: ids_ grouped by cell, starts_[cell]..starts_[cell+1] slices it.
+  std::vector<std::size_t> ids_;
+  std::vector<std::size_t> starts_;
+};
+
+}  // namespace wrsn

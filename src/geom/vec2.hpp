@@ -1,0 +1,48 @@
+#pragma once
+// 2-D points/vectors on the sensing field. Plain doubles in metres; the
+// strong Meter type is used at module boundaries, raw coordinates inside the
+// geometry kernels.
+
+#include <cmath>
+#include <compare>
+#include <ostream>
+
+namespace wrsn {
+
+struct Vec2 {
+  double x{0.0};
+  double y{0.0};
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2& operator+=(Vec2 o) { x += o.x; y += o.y; return *this; }
+  constexpr Vec2& operator-=(Vec2 o) { x -= o.x; y -= o.y; return *this; }
+  constexpr Vec2& operator*=(double s) { x *= s; y *= s; return *this; }
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, double s) { return {a.x * s, a.y * s}; }
+  friend constexpr Vec2 operator*(double s, Vec2 a) { return a * s; }
+  friend constexpr Vec2 operator/(Vec2 a, double s) { return {a.x / s, a.y / s}; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Vec2 v) {
+    return os << '(' << v.x << ", " << v.y << ')';
+  }
+};
+
+[[nodiscard]] constexpr double dot(Vec2 a, Vec2 b) { return a.x * b.x + a.y * b.y; }
+[[nodiscard]] constexpr double squared_norm(Vec2 a) { return dot(a, a); }
+[[nodiscard]] inline double norm(Vec2 a) { return std::sqrt(squared_norm(a)); }
+[[nodiscard]] constexpr double squared_distance(Vec2 a, Vec2 b) {
+  return squared_norm(a - b);
+}
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) { return norm(a - b); }
+
+// Point on the segment [a,b] at parameter t in [0,1].
+[[nodiscard]] constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) {
+  return a + (b - a) * t;
+}
+
+}  // namespace wrsn

@@ -1,0 +1,20 @@
+#include "net/deployment.hpp"
+
+#include "core/error.hpp"
+
+namespace wrsn {
+
+std::vector<Vec2> deploy_uniform(std::size_t n, double side, Xoshiro256& rng) {
+  WRSN_REQUIRE(side > 0.0, "field side must be positive");
+  std::vector<Vec2> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) points.push_back(random_location(side, rng));
+  return points;
+}
+
+Vec2 random_location(double side, Xoshiro256& rng) {
+  WRSN_REQUIRE(side > 0.0, "field side must be positive");
+  return {rng.uniform(0.0, side), rng.uniform(0.0, side)};
+}
+
+}  // namespace wrsn

@@ -1,0 +1,19 @@
+#pragma once
+// Random uniform deployment (Section II-B) of sensors and targets over the
+// square field. Deterministic given the RNG stream.
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "geom/vec2.hpp"
+
+namespace wrsn {
+
+// `n` points uniform over [0, side] x [0, side].
+[[nodiscard]] std::vector<Vec2> deploy_uniform(std::size_t n, double side,
+                                               Xoshiro256& rng);
+
+// A fresh uniform location for a relocating target.
+[[nodiscard]] Vec2 random_location(double side, Xoshiro256& rng);
+
+}  // namespace wrsn

@@ -1,0 +1,45 @@
+#include "net/graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "geom/grid.hpp"
+
+namespace wrsn {
+
+CommGraph::CommGraph(const std::vector<Vec2>& positions, Vec2 base_station,
+                     double comm_range)
+    : comm_range_(comm_range) {
+  WRSN_REQUIRE(comm_range > 0.0, "communication range must be positive");
+
+  std::vector<Vec2> nodes = positions;
+  nodes.push_back(base_station);
+  const std::size_t n = nodes.size();
+
+  // Field extent for the helper grid: cover all coordinates (targets/BS can
+  // sit anywhere, deployments are non-negative by construction).
+  double extent = comm_range;
+  for (const Vec2& p : nodes) extent = std::max({extent, p.x, p.y});
+
+  SpatialGrid grid(extent + comm_range, comm_range);
+  grid.build(nodes);
+
+  std::vector<std::vector<Edge>> adj(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    grid.for_each_in_radius(nodes[i], comm_range, [&](std::size_t j) {
+      if (j != i) adj[i].push_back({j, distance(nodes[i], nodes[j])});
+    });
+    std::sort(adj[i].begin(), adj[i].end(),
+              [](const Edge& a, const Edge& b) { return a.to < b.to; });
+  }
+
+  starts_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) starts_[i + 1] = starts_[i] + adj[i].size();
+  edges_.reserve(starts_[n]);
+  for (std::size_t i = 0; i < n; ++i) {
+    edges_.insert(edges_.end(), adj[i].begin(), adj[i].end());
+  }
+}
+
+}  // namespace wrsn

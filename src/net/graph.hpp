@@ -1,0 +1,49 @@
+#pragma once
+// Communication graph: sensors plus the base station, with an edge between
+// any two nodes within communication range d_c. Stored in CSR form; built
+// with the spatial grid so construction is O(N * neighbours) rather than
+// O(N^2).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "net/ids.hpp"
+
+namespace wrsn {
+
+class CommGraph {
+ public:
+  struct Edge {
+    std::size_t to;
+    double length;
+  };
+
+  CommGraph() = default;
+  // `positions` are sensor positions; the base station is appended as the
+  // last node, so node indices are [0, N) sensors and N the base station.
+  CommGraph(const std::vector<Vec2>& positions, Vec2 base_station, double comm_range);
+
+  [[nodiscard]] std::size_t num_nodes() const {
+    return starts_.empty() ? 0 : starts_.size() - 1;
+  }
+  [[nodiscard]] std::size_t base_station_index() const { return num_nodes() - 1; }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size() / 2; }
+  [[nodiscard]] double comm_range() const { return comm_range_; }
+
+  [[nodiscard]] std::span<const Edge> neighbors(std::size_t node) const {
+    return {edges_.data() + starts_[node], starts_[node + 1] - starts_[node]};
+  }
+
+  [[nodiscard]] std::size_t degree(std::size_t node) const {
+    return starts_[node + 1] - starts_[node];
+  }
+
+ private:
+  double comm_range_ = 0.0;
+  std::vector<Edge> edges_;
+  std::vector<std::size_t> starts_;
+};
+
+}  // namespace wrsn

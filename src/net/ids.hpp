@@ -1,0 +1,18 @@
+#pragma once
+// Entity identifiers. Plain indices into the owning containers; kInvalidId
+// marks "none". The base station is addressed separately (it is not a
+// sensor) — in routing graphs it occupies index num_sensors.
+
+#include <cstddef>
+#include <limits>
+
+namespace wrsn {
+
+using SensorId = std::size_t;
+using TargetId = std::size_t;
+using RvId = std::size_t;
+using ClusterId = std::size_t;
+
+inline constexpr std::size_t kInvalidId = std::numeric_limits<std::size_t>::max();
+
+}  // namespace wrsn

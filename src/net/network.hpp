@@ -1,0 +1,64 @@
+#pragma once
+// The deployed network: N sensors uniform over the field, M mobile targets,
+// a base station at the field centre (Section II-A), the communication
+// graph, and a BS-rooted routing tree over alive sensors.
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/rng.hpp"
+#include "geom/grid.hpp"
+#include "net/graph.hpp"
+#include "net/ids.hpp"
+#include "net/routing.hpp"
+#include "net/sensor.hpp"
+
+namespace wrsn {
+
+class Network {
+ public:
+  // Deploys sensors and targets using the given streams (deterministic).
+  Network(const SimConfig& config, Xoshiro256& deploy_rng, Xoshiro256& target_rng);
+
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+  [[nodiscard]] Vec2 base_station() const { return base_station_; }
+
+  [[nodiscard]] std::size_t num_sensors() const { return sensors_.size(); }
+  [[nodiscard]] std::size_t num_targets() const { return targets_.size(); }
+  [[nodiscard]] const std::vector<Sensor>& sensors() const { return sensors_; }
+  [[nodiscard]] std::vector<Sensor>& sensors() { return sensors_; }
+  [[nodiscard]] const Sensor& sensor(SensorId id) const { return sensors_[id]; }
+  [[nodiscard]] Sensor& sensor(SensorId id) { return sensors_[id]; }
+  [[nodiscard]] const std::vector<Target>& targets() const { return targets_; }
+  [[nodiscard]] const Target& target(TargetId id) const { return targets_[id]; }
+
+  // Ids of all sensors (alive or not) whose sensing disc contains `point`.
+  [[nodiscard]] std::vector<SensorId> sensors_covering(Vec2 point) const;
+
+  // Moves the target to a fresh uniform random location.
+  void relocate_target(TargetId id, Xoshiro256& rng);
+  // Places the target at an explicit position (random-waypoint motion).
+  void set_target_position(TargetId id, Vec2 pos);
+
+  [[nodiscard]] const CommGraph& graph() const { return graph_; }
+  [[nodiscard]] const RoutingTree& routing() const { return routing_; }
+
+  // Rebuilds the routing tree over currently-alive sensors. Call after any
+  // death or recharge-revival. Returns true when the alive mask actually
+  // changed since the previous build (callers use this to skip reroutes).
+  bool rebuild_routing();
+
+  [[nodiscard]] std::size_t alive_count() const;
+
+ private:
+  SimConfig config_;
+  Vec2 base_station_;
+  std::vector<Sensor> sensors_;
+  std::vector<Target> targets_;
+  SpatialGrid sensing_grid_;  // sensor positions, for coverage queries
+  CommGraph graph_;
+  RoutingTree routing_;
+  std::vector<bool> last_alive_mask_;
+};
+
+}  // namespace wrsn

@@ -1,0 +1,89 @@
+#include "net/routing.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "core/error.hpp"
+
+namespace wrsn {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+ShortestPaths run_dijkstra(const CommGraph& graph, std::size_t source,
+                           const std::vector<bool>& usable_in) {
+  const std::size_t n = graph.num_nodes();
+  WRSN_REQUIRE(source < n, "dijkstra source out of range");
+  WRSN_REQUIRE(usable_in.size() == n || usable_in.size() + 1 == n,
+               "usable mask size must cover the sensors (+optional BS entry)");
+
+  auto usable = [&](std::size_t node) {
+    if (node == graph.base_station_index()) return true;
+    return node < usable_in.size() ? static_cast<bool>(usable_in[node]) : true;
+  };
+
+  ShortestPaths out;
+  out.dist.assign(n, kInf);
+  out.parent.assign(n, kInvalidId);
+  if (!usable(source)) return out;
+
+  using Item = std::pair<double, std::size_t>;  // (dist, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  out.dist[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > out.dist[u]) continue;  // stale entry
+    for (const CommGraph::Edge& e : graph.neighbors(u)) {
+      if (!usable(e.to)) continue;
+      const double nd = d + e.length;
+      if (nd < out.dist[e.to]) {
+        out.dist[e.to] = nd;
+        out.parent[e.to] = u;
+        heap.emplace(nd, e.to);
+      }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+ShortestPaths dijkstra(const CommGraph& graph, std::size_t source,
+                       const std::vector<bool>& usable) {
+  return run_dijkstra(graph, source, usable);
+}
+
+void RoutingTree::build(const CommGraph& graph, const std::vector<bool>& usable) {
+  ShortestPaths sp = run_dijkstra(graph, graph.base_station_index(), usable);
+  parent_ = std::move(sp.parent);
+  dist_ = std::move(sp.dist);
+}
+
+bool RoutingTree::reachable(std::size_t node) const {
+  WRSN_ASSERT(node < dist_.size(), "routing query out of range");
+  return dist_[node] < kInf;
+}
+
+std::optional<std::size_t> RoutingTree::hops_to_base(std::size_t node) const {
+  if (!reachable(node)) return std::nullopt;
+  std::size_t hops = 0;
+  for (std::size_t cur = node; parent_[cur] != kInvalidId; cur = parent_[cur]) {
+    ++hops;
+    WRSN_ASSERT(hops <= parent_.size(), "routing tree contains a cycle");
+  }
+  return hops;
+}
+
+std::vector<std::size_t> RoutingTree::path_to_base(std::size_t node) const {
+  std::vector<std::size_t> path;
+  if (!reachable(node)) return path;
+  for (std::size_t cur = node;; cur = parent_[cur]) {
+    path.push_back(cur);
+    if (parent_[cur] == kInvalidId) break;
+    WRSN_ASSERT(path.size() <= parent_.size(), "routing tree contains a cycle");
+  }
+  return path;
+}
+
+}  // namespace wrsn

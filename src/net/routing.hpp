@@ -1,0 +1,62 @@
+#pragma once
+// Shortest-path routing (Section V: "The routing path is calculated using
+// Dijkstra's shortest path algorithm").
+//
+// The data plane only ever routes towards the base station, so we maintain a
+// single BS-rooted shortest-path tree over the currently alive nodes and
+// read any sensor's route as the tree path. The tree is rebuilt when the set
+// of alive nodes changes (death / recharge-revival), which is rare compared
+// with activation rotations.
+
+#include <optional>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/ids.hpp"
+
+namespace wrsn {
+
+class RoutingTree {
+ public:
+  RoutingTree() = default;
+
+  // Builds the shortest-path tree rooted at the base station over the nodes
+  // for which usable[node] is true (the base station is always usable).
+  // `usable` must have size graph.num_nodes() - 1 (sensors only) or
+  // graph.num_nodes() (base station entry ignored).
+  void build(const CommGraph& graph, const std::vector<bool>& usable);
+
+  [[nodiscard]] bool built() const { return !parent_.empty(); }
+  [[nodiscard]] std::size_t num_nodes() const { return parent_.size(); }
+
+  // True when the node can reach the base station through alive relays.
+  [[nodiscard]] bool reachable(std::size_t node) const;
+  // Next hop towards the base station (kInvalidId for the BS itself or
+  // unreachable nodes).
+  [[nodiscard]] std::size_t parent(std::size_t node) const { return parent_[node]; }
+  // Shortest distance (metres) to the base station; infinity if unreachable.
+  [[nodiscard]] double distance_to_base(std::size_t node) const { return dist_[node]; }
+  // Hop count to the base station; nullopt if unreachable.
+  [[nodiscard]] std::optional<std::size_t> hops_to_base(std::size_t node) const;
+  // Full path node -> ... -> base station (inclusive); empty if unreachable.
+  [[nodiscard]] std::vector<std::size_t> path_to_base(std::size_t node) const;
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<double> dist_;
+};
+
+// General single-source Dijkstra over a CommGraph (used by tests to
+// cross-check the tree and exposed for library users who need sensor-to-
+// sensor paths). Returns distances and parents from `source`; nodes with
+// usable[n]==false are skipped (source and target of an edge both need to be
+// usable).
+struct ShortestPaths {
+  std::vector<double> dist;
+  std::vector<std::size_t> parent;
+};
+
+[[nodiscard]] ShortestPaths dijkstra(const CommGraph& graph, std::size_t source,
+                                     const std::vector<bool>& usable);
+
+}  // namespace wrsn

@@ -1,0 +1,38 @@
+#pragma once
+// A sensor node (Section II-A): fixed position, rechargeable battery,
+// PIR detector + CC2480 radio. A sensor monitors at most one target at a
+// time (constraint (5)); cluster membership and the active/idle monitoring
+// state are managed by the activity layer.
+
+#include "energy/battery.hpp"
+#include "geom/vec2.hpp"
+#include "net/ids.hpp"
+
+namespace wrsn {
+
+struct Sensor {
+  SensorId id = kInvalidId;
+  Vec2 pos;
+  Battery battery;
+
+  // Cluster assignment: the target this sensor currently belongs to
+  // (kInvalidId when unclustered).
+  TargetId assigned_target = kInvalidId;
+  // True while this sensor is the cluster's active monitor.
+  bool monitoring = false;
+  // True once the sensor's request is sitting in the recharge node list,
+  // until an RV fulfils it.
+  bool recharge_requested = false;
+
+  [[nodiscard]] bool alive() const { return !battery.depleted(); }
+  [[nodiscard]] bool below_threshold(double threshold_fraction) const {
+    return battery.fraction() < threshold_fraction;
+  }
+};
+
+struct Target {
+  TargetId id = kInvalidId;
+  Vec2 pos;
+};
+
+}  // namespace wrsn

@@ -1,0 +1,86 @@
+#include "net/traffic.hpp"
+
+#include "core/error.hpp"
+
+namespace wrsn {
+
+void TrafficModel::reset(std::size_t num_sensors) {
+  tx_rate_.assign(num_sensors, 0.0);
+  rx_rate_.assign(num_sensors, 0.0);
+  delivery_rate_ = 0.0;
+  routes_.clear();
+}
+
+void TrafficModel::apply(const SourceFlow& flow, SensorId source, double sign) {
+  const double r = sign * flow.rate_pps;
+  if (flow.relay_path.empty()) {
+    // Unreachable source: it still transmits (and wastes energy), nothing is
+    // relayed or delivered.
+    tx_rate_[source] += r;
+    return;
+  }
+  for (std::size_t i = 0; i < flow.relay_path.size(); ++i) {
+    const std::size_t node = flow.relay_path[i];
+    tx_rate_[node] += r;
+    if (i > 0) rx_rate_[node] += r;  // relays receive before forwarding
+  }
+  delivery_rate_ += r;
+}
+
+void TrafficModel::add_source(const RoutingTree& tree, SensorId source,
+                              double rate_pps) {
+  WRSN_REQUIRE(source < tx_rate_.size(), "source id out of range");
+  WRSN_REQUIRE(rate_pps >= 0.0, "packet rate must be non-negative");
+  WRSN_REQUIRE(!routes_.contains(source), "source already registered");
+
+  SourceFlow flow{rate_pps, {}};
+  if (tree.built() && tree.reachable(source)) {
+    flow.relay_path = tree.path_to_base(source);
+    flow.relay_path.pop_back();  // drop the BS node
+  }
+  apply(flow, source, +1.0);
+  routes_.emplace(source, std::move(flow));
+}
+
+void TrafficModel::remove_source(SensorId source) {
+  auto it = routes_.find(source);
+  WRSN_REQUIRE(it != routes_.end(), "source not registered");
+  apply(it->second, source, -1.0);
+  routes_.erase(it);
+}
+
+void TrafficModel::clear_sources() {
+  for (const auto& [source, flow] : routes_) apply(flow, source, -1.0);
+  routes_.clear();
+}
+
+void TrafficModel::reroute(const RoutingTree& tree) {
+  std::vector<std::pair<SensorId, double>> sources;
+  sources.reserve(routes_.size());
+  for (const auto& [source, flow] : routes_) sources.emplace_back(source, flow.rate_pps);
+  clear_sources();
+  for (const auto& [source, rate] : sources) add_source(tree, source, rate);
+}
+
+double TrafficModel::average_delivery_hops() const {
+  double weighted = 0.0;
+  double total = 0.0;
+  for (const auto& [source, flow] : routes_) {
+    if (flow.relay_path.empty() || flow.rate_pps <= 0.0) continue;
+    // Path holds source + relays; hop count includes the final hop to BS.
+    weighted += flow.rate_pps * static_cast<double>(flow.relay_path.size());
+    total += flow.rate_pps;
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
+
+Watt TrafficModel::radio_power(SensorId s, const RadioModel& radio) const {
+  WRSN_REQUIRE(s < tx_rate_.size(), "sensor id out of range");
+  // rate (1/s) x energy-per-packet (J) = power (W); plus the duty-cycled
+  // idle-listening floor.
+  return radio.idle_power + radio.listen_duty_cycle * radio.rx_power +
+         Watt{tx_rate_[s] * radio.tx_energy_per_packet().value()} +
+         Watt{rx_rate_[s] * radio.rx_energy_per_packet().value()};
+}
+
+}  // namespace wrsn

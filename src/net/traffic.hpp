@@ -1,0 +1,76 @@
+#pragma once
+// Flow-rate traffic accounting.
+//
+// Active monitors generate lambda pkt/min towards the base station over the
+// routing tree. Rather than simulating packets, we keep per-node transmit /
+// receive packet *rates* (pkt/s); combined with the per-packet radio
+// energies this yields each node's radio power draw, which is exactly what
+// the analytic battery model needs. Source routes are captured when a source
+// is added so removal subtracts the identical path even if the tree has been
+// rebuilt in between.
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/units.hpp"
+#include "net/ids.hpp"
+#include "net/routing.hpp"
+
+namespace wrsn {
+
+class TrafficModel {
+ public:
+  TrafficModel() = default;
+  explicit TrafficModel(std::size_t num_sensors) { reset(num_sensors); }
+
+  void reset(std::size_t num_sensors);
+
+  [[nodiscard]] std::size_t num_sensors() const { return tx_rate_.size(); }
+  [[nodiscard]] std::size_t num_sources() const { return routes_.size(); }
+  [[nodiscard]] bool has_source(SensorId s) const { return routes_.contains(s); }
+
+  // Registers `source` emitting `rate_pps` packets/s along its current tree
+  // path. A source whose route is unreachable still spends transmit energy
+  // on its own packets (it keeps trying) but relays nothing. No-op guard:
+  // a source may be added only once.
+  void add_source(const RoutingTree& tree, SensorId source, double rate_pps);
+  void remove_source(SensorId source);
+  // Drops all sources (used before a full re-register on re-clustering).
+  void clear_sources();
+
+  // Re-resolves every registered source's route against `tree`, keeping
+  // rates. Called after the routing tree is rebuilt on a topology change.
+  void reroute(const RoutingTree& tree);
+
+  [[nodiscard]] double tx_rate(SensorId s) const { return tx_rate_[s]; }
+  [[nodiscard]] double rx_rate(SensorId s) const { return rx_rate_[s]; }
+
+  // Aggregate packet rate currently reaching the base station.
+  [[nodiscard]] double delivery_rate() const { return delivery_rate_; }
+
+  // Rate-weighted mean hop count of delivered traffic (a per-packet latency
+  // proxy: end-to-end delay ~ hops x per-hop service time). 0 when nothing
+  // is being delivered.
+  [[nodiscard]] double average_delivery_hops() const;
+
+  // Radio power draw of sensor s under `radio` (tx + rx + idle floor).
+  [[nodiscard]] Watt radio_power(SensorId s, const RadioModel& radio) const;
+
+ private:
+  struct SourceFlow {
+    double rate_pps;
+    // Path sensor -> ... -> BS, excluding the BS node itself; empty when the
+    // source could not reach the base station at registration time.
+    std::vector<std::size_t> relay_path;
+  };
+
+  void apply(const SourceFlow& flow, SensorId source, double sign);
+
+  std::vector<double> tx_rate_;
+  std::vector<double> rx_rate_;
+  double delivery_rate_ = 0.0;
+  std::unordered_map<SensorId, SourceFlow> routes_;
+};
+
+}  // namespace wrsn

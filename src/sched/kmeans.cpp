@@ -1,0 +1,134 @@
+#include "sched/kmeans.hpp"
+
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace wrsn {
+
+namespace {
+
+std::vector<Vec2> kmeanspp_init(const std::vector<Vec2>& points, std::size_t k,
+                                Xoshiro256& rng) {
+  std::vector<Vec2> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng.uniform_int(points.size())]);
+  std::vector<double> d2(points.size());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const Vec2& c : centroids) {
+        best = std::min(best, squared_distance(points[i], c));
+      }
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with a centroid; duplicate one.
+      centroids.push_back(points[rng.uniform_int(points.size())]);
+      continue;
+    }
+    double pick = rng.uniform() * total;
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      pick -= d2[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+double wcss_of(const std::vector<Vec2>& points,
+               const std::vector<std::size_t>& assignment,
+               const std::vector<Vec2>& centroids) {
+  WRSN_REQUIRE(assignment.size() == points.size(), "assignment size mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    WRSN_REQUIRE(assignment[i] < centroids.size(), "cluster index out of range");
+    total += squared_distance(points[i], centroids[assignment[i]]);
+  }
+  return total;
+}
+
+KMeansResult kmeans(const std::vector<Vec2>& points, std::size_t k,
+                    Xoshiro256& rng, std::size_t max_iterations) {
+  WRSN_REQUIRE(k > 0, "k must be positive");
+  KMeansResult result;
+  if (points.empty()) {
+    result.converged = true;
+    return result;
+  }
+  if (k >= points.size()) {
+    result.assignment.resize(points.size());
+    result.centroids = points;
+    for (std::size_t i = 0; i < points.size(); ++i) result.assignment[i] = i;
+    result.converged = true;
+    return result;
+  }
+
+  result.centroids = kmeanspp_init(points, k, rng);
+  result.assignment.assign(points.size(), 0);
+
+  for (result.iterations = 1; result.iterations <= max_iterations;
+       ++result.iterations) {
+    // Assignment step.
+    bool changed = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = squared_distance(points[i], result.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (result.assignment[i] != best_c) {
+        result.assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    // Update step.
+    std::vector<Vec2> sums(k, Vec2{});
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      sums[result.assignment[i]] += points[i];
+      ++counts[result.assignment[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] > 0) {
+        result.centroids[c] = sums[c] / static_cast<double>(counts[c]);
+      } else {
+        // Re-seed an empty cluster on the farthest point from its centroid.
+        double far_d = -1.0;
+        std::size_t far_i = 0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+          const double d =
+              squared_distance(points[i], result.centroids[result.assignment[i]]);
+          if (d > far_d) {
+            far_d = d;
+            far_i = i;
+          }
+        }
+        result.centroids[c] = points[far_i];
+        result.assignment[far_i] = c;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.wcss = wcss_of(points, result.assignment, result.centroids);
+  return result;
+}
+
+}  // namespace wrsn

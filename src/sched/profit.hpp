@@ -1,0 +1,30 @@
+#pragma once
+// Recharge profit (Section IV): energy delivered minus RV traveling energy,
+// the objective of expression (2) and the selection rule of Algorithms 2/3.
+
+#include "core/units.hpp"
+#include "geom/vec2.hpp"
+#include "sched/request.hpp"
+
+namespace wrsn {
+
+// Profit of driving from `from` straight to `item` and serving it:
+//   demand - e_m * dist(from, item.pos)
+[[nodiscard]] inline Joule recharge_profit(Vec2 from, const RechargeItem& item,
+                                           JoulePerMeter em) {
+  return item.demand - em * Meter{distance(from, item.pos)};
+}
+
+// Detour length of inserting point `p` between `a` and `b`.
+[[nodiscard]] inline double insertion_detour(Vec2 a, Vec2 b, Vec2 p) {
+  return distance(a, p) + distance(p, b) - distance(a, b);
+}
+
+// Profit difference p(s, n) of Algorithm 3: demand gained minus the traction
+// energy of the detour.
+[[nodiscard]] inline Joule insertion_profit(Vec2 a, Vec2 b, const RechargeItem& item,
+                                            JoulePerMeter em) {
+  return item.demand - em * Meter{insertion_detour(a, b, item.pos)};
+}
+
+}  // namespace wrsn

@@ -1,0 +1,82 @@
+#include "sched/request.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/error.hpp"
+
+namespace wrsn {
+
+void RechargeNodeList::add(RechargeRequest request) {
+  WRSN_REQUIRE(request.sensor != kInvalidId, "request needs a sensor id");
+  WRSN_REQUIRE(request.demand.value() >= 0.0, "demand must be non-negative");
+  WRSN_REQUIRE(!contains(request.sensor), "sensor already has a pending request");
+  requests_.push_back(std::move(request));
+}
+
+bool RechargeNodeList::remove(SensorId sensor) {
+  const auto it = std::find_if(requests_.begin(), requests_.end(),
+                               [&](const RechargeRequest& r) { return r.sensor == sensor; });
+  if (it == requests_.end()) return false;
+  requests_.erase(it);
+  return true;
+}
+
+bool RechargeNodeList::contains(SensorId sensor) const {
+  return std::any_of(requests_.begin(), requests_.end(),
+                     [&](const RechargeRequest& r) { return r.sensor == sensor; });
+}
+
+void RechargeNodeList::update(SensorId sensor, Joule demand, bool critical,
+                              double fraction) {
+  const auto it = std::find_if(requests_.begin(), requests_.end(),
+                               [&](const RechargeRequest& r) { return r.sensor == sensor; });
+  WRSN_REQUIRE(it != requests_.end(), "no pending request for sensor");
+  it->demand = demand;
+  it->critical = critical;
+  it->fraction = fraction;
+}
+
+std::vector<RechargeItem> aggregate_requests(
+    const std::vector<RechargeRequest>& requests) {
+  std::map<ClusterId, RechargeItem> clusters;  // ordered -> deterministic output
+  std::vector<RechargeItem> singles;
+
+  for (const RechargeRequest& r : requests) {
+    if (r.cluster == kInvalidId) {
+      RechargeItem item;
+      item.pos = r.pos;
+      item.demand = r.demand;
+      item.critical = r.critical;
+      item.min_fraction = r.fraction;
+      item.sensors = {r.sensor};
+      singles.push_back(std::move(item));
+      continue;
+    }
+    RechargeItem& item = clusters[r.cluster];
+    if (item.sensors.empty()) {
+      item.cluster = r.cluster;
+      item.pos = {0.0, 0.0};
+    }
+    item.pos += r.pos;  // centroid accumulated, divided below
+    item.demand += r.demand;
+    item.critical = item.critical || r.critical;
+    item.min_fraction = std::min(item.min_fraction, r.fraction);
+    item.sensors.push_back(r.sensor);
+  }
+
+  std::vector<RechargeItem> items;
+  items.reserve(clusters.size() + singles.size());
+  for (auto& [cid, item] : clusters) {
+    item.pos = item.pos / static_cast<double>(item.sensors.size());
+    items.push_back(std::move(item));
+  }
+  std::sort(singles.begin(), singles.end(),
+            [](const RechargeItem& a, const RechargeItem& b) {
+              return a.sensors.front() < b.sensors.front();
+            });
+  for (auto& s : singles) items.push_back(std::move(s));
+  return items;
+}
+
+}  // namespace wrsn

@@ -1,0 +1,67 @@
+#pragma once
+// The recharge node list R (Section II-A) and its cluster-aggregated view.
+//
+// Sensors whose cluster's ERP trigger fired are appended here by the base
+// station. Before route planning, per-sensor requests belonging to the same
+// cluster are folded into one RechargeItem with the aggregated demand
+// (Section IV-C: "all energy demands from sensors inside a cluster are
+// replaced by an aggregated cluster energy demand"), positioned at the
+// cluster centroid. Unclustered sensors become single-node items.
+
+#include <vector>
+
+#include "core/units.hpp"
+#include "geom/vec2.hpp"
+#include "net/ids.hpp"
+
+namespace wrsn {
+
+struct RechargeRequest {
+  SensorId sensor = kInvalidId;
+  ClusterId cluster = kInvalidId;  // kInvalidId when unclustered
+  Vec2 pos;
+  Joule demand;
+  // Set when the sensor's level is below the critical fraction; critical
+  // clusters are prioritized in destination selection (Section III-C).
+  bool critical = false;
+  // Battery fraction at the last status refresh (deadline proxy used by the
+  // EDF extension scheduler).
+  double fraction = 0.0;
+};
+
+class RechargeNodeList {
+ public:
+  void add(RechargeRequest request);
+  // Removes the request of `sensor`; returns whether one existed.
+  bool remove(SensorId sensor);
+  void clear() { requests_.clear(); }
+
+  [[nodiscard]] bool empty() const { return requests_.empty(); }
+  [[nodiscard]] std::size_t size() const { return requests_.size(); }
+  [[nodiscard]] bool contains(SensorId sensor) const;
+  [[nodiscard]] const std::vector<RechargeRequest>& requests() const { return requests_; }
+
+  // Refreshes demand/critical/fraction of an existing request (levels keep
+  // dropping while the request waits).
+  void update(SensorId sensor, Joule demand, bool critical, double fraction);
+
+ private:
+  std::vector<RechargeRequest> requests_;
+};
+
+// One unit of work for the route planners: a cluster batch or a lone node.
+struct RechargeItem {
+  Vec2 pos;                      // cluster centroid or node position
+  Joule demand;                  // aggregated energy demand
+  bool critical = false;         // any member critical
+  double min_fraction = 1.0;     // lowest member battery fraction (EDF key)
+  ClusterId cluster = kInvalidId;
+  std::vector<SensorId> sensors;  // the underlying requests
+};
+
+// Folds the raw request list into planner items. Ordering is deterministic:
+// clusters by ascending cluster id, then unclustered nodes by sensor id.
+[[nodiscard]] std::vector<RechargeItem> aggregate_requests(
+    const std::vector<RechargeRequest>& requests);
+
+}  // namespace wrsn

@@ -1,0 +1,63 @@
+#pragma once
+// Discrete-event queue with lazy invalidation.
+//
+// Events are ordered by (time, insertion sequence) so simultaneous events
+// fire in a deterministic order. Predicted events (battery crossings, RV
+// arrivals) carry the epoch of their subject at scheduling time; when the
+// subject's state changes, its epoch is bumped and stale queue entries are
+// discarded on pop instead of being deleted in place.
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace wrsn {
+
+enum class EventKind : std::uint8_t {
+  kSlotRotation,    // global round-robin handover tick
+  kTargetMove,      // subject = target id
+  kSensorCrossing,  // subject = sensor id (threshold or death, epoch-guarded)
+  kRvArrival,       // subject = RV id (epoch-guarded)
+  kRvChargeDone,    // subject = RV id (epoch-guarded)
+  kRvBaseChargeDone,  // subject = RV id (epoch-guarded)
+  kMetricsSample,   // time-series sampling tick
+  kSimEnd,
+};
+
+struct Event {
+  double time = 0.0;
+  std::uint64_t seq = 0;  // FIFO tie-break for equal times
+  EventKind kind = EventKind::kSimEnd;
+  std::size_t subject = 0;
+  std::uint64_t epoch = 0;
+};
+
+class EventQueue {
+ public:
+  void push(double time, EventKind kind, std::size_t subject = 0,
+            std::uint64_t epoch = 0) {
+    heap_.push(Event{time, next_seq_++, kind, subject, epoch});
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] const Event& top() const { return heap_.top(); }
+
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace wrsn

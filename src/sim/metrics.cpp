@@ -1,0 +1,113 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "core/json.hpp"
+
+namespace wrsn {
+
+void MetricsIntegrator::advance(Second dt, const StateSnapshot& snap) {
+  WRSN_REQUIRE(dt.value() >= 0.0, "cannot integrate backwards");
+  const double s = dt.value();
+  if (s == 0.0) return;
+  covered_time_ += s * static_cast<double>(snap.covered_targets);
+  coverable_time_ += s * static_cast<double>(snap.coverable_targets);
+  alive_time_ += s * static_cast<double>(snap.alive_sensors);
+  dead_time_ += s * static_cast<double>(snap.total_sensors - snap.alive_sensors);
+  report_.packets_delivered += s * snap.delivery_rate_pps;
+  hop_packet_integral_ += s * snap.delivery_rate_pps * snap.avg_delivery_hops;
+  elapsed_ += s;
+}
+
+void MetricsIntegrator::on_rv_leg(Meter dist, Joule traction) {
+  report_.rv_travel_distance += dist;
+  report_.rv_travel_energy += traction;
+}
+
+void MetricsIntegrator::on_recharge(std::size_t sensor, Joule delivered,
+                                    Second request_latency) {
+  report_.energy_recharged += delivered;
+  ++report_.sensors_recharged;
+  latency_sum_ += request_latency.value();
+  latencies_.push_back(request_latency.value());
+  ++recharge_counts_[sensor];
+}
+
+void MetricsIntegrator::on_rv_base_recharge(Joule drawn) {
+  report_.rv_base_energy_drawn += drawn;
+  ++report_.rv_base_recharges;
+}
+
+MetricsReport MetricsIntegrator::finalize(Second duration) const {
+  MetricsReport out = report_;
+  out.duration = duration;
+  const double t = elapsed_ > 0.0 ? elapsed_ : 1.0;
+  out.coverage_ratio = coverable_time_ > 0.0 ? covered_time_ / coverable_time_ : 1.0;
+  out.missing_rate = 1.0 - out.coverage_ratio;
+  out.avg_alive_sensors = alive_time_ / t;
+  out.nonfunctional_pct =
+      100.0 * dead_time_ / (alive_time_ + dead_time_ > 0.0 ? alive_time_ + dead_time_ : 1.0);
+  out.avg_coverable_targets = coverable_time_ / t;
+  out.avg_request_latency = Second{
+      out.sensors_recharged > 0 ? latency_sum_ / static_cast<double>(out.sensors_recharged)
+                                : 0.0};
+  out.avg_delivery_hops = out.packets_delivered > 0.0
+                              ? hop_packet_integral_ / out.packets_delivered
+                              : 0.0;
+  if (!latencies_.empty()) {
+    std::vector<double> sorted = latencies_;
+    std::sort(sorted.begin(), sorted.end());
+    auto quantile = [&](double q) {
+      const auto idx = static_cast<std::size_t>(
+          q * static_cast<double>(sorted.size() - 1) + 0.5);
+      return sorted[std::min(idx, sorted.size() - 1)];
+    };
+    out.p50_request_latency = Second{quantile(0.50)};
+    out.p95_request_latency = Second{quantile(0.95)};
+    out.max_request_latency = Second{sorted.back()};
+  }
+  if (!recharge_counts_.empty()) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (const auto& [sensor, count] : recharge_counts_) {
+      sum += count;
+      sum_sq += static_cast<double>(count) * count;
+    }
+    out.recharge_fairness_jain =
+        sum * sum / (static_cast<double>(recharge_counts_.size()) * sum_sq);
+  }
+  return out;
+}
+
+std::string to_json(const MetricsReport& r) {
+  JsonWriter w;
+  w.begin_object()
+      .field("duration_s", r.duration.value())
+      .field("rv_travel_energy_j", r.rv_travel_energy.value())
+      .field("rv_travel_distance_m", r.rv_travel_distance.value())
+      .field("energy_recharged_j", r.energy_recharged.value())
+      .field("rv_base_energy_drawn_j", r.rv_base_energy_drawn.value())
+      .field("objective_score_j", r.objective_score().value())
+      .field("coverage_ratio", r.coverage_ratio)
+      .field("missing_rate", r.missing_rate)
+      .field("nonfunctional_pct", r.nonfunctional_pct)
+      .field("avg_alive_sensors", r.avg_alive_sensors)
+      .field("avg_coverable_targets", r.avg_coverable_targets)
+      .field("recharging_cost_m_per_sensor", r.recharging_cost_m_per_sensor())
+      .field("packets_delivered", r.packets_delivered)
+      .field("avg_delivery_hops", r.avg_delivery_hops)
+      .field("sensor_deaths", static_cast<std::uint64_t>(r.sensor_deaths))
+      .field("recharge_requests", static_cast<std::uint64_t>(r.recharge_requests))
+      .field("sensors_recharged", static_cast<std::uint64_t>(r.sensors_recharged))
+      .field("rv_tours", static_cast<std::uint64_t>(r.rv_tours))
+      .field("rv_base_recharges", static_cast<std::uint64_t>(r.rv_base_recharges))
+      .field("avg_request_latency_s", r.avg_request_latency.value())
+      .field("p50_request_latency_s", r.p50_request_latency.value())
+      .field("p95_request_latency_s", r.p95_request_latency.value())
+      .field("max_request_latency_s", r.max_request_latency.value())
+      .field("recharge_fairness_jain", r.recharge_fairness_jain)
+      .end_object();
+  return w.str();
+}
+
+}  // namespace wrsn

@@ -1,0 +1,78 @@
+#include "sim/runner.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "sim/world.hpp"
+
+namespace wrsn {
+
+MetricsReport run_replica(const SimConfig& config) {
+  World world(config);
+  return world.run();
+}
+
+MetricsReport mean_report(const std::vector<MetricsReport>& reports) {
+  WRSN_REQUIRE(!reports.empty(), "cannot average zero reports");
+  MetricsReport mean;
+  mean.recharge_fairness_jain = 0.0;  // default is 1.0; accumulate from zero
+  const double n = static_cast<double>(reports.size());
+  double deaths = 0.0, requests = 0.0, recharged = 0.0, tours = 0.0,
+         base_recharges = 0.0, latency = 0.0;
+  for (const MetricsReport& r : reports) {
+    mean.duration += r.duration / n;
+    mean.rv_travel_energy += r.rv_travel_energy / n;
+    mean.rv_travel_distance += r.rv_travel_distance / n;
+    mean.energy_recharged += r.energy_recharged / n;
+    mean.rv_base_energy_drawn += r.rv_base_energy_drawn / n;
+    mean.coverage_ratio += r.coverage_ratio / n;
+    mean.missing_rate += r.missing_rate / n;
+    mean.nonfunctional_pct += r.nonfunctional_pct / n;
+    mean.avg_alive_sensors += r.avg_alive_sensors / n;
+    mean.avg_coverable_targets += r.avg_coverable_targets / n;
+    mean.packets_delivered += r.packets_delivered / n;
+    mean.avg_delivery_hops += r.avg_delivery_hops / n;
+    deaths += static_cast<double>(r.sensor_deaths) / n;
+    requests += static_cast<double>(r.recharge_requests) / n;
+    recharged += static_cast<double>(r.sensors_recharged) / n;
+    tours += static_cast<double>(r.rv_tours) / n;
+    base_recharges += static_cast<double>(r.rv_base_recharges) / n;
+    latency += r.avg_request_latency.value() / n;
+    mean.p50_request_latency += r.p50_request_latency / n;
+    mean.p95_request_latency += r.p95_request_latency / n;
+    mean.max_request_latency =
+        std::max(mean.max_request_latency, r.max_request_latency);
+    mean.recharge_fairness_jain += r.recharge_fairness_jain / n;
+  }
+  mean.sensor_deaths = static_cast<std::size_t>(deaths + 0.5);
+  mean.recharge_requests = static_cast<std::size_t>(requests + 0.5);
+  mean.sensors_recharged = static_cast<std::size_t>(recharged + 0.5);
+  mean.rv_tours = static_cast<std::size_t>(tours + 0.5);
+  mean.rv_base_recharges = static_cast<std::size_t>(base_recharges + 0.5);
+  mean.avg_request_latency = Second{latency};
+  return mean;
+}
+
+std::vector<MetricsReport> run_replicas(const SimConfig& config,
+                                        std::size_t num_replicas, ThreadPool* pool) {
+  WRSN_REQUIRE(num_replicas > 0, "need at least one replica");
+  std::vector<MetricsReport> reports(num_replicas);
+  auto run_one = [&](std::size_t i) {
+    SimConfig c = config;
+    c.seed = config.seed + i;
+    reports[i] = run_replica(c);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(num_replicas, run_one);
+  } else {
+    for (std::size_t i = 0; i < num_replicas; ++i) run_one(i);
+  }
+  return reports;
+}
+
+MetricsReport run_mean(const SimConfig& config, std::size_t num_replicas,
+                       ThreadPool* pool) {
+  return mean_report(run_replicas(config, num_replicas, pool));
+}
+
+}  // namespace wrsn

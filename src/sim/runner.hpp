@@ -1,0 +1,32 @@
+#pragma once
+// Experiment harness: runs independent replicas (distinct master seeds) of a
+// configuration, optionally in parallel, and averages the reports. All
+// figure benches are parameter sweeps over this.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/thread_pool.hpp"
+#include "sim/metrics.hpp"
+
+namespace wrsn {
+
+// One full simulation of `config` (seed taken from the config).
+[[nodiscard]] MetricsReport run_replica(const SimConfig& config);
+
+// Field-wise arithmetic mean of reports (counters become averages too).
+[[nodiscard]] MetricsReport mean_report(const std::vector<MetricsReport>& reports);
+
+// Runs `num_replicas` replicas with seeds config.seed, config.seed+1, ...
+// When `pool` is non-null the replicas run concurrently on it.
+[[nodiscard]] std::vector<MetricsReport> run_replicas(const SimConfig& config,
+                                                      std::size_t num_replicas,
+                                                      ThreadPool* pool = nullptr);
+
+// Convenience: mean over replicas.
+[[nodiscard]] MetricsReport run_mean(const SimConfig& config,
+                                     std::size_t num_replicas,
+                                     ThreadPool* pool = nullptr);
+
+}  // namespace wrsn

@@ -1,0 +1,46 @@
+#pragma once
+// Runtime state of one Recharging Vehicle.
+//
+// The world moves RVs between states; the struct itself only holds data.
+// Positions are exact at event boundaries (departure/arrival); travel energy
+// is deducted at departure, which is safe because a leg is only started when
+// the full leg plus the return reserve fits in the battery.
+
+#include <deque>
+
+#include "energy/battery.hpp"
+#include "geom/vec2.hpp"
+#include "net/ids.hpp"
+
+namespace wrsn {
+
+struct Rv {
+  enum class State {
+    kIdle,          // at base (or parked in field), awaiting work
+    kTraveling,     // en route to service_queue.front()
+    kCharging,      // parked at a sensor, transferring energy
+    kReturning,     // en route to base
+    kSelfCharging,  // docked, refilling its own battery
+  };
+
+  RvId id = kInvalidId;
+  Vec2 pos;
+  Battery battery;
+  State state = State::kIdle;
+  bool in_field = false;  // true between tour start and base return
+
+  // Flattened node visiting order for the current plan.
+  std::deque<SensorId> service_queue;
+
+  // Epoch guard for this RV's pending arrival/charge-done events.
+  std::uint64_t epoch = 0;
+
+  // Per-vehicle odometer and delivery counters (metres / joules / count).
+  double distance_traveled = 0.0;
+  double energy_delivered = 0.0;
+  std::size_t nodes_served = 0;
+
+  [[nodiscard]] bool idle() const { return state == State::kIdle; }
+};
+
+}  // namespace wrsn

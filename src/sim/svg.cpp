@@ -1,0 +1,162 @@
+#include "sim/svg.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace wrsn {
+
+namespace {
+
+// Battery fraction -> green..red ramp.
+std::string battery_color(double fraction) {
+  const double f = std::clamp(fraction, 0.0, 1.0);
+  const int r = static_cast<int>(220.0 * (1.0 - f) + 30.0 * f);
+  const int g = static_cast<int>(40.0 * (1.0 - f) + 170.0 * f);
+  std::ostringstream os;
+  os << "rgb(" << r << ',' << g << ",60)";
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_svg(const World& world, const SvgOptions& options) {
+  WRSN_REQUIRE(options.pixels_per_meter > 0.0, "scale must be positive");
+  const Network& net = world.network();
+  const double side = net.config().field_side.value();
+  const double s = options.pixels_per_meter;
+  const double margin = 12.0 * 1.0;
+  const double size = side * s + 2 * margin;
+  const double legend_height = options.draw_legend ? 58.0 : 0.0;
+
+  std::ostringstream svg;
+  svg << std::fixed << std::setprecision(2);
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << size
+      << "\" height=\"" << size + legend_height << "\" viewBox=\"0 0 " << size
+      << ' ' << size + legend_height << "\">\n";
+  svg << "<rect x=\"0\" y=\"0\" width=\"" << size << "\" height=\""
+      << size + legend_height << "\" fill=\"#fcfcf8\"/>\n";
+  svg << "<rect x=\"" << margin << "\" y=\"" << margin << "\" width=\""
+      << side * s << "\" height=\"" << side * s
+      << "\" fill=\"none\" stroke=\"#333\" stroke-width=\"1\"/>\n";
+
+  auto px = [&](Vec2 p) {
+    // SVG y grows downward; flip so the plot reads like the field.
+    return Vec2{margin + p.x * s, margin + (side - p.y) * s};
+  };
+
+  if (options.draw_comm_edges) {
+    svg << "<g stroke=\"#d8d8e8\" stroke-width=\"0.4\">\n";
+    const CommGraph& g = net.graph();
+    std::vector<Vec2> all;
+    for (const Sensor& sensor : net.sensors()) all.push_back(sensor.pos);
+    all.push_back(net.base_station());
+    for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+      for (const CommGraph::Edge& e : g.neighbors(u)) {
+        if (e.to < u) continue;  // draw each edge once
+        const Vec2 a = px(all[u]);
+        const Vec2 b = px(all[e.to]);
+        svg << "<line x1=\"" << a.x << "\" y1=\"" << a.y << "\" x2=\"" << b.x
+            << "\" y2=\"" << b.y << "\"/>\n";
+      }
+    }
+    svg << "</g>\n";
+  }
+
+  if (options.draw_cluster_links) {
+    svg << "<g stroke=\"#9db4d0\" stroke-width=\"0.7\">\n";
+    const ClusterSet& cs = world.clusters();
+    for (TargetId t = 0; t < cs.num_clusters(); ++t) {
+      const Vec2 tp = px(net.target(t).pos);
+      for (SensorId m : cs.members[t]) {
+        const Vec2 mp = px(net.sensor(m).pos);
+        svg << "<line x1=\"" << mp.x << "\" y1=\"" << mp.y << "\" x2=\"" << tp.x
+            << "\" y2=\"" << tp.y << "\"/>\n";
+      }
+    }
+    svg << "</g>\n";
+  }
+
+  // Sensors.
+  svg << "<g>\n";
+  for (const Sensor& sensor : net.sensors()) {
+    const Vec2 p = px(sensor.pos);
+    if (!sensor.alive()) {
+      svg << "<g stroke=\"#b02020\" stroke-width=\"1.1\">"
+          << "<line x1=\"" << p.x - 2.4 << "\" y1=\"" << p.y - 2.4 << "\" x2=\""
+          << p.x + 2.4 << "\" y2=\"" << p.y + 2.4 << "\"/>"
+          << "<line x1=\"" << p.x - 2.4 << "\" y1=\"" << p.y + 2.4 << "\" x2=\""
+          << p.x + 2.4 << "\" y2=\"" << p.y - 2.4 << "\"/></g>\n";
+      continue;
+    }
+    const double radius = sensor.monitoring ? 2.6 : 1.6;
+    svg << "<circle cx=\"" << p.x << "\" cy=\"" << p.y << "\" r=\"" << radius
+        << "\" fill=\"" << battery_color(sensor.battery.fraction()) << '"';
+    if (sensor.monitoring) svg << " stroke=\"#1a4f9c\" stroke-width=\"1.2\"";
+    svg << "/>\n";
+    if (options.draw_sensing_discs && sensor.monitoring) {
+      svg << "<circle cx=\"" << p.x << "\" cy=\"" << p.y << "\" r=\""
+          << net.config().sensing_range.value() * s
+          << "\" fill=\"none\" stroke=\"#1a4f9c\" stroke-width=\"0.5\" "
+             "stroke-dasharray=\"3,3\"/>\n";
+    }
+  }
+  svg << "</g>\n";
+
+  // Targets.
+  for (const Target& t : net.targets()) {
+    const Vec2 p = px(t.pos);
+    svg << "<path d=\"M " << p.x << ' ' << p.y - 4.4 << " L " << p.x + 4.0 << ' '
+        << p.y + 3.2 << " L " << p.x - 4.0 << ' ' << p.y + 3.2
+        << " Z\" fill=\"#e0a020\" stroke=\"#7a5200\" stroke-width=\"0.8\"/>\n";
+  }
+
+  // Base station.
+  {
+    const Vec2 p = px(net.base_station());
+    svg << "<rect x=\"" << p.x - 4.0 << "\" y=\"" << p.y - 4.0
+        << "\" width=\"8\" height=\"8\" fill=\"#333\"/>\n";
+  }
+
+  // RVs.
+  for (const Rv& rv : world.rvs()) {
+    const Vec2 p = px(rv.pos);
+    svg << "<rect x=\"" << p.x - 3.2 << "\" y=\"" << p.y - 3.2
+        << "\" width=\"6.4\" height=\"6.4\" rx=\"1.5\" fill=\"#7030a0\" "
+           "stroke=\"#3c1060\" stroke-width=\"0.8\"/>\n";
+  }
+
+  if (options.draw_legend) {
+    const double y0 = size + 8.0;
+    svg << "<g font-family=\"sans-serif\" font-size=\"10\" fill=\"#222\">\n"
+        << "<circle cx=\"" << margin + 6 << "\" cy=\"" << y0 + 4
+        << "\" r=\"2.6\" fill=\"" << battery_color(1.0)
+        << "\" stroke=\"#1a4f9c\" stroke-width=\"1.2\"/>"
+        << "<text x=\"" << margin + 14 << "\" y=\"" << y0 + 8
+        << "\">active monitor (color = battery)</text>\n"
+        << "<path d=\"M " << margin + 4 << ' ' << y0 + 16 << " l 4 7.6 l -8 0 Z\""
+        << " fill=\"#e0a020\"/><text x=\"" << margin + 14 << "\" y=\"" << y0 + 24
+        << "\">target</text>\n"
+        << "<rect x=\"" << margin + 2 << "\" y=\"" << y0 + 32
+        << "\" width=\"6.4\" height=\"6.4\" rx=\"1.5\" fill=\"#7030a0\"/>"
+        << "<text x=\"" << margin + 14 << "\" y=\"" << y0 + 40
+        << "\">recharging vehicle</text>\n"
+        << "<text x=\"" << margin + 160 << "\" y=\"" << y0 + 8 << "\">t = "
+        << world.now().value() / 3600.0 << " h</text>\n"
+        << "</g>\n";
+  }
+
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void save_svg(const std::string& path, const World& world,
+              const SvgOptions& options) {
+  std::ofstream os(path);
+  WRSN_REQUIRE(os.good(), "cannot open '" + path + "' for writing");
+  os << render_svg(world, options);
+}
+
+}  // namespace wrsn

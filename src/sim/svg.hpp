@@ -1,0 +1,29 @@
+#pragma once
+// SVG snapshot rendering of the simulation world: sensors colored by battery
+// level (dead ones crossed), targets with their sensing-coverage clusters,
+// the base station and the RVs. Used by the `visualize` example; handy for
+// debugging schedules and for documentation figures.
+
+#include <string>
+
+#include "sim/world.hpp"
+
+namespace wrsn {
+
+struct SvgOptions {
+  double pixels_per_meter = 4.0;
+  bool draw_cluster_links = true;   // member -> target lines
+  bool draw_sensing_discs = false;  // d_s circle around each active monitor
+  bool draw_comm_edges = false;     // communication graph (dense!)
+  bool draw_legend = true;
+};
+
+// Renders the world's current state (positions, battery levels, activation,
+// RV positions/queues) as a standalone SVG document.
+[[nodiscard]] std::string render_svg(const World& world, const SvgOptions& options = {});
+
+// Writes render_svg() output to a file; throws on I/O failure.
+void save_svg(const std::string& path, const World& world,
+              const SvgOptions& options = {});
+
+}  // namespace wrsn

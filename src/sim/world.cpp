@@ -1,0 +1,429 @@
+#include "sim/world.hpp"
+
+#include <algorithm>
+
+#include "activity/erp.hpp"
+#include "core/error.hpp"
+#include "net/deployment.hpp"
+
+namespace wrsn {
+
+namespace {
+// Scheduled crossings overshoot by this much so the crossing condition is
+// strictly satisfied at the handler despite floating-point residue.
+constexpr double kTimeEps = 1e-6;
+}  // namespace
+
+World::World(const SimConfig& config)
+    : config_(config),
+      streams_(config.seed),
+      target_rng_(streams_.stream("targets")),
+      sched_rng_(streams_.stream("scheduler")),
+      net_([&] {
+        config.validate();
+        Xoshiro256 deploy = streams_.stream("deployment");
+        Xoshiro256 placement = streams_.stream("target-placement");
+        return Network(config, deploy, placement);
+      }()),
+      traffic_(config.num_sensors) {
+  end_ = config_.sim_duration.value();
+
+  request_time_.assign(config_.num_sensors, -1.0);
+  drain_.assign(config_.num_sensors, 0.0);
+  sensor_epoch_.assign(config_.num_sensors, 0);
+
+  target_waypoint_.resize(config_.num_targets);
+  target_dwelling_.assign(config_.num_targets, true);
+  for (TargetId t = 0; t < config_.num_targets; ++t) {
+    target_waypoint_[t] = net_.target(t).pos;  // first event picks a waypoint
+  }
+
+  rvs_.resize(config_.num_rvs);
+  for (RvId r = 0; r < config_.num_rvs; ++r) {
+    rvs_[r].id = r;
+    rvs_[r].pos = net_.base_station();
+    rvs_[r].battery = Battery(config_.rv.capacity);
+  }
+
+  recluster();
+
+  // Round-robin handover ticks (only meaningful under the RR policy).
+  if (config_.activation == ActivationPolicy::kRoundRobin) {
+    queue_.push(config_.activation_slot.value(), EventKind::kSlotRotation);
+  }
+  // Stagger target relocations: each target's first move is uniform in
+  // (0, period], then periodic.
+  for (TargetId t = 0; t < config_.num_targets; ++t) {
+    const double first = target_rng_.uniform(0.0, config_.target_period.value());
+    queue_.push(first, EventKind::kTargetMove, t);
+  }
+  queue_.push(config_.metrics_sample_period.value(), EventKind::kMetricsSample);
+}
+
+MetricsReport World::run() {
+  run_until(Second{end_});
+  return report();
+}
+
+void World::run_until(Second t_in) {
+  const double t = std::min(t_in.value(), end_);
+  if (t <= now_) return;  // past or current horizon: nothing to do
+  while (!queue_.empty() && queue_.top().time <= t) {
+    const Event ev = queue_.pop();
+    // Lazy invalidation: predicted events must match their subject's epoch.
+    if (ev.kind == EventKind::kSensorCrossing &&
+        ev.epoch != sensor_epoch_[ev.subject]) {
+      continue;
+    }
+    if ((ev.kind == EventKind::kRvArrival || ev.kind == EventKind::kRvChargeDone ||
+         ev.kind == EventKind::kRvBaseChargeDone) &&
+        ev.epoch != rvs_[ev.subject].epoch) {
+      continue;
+    }
+    advance_to(ev.time);
+    handle(ev);
+    if (tracer_) tracer_({ev.time, ev.kind, ev.subject});
+  }
+  advance_to(t);
+  if (t >= end_) finished_ = true;
+}
+
+void World::inject_sensor_failure(SensorId s) {
+  WRSN_REQUIRE(s < net_.num_sensors(), "sensor id out of range");
+  Sensor& sensor = net_.sensor(s);
+  if (!sensor.alive()) return;  // already down
+  sensor.battery.drain(sensor.battery.level());
+  ++sensor_epoch_[s];
+  handle_death(s);
+  dispatch();
+}
+
+MetricsReport World::report() const { return metrics_.finalize(Second{now_}); }
+
+void World::handle(const Event& ev) {
+  switch (ev.kind) {
+    case EventKind::kSlotRotation: on_slot_rotation(); break;
+    case EventKind::kTargetMove: on_target_move(ev.subject); break;
+    case EventKind::kSensorCrossing: on_sensor_crossing(ev.subject); break;
+    case EventKind::kRvArrival: on_rv_arrival(ev.subject); break;
+    case EventKind::kRvChargeDone: on_rv_charge_done(ev.subject); break;
+    case EventKind::kRvBaseChargeDone: on_rv_base_charge_done(ev.subject); break;
+    case EventKind::kMetricsSample:
+      record_sample();
+      queue_.push(now_ + config_.metrics_sample_period.value(),
+                  EventKind::kMetricsSample);
+      break;
+    case EventKind::kSimEnd: break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Continuous state
+// ---------------------------------------------------------------------------
+
+void World::advance_to(double t) {
+  WRSN_ASSERT(t + 1e-9 >= now_, "time went backwards");
+  if (t <= now_) return;
+  const double dt = t - now_;
+  metrics_.advance(Second{dt}, snapshot());
+  for (SensorId s = 0; s < drain_.size(); ++s) {
+    if (drain_[s] > 0.0) {
+      // drain() clamps at empty; account only what actually left the cell.
+      sensor_energy_consumed_ +=
+          net_.sensor(s).battery.drain(Joule{drain_[s] * dt}).value();
+    }
+  }
+  now_ = t;
+}
+
+StateSnapshot World::snapshot() const {
+  StateSnapshot snap;
+  snap.total_sensors = net_.num_sensors();
+  snap.alive_sensors = net_.alive_count();
+  snap.delivery_rate_pps = traffic_.delivery_rate();
+  snap.avg_delivery_hops = traffic_.average_delivery_hops();
+  for (TargetId t = 0; t < net_.num_targets(); ++t) {
+    if (!coverable_[t]) continue;
+    ++snap.coverable_targets;
+    bool covered = false;
+    if (config_.activation == ActivationPolicy::kRoundRobin) {
+      const SensorId m = active_monitor_[t];
+      covered = m != kInvalidId && net_.sensor(m).alive();
+    } else {
+      for (SensorId s : clusters_.members[t]) {
+        if (net_.sensor(s).alive()) {
+          covered = true;
+          break;
+        }
+      }
+    }
+    if (covered) ++snap.covered_targets;
+  }
+  return snap;
+}
+
+Watt World::sensor_drain(SensorId s) const {
+  const Sensor& sensor = net_.sensor(s);
+  if (!sensor.alive()) return Watt{0.0};
+  const Watt sensing = sensor.monitoring ? config_.sensing.active_power
+                                         : config_.sensing.idle_power;
+  const Watt self_discharge{config_.battery.self_discharge_per_day *
+                            config_.battery.capacity.value() / 86400.0};
+  return sensing + self_discharge + traffic_.radio_power(s, config_.radio);
+}
+
+void World::refresh_drains() {
+  for (SensorId s = 0; s < drain_.size(); ++s) {
+    const double d = sensor_drain(s).value();
+    if (d != drain_[s]) {
+      drain_[s] = d;
+      ++sensor_epoch_[s];
+      schedule_crossing(s);
+    }
+  }
+}
+
+void World::schedule_crossing(SensorId s) {
+  const Sensor& sensor = net_.sensor(s);
+  if (!sensor.alive() || drain_[s] <= 0.0) return;
+  const double level = sensor.battery.level().value();
+  const double threshold = config_.battery.threshold().value();
+  const double target = level > threshold ? threshold : 0.0;
+  const double dt = (level - target) / drain_[s] + kTimeEps;
+  queue_.push(now_ + dt, EventKind::kSensorCrossing, s, sensor_epoch_[s]);
+}
+
+// ---------------------------------------------------------------------------
+// Activity management
+// ---------------------------------------------------------------------------
+
+double World::effective_erp() const {
+  return config_.energy_request_control ? config_.energy_request_percentage : 0.0;
+}
+
+bool World::sensor_critical(SensorId s) const {
+  const Sensor& sensor = net_.sensor(s);
+  return !sensor.alive() || sensor.battery.fraction() < config_.critical_fraction;
+}
+
+void World::recluster() {
+  // Tear down the previous activation state.
+  traffic_.clear_sources();
+  for (Sensor& s : net_.sensors()) s.monitoring = false;
+
+  std::vector<Vec2> sensor_pos;
+  sensor_pos.reserve(net_.num_sensors());
+  std::vector<bool> alive(net_.num_sensors());
+  for (SensorId s = 0; s < net_.num_sensors(); ++s) {
+    sensor_pos.push_back(net_.sensor(s).pos);
+    alive[s] = net_.sensor(s).alive();
+  }
+  std::vector<Vec2> target_pos;
+  target_pos.reserve(net_.num_targets());
+  for (const Target& t : net_.targets()) target_pos.push_back(t.pos);
+
+  clusters_ = balanced_clustering(sensor_pos, target_pos,
+                                  config_.sensing_range.value(), alive);
+  for (SensorId s = 0; s < net_.num_sensors(); ++s) {
+    net_.sensor(s).assigned_target = clusters_.assignment[s];
+  }
+
+  rotors_.assign(net_.num_targets(), ClusterRotor{});
+  active_monitor_.assign(net_.num_targets(), kInvalidId);
+  coverable_.assign(net_.num_targets(), false);
+
+  net_.rebuild_routing();
+
+  const double rate_pps = config_.data_rate_pkt_per_min / 60.0;
+  for (TargetId t = 0; t < net_.num_targets(); ++t) {
+    coverable_[t] = !net_.sensors_covering(net_.target(t).pos).empty();
+    rotors_[t] = ClusterRotor(clusters_.members[t]);
+    if (config_.activation == ActivationPolicy::kRoundRobin) {
+      const SensorId first =
+          rotors_[t].select_first([&](SensorId s) { return net_.sensor(s).alive(); });
+      if (first != kInvalidId) {
+        net_.sensor(first).monitoring = true;
+        active_monitor_[t] = first;
+        traffic_.add_source(net_.routing(), first, rate_pps);
+      }
+    } else {
+      apply_full_time_activation(t);
+    }
+  }
+
+  refresh_drains();
+  for (ClusterId c = 0; c < net_.num_targets(); ++c) evaluate_cluster_requests(c);
+  dispatch();
+}
+
+void World::apply_full_time_activation(TargetId t) {
+  const double rate_pps = config_.data_rate_pkt_per_min / 60.0;
+  for (SensorId s : clusters_.members[t]) {
+    if (!net_.sensor(s).alive()) continue;
+    net_.sensor(s).monitoring = true;
+    traffic_.add_source(net_.routing(), s, rate_pps);
+  }
+}
+
+void World::set_monitor(TargetId t, SensorId s) {
+  const SensorId old = active_monitor_[t];
+  if (old == s) return;
+  if (old != kInvalidId) {
+    net_.sensor(old).monitoring = false;
+    if (traffic_.has_source(old)) traffic_.remove_source(old);
+  }
+  active_monitor_[t] = s;
+  if (s != kInvalidId) {
+    net_.sensor(s).monitoring = true;
+    traffic_.add_source(net_.routing(), s, config_.data_rate_pkt_per_min / 60.0);
+  }
+}
+
+void World::on_slot_rotation() {
+  for (TargetId t = 0; t < net_.num_targets(); ++t) {
+    if (rotors_[t].empty()) continue;
+    const SensorId next =
+        rotors_[t].advance([&](SensorId s) { return net_.sensor(s).alive(); });
+    set_monitor(t, next);
+  }
+  refresh_drains();
+  queue_.push(now_ + config_.activation_slot.value(), EventKind::kSlotRotation);
+}
+
+void World::on_target_move(TargetId t) {
+  if (config_.target_motion == TargetMotion::kTeleport) {
+    net_.relocate_target(t, target_rng_);
+    recluster();
+    queue_.push(now_ + config_.target_period.value(), EventKind::kTargetMove, t);
+    return;
+  }
+
+  // Random waypoint: walk in straight segments of at most one target period
+  // (clusters are refreshed per segment), dwell one period on arrival, then
+  // pick the next waypoint.
+  const Vec2 pos = net_.target(t).pos;
+  const double dist = distance(pos, target_waypoint_[t]);
+  if (dist < 1e-9) {
+    if (!target_dwelling_[t]) {
+      target_dwelling_[t] = true;  // arrived: rest for one period
+      queue_.push(now_ + config_.target_period.value(), EventKind::kTargetMove, t);
+      return;
+    }
+    target_dwelling_[t] = false;
+    target_waypoint_[t] =
+        random_location(config_.field_side.value(), target_rng_);
+  }
+  const Vec2 goal = target_waypoint_[t];
+  const double leg = distance(pos, goal);
+  const double speed = config_.target_speed.value();
+  const double step_time = std::min(config_.target_period.value(), leg / speed);
+  const Vec2 next =
+      leg <= speed * step_time ? goal : lerp(pos, goal, speed * step_time / leg);
+  net_.set_target_position(t, next);
+  recluster();
+  queue_.push(now_ + step_time, EventKind::kTargetMove, t);
+}
+
+void World::evaluate_cluster_requests(ClusterId c) {
+  const auto& members = clusters_.members[c];
+  if (members.empty()) return;
+  std::size_t below = 0;
+  for (SensorId s : members) {
+    const Sensor& sensor = net_.sensor(s);
+    if (!sensor.alive() || sensor.below_threshold(config_.battery.threshold_fraction)) {
+      ++below;
+    }
+  }
+  if (below < erp_trigger_count(members.size(), effective_erp())) return;
+  for (SensorId s : members) {
+    const Sensor& sensor = net_.sensor(s);
+    if (!sensor.alive() || sensor.below_threshold(config_.battery.threshold_fraction)) {
+      add_request(s);
+    }
+  }
+}
+
+void World::add_request(SensorId s) {
+  Sensor& sensor = net_.sensor(s);
+  if (sensor.recharge_requested) return;
+  sensor.recharge_requested = true;
+  RechargeRequest request;
+  request.sensor = s;
+  request.cluster = sensor.assigned_target;
+  request.pos = sensor.pos;
+  request.demand = sensor.battery.demand();
+  request.critical = sensor_critical(s);
+  request.fraction = sensor.battery.fraction();
+  requests_.add(std::move(request));
+  request_time_[s] = now_;
+  metrics_.on_request();
+}
+
+void World::on_sensor_crossing(SensorId s) {
+  Sensor& sensor = net_.sensor(s);
+  if (!sensor.alive()) {
+    handle_death(s);
+    dispatch();
+    return;
+  }
+  if (sensor.below_threshold(config_.battery.threshold_fraction)) {
+    if (sensor.assigned_target == kInvalidId) {
+      // Unclustered sensors follow the prior-work rule: request immediately.
+      add_request(s);
+    } else {
+      evaluate_cluster_requests(sensor.assigned_target);
+    }
+    // Next stop: depletion.
+    ++sensor_epoch_[s];
+    schedule_crossing(s);
+    dispatch();
+  } else {
+    // Drain shifted under us and the level is still above threshold;
+    // re-predict.
+    ++sensor_epoch_[s];
+    schedule_crossing(s);
+  }
+}
+
+void World::handle_death(SensorId s) {
+  Sensor& sensor = net_.sensor(s);
+  metrics_.on_sensor_death();
+  ++sensor_epoch_[s];
+
+  if (sensor.monitoring) {
+    sensor.monitoring = false;
+    if (traffic_.has_source(s)) traffic_.remove_source(s);
+  }
+  const TargetId t = sensor.assigned_target;
+  if (t != kInvalidId && active_monitor_[t] == s) {
+    const SensorId next =
+        rotors_[t].advance([&](SensorId id) { return net_.sensor(id).alive(); });
+    active_monitor_[t] = kInvalidId;  // force set_monitor to register anew
+    set_monitor(t, next);
+  }
+
+  // A dead relay changes the topology for everyone.
+  if (net_.rebuild_routing()) traffic_.reroute(net_.routing());
+
+  if (t == kInvalidId) {
+    add_request(s);
+  } else {
+    evaluate_cluster_requests(t);
+  }
+  refresh_drains();
+}
+
+void World::record_sample() {
+  if (!record_series_) return;
+  const StateSnapshot snap = snapshot();
+  TimeSeriesPoint p;
+  p.t = now_;
+  p.alive = snap.alive_sensors;
+  p.covered = snap.covered_targets;
+  p.coverable = snap.coverable_targets;
+  p.pending_requests = requests_.size();
+  p.rv_travel_distance = report().rv_travel_distance.value();
+  series_.push_back(p);
+}
+
+}  // namespace wrsn

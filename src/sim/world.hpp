@@ -1,0 +1,155 @@
+#pragma once
+// The simulation world: wires the network substrate, the activity-management
+// layer and the recharge schedulers into one discrete-event simulation
+// (Sections II-IV, evaluated as in Section V).
+//
+// Between events every battery drains at a constant, known power, so the
+// engine integrates energy and metrics analytically and schedules exact
+// threshold/death crossing events — there is no fixed timestep.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "activity/activation.hpp"
+#include "activity/clustering.hpp"
+#include "core/config.hpp"
+#include "core/rng.hpp"
+#include "net/network.hpp"
+#include "net/traffic.hpp"
+#include "sched/planner.hpp"
+#include "sched/request.hpp"
+#include "sim/events.hpp"
+#include "sim/metrics.hpp"
+#include "sim/rv.hpp"
+
+namespace wrsn {
+
+class World {
+ public:
+  explicit World(const SimConfig& config);
+
+  // Runs the whole horizon and returns the metrics report.
+  MetricsReport run();
+
+  // Processes events up to (and including) time t; callable repeatedly with
+  // increasing t. Used by tests and interactive examples.
+  void run_until(Second t);
+  [[nodiscard]] MetricsReport report() const;
+
+  void enable_time_series(bool on) { record_series_ = on; }
+  [[nodiscard]] const TimeSeries& time_series() const { return series_; }
+
+  // Observer hook: called once per processed event (after state update).
+  // Set to nullptr to disable. Used for debugging, trace dumps and tests
+  // that assert event ordering.
+  struct TraceEvent {
+    double time = 0.0;
+    EventKind kind = EventKind::kSimEnd;
+    std::size_t subject = 0;
+  };
+  using TraceFn = std::function<void(const TraceEvent&)>;
+  void set_tracer(TraceFn tracer) { tracer_ = std::move(tracer); }
+
+  // Fault injection: drains the sensor's battery and processes the death
+  // immediately (the node behaves like any depleted node afterwards and can
+  // be revived by an RV). For chaos/what-if experiments and tests.
+  void inject_sensor_failure(SensorId s);
+
+  // --- introspection (tests, examples) ----------------------------------
+  [[nodiscard]] Second now() const { return Second{now_}; }
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+  [[nodiscard]] const Network& network() const { return net_; }
+  [[nodiscard]] const ClusterSet& clusters() const { return clusters_; }
+  [[nodiscard]] const RechargeNodeList& recharge_list() const { return requests_; }
+  [[nodiscard]] const std::vector<Rv>& rvs() const { return rvs_; }
+  [[nodiscard]] const TrafficModel& traffic() const { return traffic_; }
+  [[nodiscard]] StateSnapshot snapshot() const;
+  // Total energy drained from sensor batteries since t=0 (exact integral of
+  // the piecewise-constant drains). Together with the recharged total this
+  // gives the sensor-side energy-conservation invariant:
+  //   initial + recharged == current levels + consumed.
+  [[nodiscard]] Joule sensor_energy_consumed() const {
+    return Joule{sensor_energy_consumed_};
+  }
+
+ private:
+  // --- event handlers ------------------------------------------------------
+  void handle(const Event& ev);
+  void on_slot_rotation();
+  void on_target_move(TargetId t);
+  void on_sensor_crossing(SensorId s);
+  void on_rv_arrival(RvId r);
+  void on_rv_charge_done(RvId r);
+  void on_rv_base_charge_done(RvId r);
+
+  // --- continuous state --------------------------------------------------
+  void advance_to(double t);
+  [[nodiscard]] Watt sensor_drain(SensorId s) const;
+  void refresh_drains();                  // recompute all, reschedule changed
+  void schedule_crossing(SensorId s);
+
+  // --- activity management ---------------------------------------------
+  void recluster();
+  void set_monitor(TargetId t, SensorId s);  // kInvalidId clears
+  void apply_full_time_activation(TargetId t);
+  void evaluate_cluster_requests(ClusterId c);
+  void add_request(SensorId s);
+  void handle_death(SensorId s);
+
+  // --- RV control -----------------------------------------------------------
+  void dispatch();
+  void assign_plan(Rv& rv, const std::vector<RechargeItem>& items,
+                   const std::vector<std::size_t>& seq);
+  void start_next_leg(Rv& rv);
+  void return_to_base(Rv& rv);
+  void begin_self_charge(Rv& rv);
+  void abandon_plan(Rv& rv);
+  [[nodiscard]] Joule rv_reserve() const;
+  [[nodiscard]] std::vector<RechargeItem> unclaimed_items();
+
+  // --- misc ------------------------------------------------------------
+  [[nodiscard]] double effective_erp() const;
+  [[nodiscard]] bool sensor_critical(SensorId s) const;
+  void record_sample();
+
+  SimConfig config_;
+  RngStreams streams_;
+  Xoshiro256 target_rng_;
+  Xoshiro256 sched_rng_;
+
+  Network net_;
+  TrafficModel traffic_;
+
+  ClusterSet clusters_;
+  std::vector<ClusterRotor> rotors_;             // per target
+  std::vector<SensorId> active_monitor_;        // per target (RR policy)
+  std::vector<bool> coverable_;                  // per target: any sensor in range
+
+  RechargeNodeList requests_;
+  std::vector<double> request_time_;             // per sensor, -1 when none
+  std::unordered_set<SensorId> claimed_;
+
+  std::vector<Rv> rvs_;
+
+  // Random-waypoint motion state (kRandomWaypoint only).
+  std::vector<Vec2> target_waypoint_;
+  std::vector<bool> target_dwelling_;
+
+  EventQueue queue_;
+  double now_ = 0.0;
+  double end_ = 0.0;
+  bool finished_ = false;
+
+  std::vector<double> drain_;                    // W, per sensor
+  double sensor_energy_consumed_ = 0.0;          // J, cumulative
+  std::vector<std::uint64_t> sensor_epoch_;
+
+  MetricsIntegrator metrics_;
+  bool record_series_ = false;
+  TimeSeries series_;
+  TraceFn tracer_;
+};
+
+}  // namespace wrsn

@@ -1,0 +1,419 @@
+// RV dispatch and motion: the scheduling half of the World (Section IV).
+#include <algorithm>
+#include <limits>
+
+#include "core/error.hpp"
+#include "energy/charge_profile.hpp"
+#include "sched/tsp.hpp"
+#include "sim/world.hpp"
+
+namespace wrsn {
+
+Joule World::rv_reserve() const {
+  return config_.rv.capacity * config_.rv.reserve_fraction;
+}
+
+std::vector<RechargeItem> World::unclaimed_items() {
+  // Demands drift while requests wait; refresh them so planners see current
+  // values (the base station learns levels from status reports).
+  std::vector<RechargeRequest> unclaimed;
+  for (const RechargeRequest& r : requests_.requests()) {
+    if (claimed_.contains(r.sensor)) continue;
+    requests_.update(r.sensor, net_.sensor(r.sensor).battery.demand(),
+                     sensor_critical(r.sensor),
+                     net_.sensor(r.sensor).battery.fraction());
+    unclaimed.push_back(r);
+    unclaimed.back().demand = net_.sensor(r.sensor).battery.demand();
+    unclaimed.back().critical = sensor_critical(r.sensor);
+    unclaimed.back().fraction = net_.sensor(r.sensor).battery.fraction();
+  }
+  return aggregate_requests(unclaimed);
+}
+
+void World::dispatch() {
+  const PlannerParams params{config_.rv.move_cost, net_.base_station()};
+
+  for (Rv& rv : rvs_) {
+    if (!rv.idle()) continue;
+
+    // Low battery: head home and refill before taking new work.
+    if (rv.battery.fraction() < config_.rv.self_recharge_fraction) {
+      if (rv.in_field) {
+        return_to_base(rv);
+      } else if (rv.battery.level() < rv.battery.capacity()) {
+        begin_self_charge(rv);
+      }
+      continue;
+    }
+
+    std::vector<RechargeItem> items = unclaimed_items();
+    if (items.empty()) {
+      if (rv.in_field) return_to_base(rv);
+      continue;
+    }
+
+    const RvPlanState state{rv.pos, rv.battery.level() - rv_reserve()};
+    std::vector<std::size_t> seq;
+    std::vector<bool> taken(items.size(), false);
+
+    switch (config_.scheduler) {
+      case SchedulerKind::kGreedy: {
+        // The baseline of Algorithm 2 predates the cluster aggregation of
+        // Section IV-C: it scores raw nodes and drives to one node at a
+        // time, which is exactly the inefficiency the paper calls out.
+        std::vector<RechargeItem> singles;
+        for (const RechargeItem& item : items) {
+          for (SensorId s : item.sensors) {
+            RechargeItem one;
+            one.pos = net_.sensor(s).pos;
+            one.demand = net_.sensor(s).battery.demand();
+            one.critical = sensor_critical(s);
+            one.sensors = {s};
+            singles.push_back(std::move(one));
+          }
+        }
+        std::vector<bool> staken(singles.size(), false);
+        if (const auto next = greedy_next(state, singles, staken, params)) {
+          assign_plan(rv, singles, {*next});
+        } else if (rv.in_field) {
+          return_to_base(rv);
+        } else if (rv.battery.level() < rv.battery.capacity()) {
+          begin_self_charge(rv);
+        }
+        continue;
+      }
+      case SchedulerKind::kCombined: {
+        seq = insertion_sequence(state, items, taken, params);
+        break;
+      }
+      case SchedulerKind::kNearestFirst: {
+        if (const auto next = nearest_next(state, items, taken, params)) {
+          seq.push_back(*next);
+        }
+        break;
+      }
+      case SchedulerKind::kEdf: {
+        if (const auto next = edf_next(state, items, taken, params)) {
+          seq.push_back(*next);
+        }
+        break;
+      }
+      case SchedulerKind::kFcfs: {
+        // Oldest unclaimed request decides which batch goes next; the
+        // recharge node list preserves arrival order.
+        SensorId oldest = kInvalidId;
+        for (const RechargeRequest& req : requests_.requests()) {
+          if (!claimed_.contains(req.sensor)) {
+            oldest = req.sensor;
+            break;
+          }
+        }
+        for (std::size_t i = 0; oldest != kInvalidId && i < items.size(); ++i) {
+          const auto& sensors = items[i].sensors;
+          if (std::find(sensors.begin(), sensors.end(), oldest) == sensors.end()) {
+            continue;
+          }
+          const Joule need =
+              params.em * Meter{distance(rv.pos, items[i].pos) +
+                                distance(items[i].pos, params.base)} +
+              items[i].demand;
+          if (need <= state.available) seq.push_back(i);
+          break;
+        }
+        break;
+      }
+      case SchedulerKind::kPartition: {
+        // K-means over the full list into m groups (Section IV-D-1). Groups
+        // are matched to ALL RVs (busy ones included) so each vehicle keeps
+        // a stable geographic responsibility; this RV plans only within the
+        // group matched to it.
+        const auto groups = partition_items(items, config_.num_rvs, sched_rng_);
+        std::vector<Vec2> centroids;
+        std::vector<const std::vector<std::size_t>*> live_groups;
+        for (const auto& group : groups) {
+          if (group.empty()) continue;
+          Vec2 centroid{};
+          for (std::size_t i : group) centroid += items[i].pos;
+          centroids.push_back(centroid / static_cast<double>(group.size()));
+          live_groups.push_back(&group);
+        }
+        const std::vector<std::size_t>* best_group = nullptr;
+        if (!live_groups.empty()) {
+          std::vector<Vec2> rv_positions;
+          rv_positions.reserve(rvs_.size());
+          for (const Rv& other : rvs_) rv_positions.push_back(other.pos);
+          const auto rv_of_group = match_groups_to_rvs(centroids, rv_positions);
+          for (std::size_t g = 0; g < live_groups.size(); ++g) {
+            if (rv_of_group[g] == rv.id) {
+              best_group = live_groups[g];
+              break;
+            }
+          }
+        }
+        if (best_group == nullptr) {
+          // No group in this RV's designated area: it stays put rather than
+          // poaching another region — the confinement the scheme is about.
+          if (rv.in_field) return_to_base(rv);
+          continue;
+        }
+        std::vector<RechargeItem> group_items;
+        group_items.reserve(best_group->size());
+        for (std::size_t i : *best_group) group_items.push_back(items[i]);
+        std::vector<bool> group_taken(group_items.size(), false);
+        const auto group_seq =
+            insertion_sequence(state, group_items, group_taken, params);
+        if (group_seq.empty()) {
+          // Unaffordable as aggregates: serve the best raw node within the
+          // group, or refill first.
+          std::vector<RechargeItem> singles;
+          for (const RechargeItem& item : group_items) {
+            for (SensorId s : item.sensors) {
+              RechargeItem one;
+              one.pos = net_.sensor(s).pos;
+              one.demand = net_.sensor(s).battery.demand();
+              one.critical = sensor_critical(s);
+              one.sensors = {s};
+              singles.push_back(std::move(one));
+            }
+          }
+          std::vector<bool> staken(singles.size(), false);
+          if (const auto next = greedy_next(state, singles, staken, params)) {
+            assign_plan(rv, singles, {*next});
+          } else if (rv.in_field) {
+            return_to_base(rv);
+          } else if (rv.battery.level() < rv.battery.capacity()) {
+            begin_self_charge(rv);
+          }
+          continue;
+        }
+        // Map back to the global item indexing.
+        seq.reserve(group_seq.size());
+        for (std::size_t gi : group_seq) seq.push_back((*best_group)[gi]);
+        break;
+      }
+    }
+
+    if (seq.empty()) {
+      // Aggregated items may exceed what this RV can afford in one tour;
+      // fall back to the single most profitable raw request.
+      std::vector<RechargeItem> singles;
+      for (const RechargeItem& item : items) {
+        for (SensorId s : item.sensors) {
+          RechargeItem one;
+          one.pos = net_.sensor(s).pos;
+          one.demand = net_.sensor(s).battery.demand();
+          one.critical = item.critical;
+          one.sensors = {s};
+          singles.push_back(std::move(one));
+        }
+      }
+      std::vector<bool> staken(singles.size(), false);
+      if (const auto next = greedy_next(state, singles, staken, params)) {
+        assign_plan(rv, singles, {*next});
+        continue;
+      }
+      // Nothing affordable: top up at base, or come home.
+      if (rv.in_field) {
+        return_to_base(rv);
+      } else if (rv.battery.level() < rv.battery.capacity()) {
+        begin_self_charge(rv);
+      }
+      continue;
+    }
+
+    assign_plan(rv, items, seq);
+  }
+}
+
+void World::assign_plan(Rv& rv, const std::vector<RechargeItem>& items,
+                        const std::vector<std::size_t>& seq) {
+  WRSN_ASSERT(rv.idle(), "plans can only be assigned to idle RVs");
+  WRSN_ASSERT(rv.service_queue.empty(), "plan assigned over a pending queue");
+  WRSN_ASSERT(!seq.empty(), "empty plan");
+  std::vector<SensorId> visit;
+  Vec2 cur = rv.pos;
+  for (std::size_t idx : seq) {
+    const RechargeItem& item = items[idx];
+    // Inside a cluster the visiting order is a nearest-neighbour tour
+    // (Section IV-C).
+    std::vector<Vec2> positions;
+    positions.reserve(item.sensors.size());
+    for (SensorId s : item.sensors) positions.push_back(net_.sensor(s).pos);
+    const auto order = nearest_neighbor_tour(cur, positions);
+    for (std::size_t k : order) visit.push_back(item.sensors[k]);
+    if (!order.empty()) cur = positions[order.back()];
+  }
+  if (config_.two_opt_tours && visit.size() > 2) {
+    // Library extension: polish the whole flattened route.
+    std::vector<Vec2> positions;
+    positions.reserve(visit.size());
+    for (SensorId s : visit) positions.push_back(net_.sensor(s).pos);
+    std::vector<std::size_t> order(visit.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    two_opt(rv.pos, positions, order);
+    std::vector<SensorId> improved;
+    improved.reserve(visit.size());
+    for (std::size_t i : order) improved.push_back(visit[i]);
+    visit = std::move(improved);
+  }
+  for (SensorId s : visit) {
+    WRSN_ASSERT(!claimed_.contains(s), "sensor claimed twice");
+    claimed_.insert(s);
+    rv.service_queue.push_back(s);
+  }
+  if (!rv.in_field) {
+    rv.in_field = true;
+    metrics_.on_rv_tour_started();
+  }
+  start_next_leg(rv);
+}
+
+void World::start_next_leg(Rv& rv) {
+  WRSN_ASSERT(!rv.service_queue.empty(), "no leg to start");
+  const SensorId next = rv.service_queue.front();
+  const Vec2 dest = net_.sensor(next).pos;
+  const Meter leg{distance(rv.pos, dest)};
+  const Meter home{distance(dest, net_.base_station())};
+  const Joule need = config_.rv.move_cost * leg + config_.rv.move_cost * home +
+                     rv_reserve();
+  if (rv.battery.level() < need) {
+    abandon_plan(rv);
+    return_to_base(rv);
+    return;
+  }
+  rv.state = Rv::State::kTraveling;
+  ++rv.epoch;
+  rv.battery.drain(config_.rv.move_cost * leg);
+  metrics_.on_rv_leg(leg, config_.rv.move_cost * leg);
+  rv.distance_traveled += leg.value();
+  const double arrive = now_ + (leg / config_.rv.speed).value();
+  queue_.push(arrive, EventKind::kRvArrival, rv.id, rv.epoch);
+}
+
+void World::return_to_base(Rv& rv) {
+  const Meter leg{distance(rv.pos, net_.base_station())};
+  if (leg.value() <= 1e-9) {
+    rv.pos = net_.base_station();
+    rv.in_field = false;
+    if (rv.battery.level() < rv.battery.capacity()) {
+      begin_self_charge(rv);
+    } else {
+      rv.state = Rv::State::kIdle;
+    }
+    return;
+  }
+  rv.state = Rv::State::kReturning;
+  ++rv.epoch;
+  rv.battery.drain(config_.rv.move_cost * leg);
+  metrics_.on_rv_leg(leg, config_.rv.move_cost * leg);
+  rv.distance_traveled += leg.value();
+  const double arrive = now_ + (leg / config_.rv.speed).value();
+  queue_.push(arrive, EventKind::kRvArrival, rv.id, rv.epoch);
+}
+
+void World::begin_self_charge(Rv& rv) {
+  rv.state = Rv::State::kSelfCharging;
+  ++rv.epoch;
+  const Second dwell = rv.battery.demand() / config_.rv.base_recharge_power;
+  queue_.push(now_ + dwell.value(), EventKind::kRvBaseChargeDone, rv.id, rv.epoch);
+}
+
+void World::abandon_plan(Rv& rv) {
+  for (SensorId s : rv.service_queue) claimed_.erase(s);
+  rv.service_queue.clear();
+}
+
+void World::on_rv_arrival(RvId r) {
+  Rv& rv = rvs_[r];
+  if (rv.state == Rv::State::kReturning) {
+    rv.pos = net_.base_station();
+    rv.in_field = false;
+    if (rv.battery.level() < rv.battery.capacity()) {
+      begin_self_charge(rv);
+    } else {
+      rv.state = Rv::State::kIdle;
+      dispatch();
+    }
+    return;
+  }
+  WRSN_ASSERT(rv.state == Rv::State::kTraveling, "arrival in unexpected state");
+  WRSN_ASSERT(!rv.service_queue.empty(), "arrived with empty queue");
+  const SensorId s = rv.service_queue.front();
+  rv.pos = net_.sensor(s).pos;
+  rv.state = Rv::State::kCharging;
+  ++rv.epoch;
+  // Deliver up to the node's demand, bounded by what the RV can spare and
+  // still make it home (constraint (7) + the reserve).
+  const Joule spare = rv.battery.level() -
+                      config_.rv.move_cost *
+                          Meter{distance(rv.pos, net_.base_station())} -
+                      rv_reserve();
+  const Joule planned =
+      std::max(Joule{0.0}, std::min(net_.sensor(s).battery.demand(), spare));
+  // Dwell follows the configured charge-acceptance model (ref. [15]).
+  const ChargeProfile profile{config_.rv.charge_profile, config_.rv.charge_power,
+                              config_.rv.charge_knee_soc,
+                              config_.rv.charge_trickle_fraction};
+  const Second dwell = profile.time_to_reach(
+      net_.sensor(s).battery, net_.sensor(s).battery.level() + planned);
+  queue_.push(now_ + dwell.value(), EventKind::kRvChargeDone, rv.id, rv.epoch);
+}
+
+void World::on_rv_charge_done(RvId r) {
+  Rv& rv = rvs_[r];
+  WRSN_ASSERT(rv.state == Rv::State::kCharging, "charge-done in unexpected state");
+  WRSN_ASSERT(!rv.service_queue.empty(), "charge-done with empty queue");
+  const SensorId s = rv.service_queue.front();
+  rv.service_queue.pop_front();
+
+  Sensor& sensor = net_.sensor(s);
+  const bool was_dead = !sensor.alive();
+  const Joule spare = rv.battery.level() -
+                      config_.rv.move_cost *
+                          Meter{distance(rv.pos, net_.base_station())} -
+                      rv_reserve();
+  const Joule delivered =
+      std::max(Joule{0.0}, std::min(sensor.battery.demand(), spare));
+  sensor.battery.charge(delivered);
+  rv.battery.drain(delivered);
+
+  const double requested_at = request_time_[s];
+  const Second latency{requested_at >= 0.0 ? now_ - requested_at : 0.0};
+  metrics_.on_recharge(s, delivered, latency);
+  rv.energy_delivered += delivered.value();
+  ++rv.nodes_served;
+
+  sensor.recharge_requested = false;
+  requests_.remove(s);
+  claimed_.erase(s);
+  request_time_[s] = -1.0;
+  ++sensor_epoch_[s];
+
+  if (was_dead && sensor.alive()) {
+    // Revived node rejoins the relay fabric immediately; it rejoins a
+    // cluster at the next re-clustering.
+    if (net_.rebuild_routing()) traffic_.reroute(net_.routing());
+  }
+  refresh_drains();
+  schedule_crossing(s);
+
+  rv.state = Rv::State::kIdle;
+  if (!rv.service_queue.empty()) {
+    start_next_leg(rv);
+  } else {
+    dispatch();
+  }
+}
+
+void World::on_rv_base_charge_done(RvId r) {
+  Rv& rv = rvs_[r];
+  WRSN_ASSERT(rv.state == Rv::State::kSelfCharging,
+              "base-charge-done in unexpected state");
+  const Joule drawn = rv.battery.demand();
+  rv.battery.refill();
+  metrics_.on_rv_base_recharge(drawn);
+  rv.state = Rv::State::kIdle;
+  dispatch();
+}
+
+}  // namespace wrsn

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "energy/charge_profile.hpp"
+
+namespace wrsn {
+namespace {
+
+ChargeProfile constant(double watts_ = 2.0) {
+  return {ChargeProfileKind::kConstantPower, Watt{watts_}, 0.8, 0.1};
+}
+
+ChargeProfile tapered(double watts_ = 2.0, double knee = 0.8, double trickle = 0.1) {
+  return {ChargeProfileKind::kTaperedCcCv, Watt{watts_}, knee, trickle};
+}
+
+TEST(ChargeProfile, ConstantPowerLinearTime) {
+  Battery b(Joule{100.0}, Joule{20.0});
+  EXPECT_DOUBLE_EQ(constant().time_to_reach(b, Joule{60.0}).value(), 20.0);
+  EXPECT_DOUBLE_EQ(constant().time_to_full(b).value(), 40.0);
+}
+
+TEST(ChargeProfile, TargetClampedToLevelAndCapacity) {
+  Battery b(Joule{100.0}, Joule{50.0});
+  EXPECT_DOUBLE_EQ(constant().time_to_reach(b, Joule{10.0}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(constant().time_to_reach(b, Joule{500.0}).value(), 25.0);
+}
+
+TEST(ChargeProfile, TaperedMatchesConstantBelowKnee) {
+  // Charging entirely within the CC region: identical times.
+  Battery b(Joule{100.0}, Joule{10.0});
+  EXPECT_DOUBLE_EQ(tapered().time_to_reach(b, Joule{70.0}).value(),
+                   constant().time_to_reach(b, Joule{70.0}).value());
+}
+
+TEST(ChargeProfile, TaperedSlowerAboveKnee) {
+  Battery b(Joule{100.0}, Joule{85.0});  // starts in the taper region
+  const double t_const = constant().time_to_reach(b, Joule{100.0}).value();
+  const double t_taper = tapered().time_to_reach(b, Joule{100.0}).value();
+  EXPECT_GT(t_taper, t_const);
+  // Bounded by charging the whole stretch at the trickle rate.
+  EXPECT_LT(t_taper, 15.0 / (2.0 * 0.1) + 1e-9);
+}
+
+TEST(ChargeProfile, FullChargeTimesOrdered) {
+  Battery b(Joule{100.0}, Joule{0.0});
+  const double t_const = constant().time_to_full(b).value();
+  const double t_taper = tapered().time_to_full(b).value();
+  EXPECT_DOUBLE_EQ(t_const, 50.0);
+  EXPECT_GT(t_taper, t_const);
+  EXPECT_LT(t_taper, 50.0 * 10.0);  // far from the all-trickle worst case
+}
+
+TEST(ChargeProfile, TrickleOneDegeneratesToConstant) {
+  Battery b(Joule{100.0}, Joule{40.0});
+  const auto p = tapered(2.0, 0.8, 1.0);
+  EXPECT_NEAR(p.time_to_full(b).value(), constant().time_to_full(b).value(), 1e-9);
+}
+
+TEST(ChargeProfile, EnergyAfterInvertsTimeToReach) {
+  for (double start : {0.0, 0.5, 0.83, 0.95}) {
+    for (double target : {0.6, 0.9, 1.0}) {
+      if (target <= start) continue;
+      Battery b(Joule{100.0}, Joule{100.0 * start});
+      const auto p = tapered();
+      const Second t = p.time_to_reach(b, Joule{100.0 * target});
+      const Joule e = p.energy_after(b, t);
+      EXPECT_NEAR(e.value(), 100.0 * (target - start), 1e-6)
+          << "start=" << start << " target=" << target;
+    }
+  }
+}
+
+TEST(ChargeProfile, EnergyAfterMonotoneInTime) {
+  Battery b(Joule{100.0}, Joule{70.0});
+  const auto p = tapered();
+  double prev = -1.0;
+  for (double t = 0.0; t <= 60.0; t += 5.0) {
+    const double e = p.energy_after(b, Second{t}).value();
+    EXPECT_GE(e, prev);
+    EXPECT_LE(e, 30.0 + 1e-9);
+    prev = e;
+  }
+}
+
+TEST(ChargeProfile, EnergyAfterCapsAtFull) {
+  Battery b(Joule{100.0}, Joule{90.0});
+  EXPECT_NEAR(tapered().energy_after(b, Second{1e6}).value(), 10.0, 1e-9);
+}
+
+TEST(ChargeProfile, Validation) {
+  ChargeProfile bad = tapered();
+  bad.rated_power = Watt{0.0};
+  Battery b(Joule{100.0});
+  EXPECT_THROW((void)bad.time_to_full(b), InvalidArgument);
+  bad = tapered();
+  bad.knee_soc = 1.0;
+  EXPECT_THROW((void)bad.time_to_full(b), InvalidArgument);
+  bad = tapered();
+  bad.trickle_fraction = 0.0;
+  EXPECT_THROW((void)bad.time_to_full(b), InvalidArgument);
+  EXPECT_THROW((void)tapered().energy_after(b, Second{-1.0}), InvalidArgument);
+}
+
+// Property sweep: time_to_reach is additive over intermediate stops.
+class ChargeAdditivity : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChargeAdditivity, SplitChargeTimesAddUp) {
+  const double mid = GetParam();
+  Battery lo(Joule{100.0}, Joule{10.0});
+  Battery at_mid(Joule{100.0}, Joule{mid});
+  const auto p = tapered();
+  const double direct = p.time_to_reach(lo, Joule{100.0}).value();
+  const double leg1 = p.time_to_reach(lo, Joule{mid}).value();
+  const double leg2 = p.time_to_reach(at_mid, Joule{100.0}).value();
+  EXPECT_NEAR(direct, leg1 + leg2, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(MidPoints, ChargeAdditivity,
+                         ::testing::Values(20.0, 50.0, 80.0, 85.0, 95.0));
+
+}  // namespace
+}  // namespace wrsn

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "activity/clustering.hpp"
+#include "core/rng.hpp"
+#include "net/deployment.hpp"
+
+namespace wrsn {
+namespace {
+
+TEST(Clustering, SimpleTwoTargets) {
+  // Two targets far apart, two sensors near each.
+  const std::vector<Vec2> sensors = {{0, 0}, {1, 0}, {50, 50}, {51, 50}};
+  const std::vector<Vec2> targets = {{0.5, 0.0}, {50.5, 50.0}};
+  const ClusterSet cs = balanced_clustering(sensors, targets, 8.0);
+  EXPECT_EQ(cs.members[0], (std::vector<SensorId>{0, 1}));
+  EXPECT_EQ(cs.members[1], (std::vector<SensorId>{2, 3}));
+  EXPECT_EQ(cs.assignment[0], 0u);
+  EXPECT_EQ(cs.assignment[2], 1u);
+  EXPECT_EQ(cs.imbalance(), 0u);
+}
+
+TEST(Clustering, SharedSensorsBalanceAcrossTargets) {
+  // Four sensors all covering two coincident-ish targets: balanced split 2/2.
+  const std::vector<Vec2> sensors = {{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+  const std::vector<Vec2> targets = {{0.5, 0.4}, {0.5, 0.6}};
+  const ClusterSet cs = balanced_clustering(sensors, targets, 8.0);
+  EXPECT_EQ(cs.cluster_size(0), 2u);
+  EXPECT_EQ(cs.cluster_size(1), 2u);
+  EXPECT_EQ(cs.imbalance(), 0u);
+}
+
+TEST(Clustering, EachSensorAssignedToAtMostOneTarget) {
+  Xoshiro256 rng(1);
+  const auto sensors = deploy_uniform(300, 100.0, rng);
+  const auto targets = deploy_uniform(10, 100.0, rng);
+  const ClusterSet cs = balanced_clustering(sensors, targets, 10.0);
+  std::set<SensorId> seen;
+  for (TargetId t = 0; t < cs.num_clusters(); ++t) {
+    for (SensorId s : cs.members[t]) {
+      EXPECT_TRUE(seen.insert(s).second) << "sensor " << s << " in two clusters";
+      EXPECT_EQ(cs.assignment[s], t);
+    }
+  }
+}
+
+TEST(Clustering, OnlyCoveringSensorsAssigned) {
+  Xoshiro256 rng(2);
+  const auto sensors = deploy_uniform(200, 100.0, rng);
+  const auto targets = deploy_uniform(8, 100.0, rng);
+  const double r = 9.0;
+  const ClusterSet cs = balanced_clustering(sensors, targets, r);
+  for (TargetId t = 0; t < cs.num_clusters(); ++t) {
+    for (SensorId s : cs.members[t]) {
+      EXPECT_LE(distance(sensors[s], targets[t]), r);
+    }
+  }
+  // Every covering sensor IS assigned somewhere (the pool A is exhausted).
+  for (SensorId s = 0; s < sensors.size(); ++s) {
+    bool covers_any = false;
+    for (const Vec2& tp : targets) {
+      if (distance(sensors[s], tp) <= r) covers_any = true;
+    }
+    EXPECT_EQ(cs.assignment[s] != kInvalidId, covers_any) << "sensor " << s;
+  }
+}
+
+TEST(Clustering, LoadsCountDetectableTargets) {
+  const std::vector<Vec2> sensors = {{0, 0}, {100, 100}};
+  const std::vector<Vec2> targets = {{1, 0}, {0, 1}, {99, 100}};
+  const ClusterSet cs = balanced_clustering(sensors, targets, 5.0);
+  EXPECT_EQ(cs.loads[0], 2u);
+  EXPECT_EQ(cs.loads[1], 1u);
+}
+
+TEST(Clustering, EligibilityMaskExcludesDeadSensors) {
+  const std::vector<Vec2> sensors = {{0, 0}, {1, 0}};
+  const std::vector<Vec2> targets = {{0.5, 0}};
+  const std::vector<bool> eligible = {false, true};
+  const ClusterSet cs = balanced_clustering(sensors, targets, 8.0, eligible);
+  EXPECT_EQ(cs.members[0], (std::vector<SensorId>{1}));
+  EXPECT_EQ(cs.assignment[0], kInvalidId);
+  EXPECT_EQ(cs.loads[0], 0u);
+}
+
+TEST(Clustering, EmptyTargets) {
+  const std::vector<Vec2> sensors = {{0, 0}};
+  const ClusterSet cs = balanced_clustering(sensors, {}, 8.0);
+  EXPECT_EQ(cs.num_clusters(), 0u);
+  EXPECT_EQ(cs.assignment[0], kInvalidId);
+}
+
+TEST(Clustering, EmptySensors) {
+  const std::vector<Vec2> targets = {{0, 0}};
+  const ClusterSet cs = balanced_clustering({}, targets, 8.0);
+  EXPECT_EQ(cs.num_clusters(), 1u);
+  EXPECT_TRUE(cs.members[0].empty());
+}
+
+TEST(Clustering, BalancedBeatsNaiveOnOverlap) {
+  // Two overlapping targets with 6 sensors covering both: naive piles all on
+  // target 0, balanced splits 3/3.
+  std::vector<Vec2> sensors;
+  for (int i = 0; i < 6; ++i) sensors.push_back({static_cast<double>(i), 0.0});
+  const std::vector<Vec2> targets = {{2.5, 1.0}, {2.5, -1.0}};
+  const ClusterSet balanced = balanced_clustering(sensors, targets, 10.0);
+  const ClusterSet naive = naive_clustering(sensors, targets, 10.0);
+  EXPECT_EQ(balanced.imbalance(), 0u);
+  EXPECT_EQ(naive.cluster_size(0), 6u);
+  EXPECT_EQ(naive.cluster_size(1), 0u);
+  EXPECT_LE(balanced.imbalance(), naive.imbalance());
+}
+
+// Property sweep: on random instances, balanced clustering never loses to
+// naive clustering on the imbalance metric, and both assign the identical
+// sensor pool.
+class ClusteringProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClusteringProperty, BalanceAndPoolInvariants) {
+  Xoshiro256 rng(GetParam());
+  const std::size_t n = 50 + rng.uniform_int(250);
+  const std::size_t m = 2 + rng.uniform_int(14);
+  const double side = 60.0 + rng.uniform(0.0, 140.0);
+  const double r = 5.0 + rng.uniform(0.0, 15.0);
+  const auto sensors = deploy_uniform(n, side, rng);
+  const auto targets = deploy_uniform(m, side, rng);
+
+  const ClusterSet balanced = balanced_clustering(sensors, targets, r);
+  const ClusterSet naive = naive_clustering(sensors, targets, r);
+
+  // Same pool of assigned sensors.
+  std::size_t nb = 0, nn = 0;
+  for (SensorId s = 0; s < n; ++s) {
+    nb += balanced.assignment[s] != kInvalidId;
+    nn += naive.assignment[s] != kInvalidId;
+  }
+  EXPECT_EQ(nb, nn);
+
+  // Balanced is never worse on imbalance.
+  EXPECT_LE(balanced.imbalance(), naive.imbalance());
+
+  // Geometric validity.
+  for (TargetId t = 0; t < m; ++t) {
+    for (SensorId s : balanced.members[t]) {
+      EXPECT_LE(distance(sensors[s], targets[t]), r);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ClusteringProperty,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(Clustering, DeterministicOutput) {
+  Xoshiro256 rng(77);
+  const auto sensors = deploy_uniform(150, 90.0, rng);
+  const auto targets = deploy_uniform(6, 90.0, rng);
+  const ClusterSet a = balanced_clustering(sensors, targets, 9.0);
+  const ClusterSet b = balanced_clustering(sensors, targets, 9.0);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.members, b.members);
+}
+
+}  // namespace
+}  // namespace wrsn

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "core/error.hpp"
+
+namespace wrsn {
+namespace {
+
+TEST(Config, PaperDefaultsMatchTableII) {
+  const SimConfig cfg = SimConfig::paper_defaults();
+  EXPECT_EQ(cfg.num_sensors, 500u);
+  EXPECT_EQ(cfg.num_targets, 15u);
+  EXPECT_EQ(cfg.num_rvs, 3u);
+  EXPECT_DOUBLE_EQ(cfg.field_side.value(), 200.0);
+  EXPECT_DOUBLE_EQ(cfg.comm_range.value(), 12.0);
+  EXPECT_DOUBLE_EQ(cfg.sensing_range.value(), 8.0);
+  EXPECT_DOUBLE_EQ(cfg.sim_duration.value(), 120.0 * 86400.0);
+  EXPECT_DOUBLE_EQ(cfg.target_period.value(), 3.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(cfg.battery.threshold_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(cfg.rv.move_cost.value(), 5.6);
+  EXPECT_DOUBLE_EQ(cfg.rv.speed.value(), 1.0);
+  EXPECT_DOUBLE_EQ(cfg.data_rate_pkt_per_min, 15.0);
+}
+
+TEST(Config, DeviceConstantsMatchDatasheets) {
+  const SimConfig cfg;
+  // CC2480: 27 mA @ 3 V tx/rx.
+  EXPECT_DOUBLE_EQ(cfg.radio.tx_power.value(), 0.081);
+  EXPECT_DOUBLE_EQ(cfg.radio.rx_power.value(), 0.081);
+  // PIR: 10 mA active, 170 uA idle @ 3 V.
+  EXPECT_DOUBLE_EQ(cfg.sensing.active_power.value(), 0.030);
+  EXPECT_NEAR(cfg.sensing.idle_power.value(), 0.00051, 1e-9);
+  // 2x AAA Ni-MH 750 mAh @ 1.2 V.
+  EXPECT_DOUBLE_EQ(cfg.battery.capacity.value(), 6480.0);
+  EXPECT_DOUBLE_EQ(cfg.battery.threshold().value(), 3240.0);
+}
+
+TEST(Config, PacketAirtime) {
+  const RadioModel radio;
+  // (20 + 13) bytes at 250 kbit/s.
+  EXPECT_NEAR(radio.packet_airtime().value(), 33.0 * 8.0 / 250e3, 1e-12);
+  EXPECT_NEAR(radio.tx_energy_per_packet().value(),
+              0.081 * 33.0 * 8.0 / 250e3, 1e-12);
+}
+
+TEST(Config, DefaultsValidate) {
+  EXPECT_NO_THROW(SimConfig{}.validate());
+}
+
+TEST(Config, ValidationCatchesBadValues) {
+  {
+    SimConfig c;
+    c.num_sensors = 0;
+    EXPECT_THROW(c.validate(), InvalidArgument);
+  }
+  {
+    SimConfig c;
+    c.num_rvs = 0;
+    EXPECT_THROW(c.validate(), InvalidArgument);
+  }
+  {
+    SimConfig c;
+    c.energy_request_percentage = 1.5;
+    EXPECT_THROW(c.validate(), InvalidArgument);
+  }
+  {
+    SimConfig c;
+    c.energy_request_percentage = -0.1;
+    EXPECT_THROW(c.validate(), InvalidArgument);
+  }
+  {
+    SimConfig c;
+    c.battery.threshold_fraction = 1.0;
+    EXPECT_THROW(c.validate(), InvalidArgument);
+  }
+  {
+    SimConfig c;
+    c.rv.speed = MeterPerSecond{0.0};
+    EXPECT_THROW(c.validate(), InvalidArgument);
+  }
+  {
+    SimConfig c;
+    c.rv.self_recharge_fraction = 0.01;  // below the reserve fraction
+    EXPECT_THROW(c.validate(), InvalidArgument);
+  }
+  {
+    SimConfig c;
+    c.activation_slot = Second{0.0};
+    EXPECT_THROW(c.validate(), InvalidArgument);
+  }
+  {
+    SimConfig c;
+    c.field_side = Meter{-5.0};
+    EXPECT_THROW(c.validate(), InvalidArgument);
+  }
+}
+
+TEST(Config, EnumNames) {
+  EXPECT_EQ(to_string(SchedulerKind::kGreedy), "greedy");
+  EXPECT_EQ(to_string(SchedulerKind::kPartition), "partition");
+  EXPECT_EQ(to_string(SchedulerKind::kCombined), "combined");
+  EXPECT_EQ(to_string(ActivationPolicy::kFullTime), "full-time");
+  EXPECT_EQ(to_string(ActivationPolicy::kRoundRobin), "round-robin");
+}
+
+}  // namespace
+}  // namespace wrsn

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "net/deployment.hpp"
+
+namespace wrsn {
+namespace {
+
+TEST(Deployment, CountAndBounds) {
+  Xoshiro256 rng(1);
+  const auto pts = deploy_uniform(500, 200.0, rng);
+  ASSERT_EQ(pts.size(), 500u);
+  for (const Vec2& p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 200.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 200.0);
+  }
+}
+
+TEST(Deployment, DeterministicPerSeed) {
+  Xoshiro256 a(5), b(5);
+  EXPECT_EQ(deploy_uniform(100, 50.0, a), deploy_uniform(100, 50.0, b));
+}
+
+TEST(Deployment, DifferentSeedsDiffer) {
+  Xoshiro256 a(5), b(6);
+  EXPECT_NE(deploy_uniform(100, 50.0, a), deploy_uniform(100, 50.0, b));
+}
+
+TEST(Deployment, UniformMarginals) {
+  Xoshiro256 rng(9);
+  const auto pts = deploy_uniform(20000, 100.0, rng);
+  double mx = 0.0, my = 0.0;
+  int left = 0;
+  for (const Vec2& p : pts) {
+    mx += p.x;
+    my += p.y;
+    if (p.x < 50.0) ++left;
+  }
+  EXPECT_NEAR(mx / pts.size(), 50.0, 1.0);
+  EXPECT_NEAR(my / pts.size(), 50.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(left) / pts.size(), 0.5, 0.02);
+}
+
+TEST(Deployment, ZeroSensorsAllowed) {
+  Xoshiro256 rng(1);
+  EXPECT_TRUE(deploy_uniform(0, 10.0, rng).empty());
+}
+
+TEST(Deployment, Validation) {
+  Xoshiro256 rng(1);
+  EXPECT_THROW(deploy_uniform(10, 0.0, rng), InvalidArgument);
+  EXPECT_THROW((void)random_location(-1.0, rng), InvalidArgument);
+}
+
+TEST(Deployment, RandomLocationInField) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const Vec2 p = random_location(75.0, rng);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 75.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 75.0);
+  }
+}
+
+}  // namespace
+}  // namespace wrsn

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "activity/erp.hpp"
+#include "core/error.hpp"
+
+namespace wrsn {
+namespace {
+
+TEST(Erp, ZeroErpTriggersOnFirstRequest) {
+  for (std::size_t n : {1u, 2u, 5u, 20u}) {
+    EXPECT_EQ(erp_trigger_count(n, 0.0), 1u) << "n=" << n;
+  }
+}
+
+TEST(Erp, FullErpRequiresWholeCluster) {
+  for (std::size_t n : {1u, 2u, 5u, 20u}) {
+    EXPECT_EQ(erp_trigger_count(n, 1.0), n) << "n=" << n;
+  }
+}
+
+TEST(Erp, CeilSemantics) {
+  EXPECT_EQ(erp_trigger_count(5, 0.6), 3u);   // ceil(3.0)
+  EXPECT_EQ(erp_trigger_count(5, 0.61), 4u);  // ceil(3.05)
+  EXPECT_EQ(erp_trigger_count(3, 0.5), 2u);   // ceil(1.5)
+  EXPECT_EQ(erp_trigger_count(10, 0.25), 3u); // ceil(2.5)
+}
+
+TEST(Erp, AtLeastOneEvenForTinyErp) {
+  EXPECT_EQ(erp_trigger_count(10, 0.001), 1u);
+  EXPECT_EQ(erp_trigger_count(0, 0.5), 1u);  // degenerate empty cluster
+}
+
+TEST(Erp, NeverExceedsClusterSize) {
+  for (std::size_t n = 1; n <= 30; ++n) {
+    for (double k : {0.0, 0.1, 0.33, 0.5, 0.75, 0.99, 1.0}) {
+      const std::size_t trig = erp_trigger_count(n, k);
+      EXPECT_GE(trig, 1u);
+      EXPECT_LE(trig, n);
+    }
+  }
+}
+
+TEST(Erp, Validation) {
+  EXPECT_THROW((void)erp_trigger_count(5, -0.1), InvalidArgument);
+  EXPECT_THROW((void)erp_trigger_count(5, 1.1), InvalidArgument);
+  EXPECT_THROW((void)travel_energy_with_erc(5, 2.0, Meter{1.0}, JoulePerMeter{5.6}),
+               InvalidArgument);
+}
+
+TEST(Erp, TravelEnergyWithoutErcWorstCase) {
+  // 2 * n_c * dist * e_m
+  const Joule e = travel_energy_without_erc(6, Meter{100.0}, JoulePerMeter{5.6});
+  EXPECT_DOUBLE_EQ(e.value(), 2.0 * 6.0 * 100.0 * 5.6);
+}
+
+TEST(Erp, TravelEnergyFullBatchingIsOneTrip) {
+  // K = 1: a single round trip, 1/n_c of the unmanaged cost.
+  const std::size_t nc = 8;
+  const Joule with = travel_energy_with_erc(nc, 1.0, Meter{50.0}, JoulePerMeter{5.6});
+  const Joule without = travel_energy_without_erc(nc, Meter{50.0}, JoulePerMeter{5.6});
+  EXPECT_DOUBLE_EQ(with.value() * static_cast<double>(nc), without.value());
+}
+
+TEST(Erp, TravelEnergyK0MatchesUnmanaged) {
+  // max(n_c*0, 1) = 1 -> same as requesting individually.
+  const Joule with = travel_energy_with_erc(5, 0.0, Meter{70.0}, JoulePerMeter{5.6});
+  const Joule without = travel_energy_without_erc(5, Meter{70.0}, JoulePerMeter{5.6});
+  EXPECT_DOUBLE_EQ(with.value(), without.value());
+}
+
+// Property sweep over K: the analytic saving is monotone non-increasing in K
+// and bounded between 1/n_c and 1 of the unmanaged cost.
+class ErpSavingProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ErpSavingProperty, MonotoneAndBounded) {
+  const std::size_t nc = GetParam();
+  const Meter dist{120.0};
+  const JoulePerMeter em{5.6};
+  const Joule unmanaged = travel_energy_without_erc(nc, dist, em);
+  double prev = unmanaged.value() + 1.0;
+  for (double k = 0.0; k <= 1.0; k += 0.05) {
+    const double cur = travel_energy_with_erc(nc, k, dist, em).value();
+    EXPECT_LE(cur, prev + 1e-9) << "k=" << k;
+    EXPECT_LE(cur, unmanaged.value() + 1e-9);
+    EXPECT_GE(cur * static_cast<double>(nc), unmanaged.value() - 1e-9);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterSizes, ErpSavingProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace wrsn

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "sim/events.hpp"
+
+namespace wrsn {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  q.push(5.0, EventKind::kSlotRotation);
+  q.push(1.0, EventKind::kTargetMove, 3);
+  q.push(3.0, EventKind::kSensorCrossing, 7, 2);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_DOUBLE_EQ(q.pop().time, 1.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 3.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 5.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, FifoTieBreakAtEqualTimes) {
+  EventQueue q;
+  q.push(2.0, EventKind::kTargetMove, 0);
+  q.push(2.0, EventKind::kTargetMove, 1);
+  q.push(2.0, EventKind::kTargetMove, 2);
+  EXPECT_EQ(q.pop().subject, 0u);
+  EXPECT_EQ(q.pop().subject, 1u);
+  EXPECT_EQ(q.pop().subject, 2u);
+}
+
+TEST(EventQueue, CarriesPayload) {
+  EventQueue q;
+  q.push(1.5, EventKind::kRvArrival, 2, 9);
+  const Event e = q.pop();
+  EXPECT_EQ(e.kind, EventKind::kRvArrival);
+  EXPECT_EQ(e.subject, 2u);
+  EXPECT_EQ(e.epoch, 9u);
+  EXPECT_DOUBLE_EQ(e.time, 1.5);
+}
+
+TEST(EventQueue, TopDoesNotPop) {
+  EventQueue q;
+  q.push(1.0, EventKind::kSimEnd);
+  EXPECT_DOUBLE_EQ(q.top().time, 1.0);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue q;
+  q.push(10.0, EventKind::kSimEnd);
+  q.push(1.0, EventKind::kSlotRotation);
+  EXPECT_DOUBLE_EQ(q.pop().time, 1.0);
+  q.push(5.0, EventKind::kSlotRotation);
+  q.push(0.5, EventKind::kSlotRotation);
+  EXPECT_DOUBLE_EQ(q.pop().time, 0.5);
+  EXPECT_DOUBLE_EQ(q.pop().time, 5.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 10.0);
+}
+
+TEST(EventQueue, LargeVolumeStaysSorted) {
+  EventQueue q;
+  // Pseudo-random insertion order.
+  std::uint64_t x = 88172645463325252ULL;
+  for (int i = 0; i < 10000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    q.push(static_cast<double>(x % 100000) / 7.0, EventKind::kSensorCrossing, i);
+  }
+  double prev = -1.0;
+  while (!q.empty()) {
+    const double t = q.pop().time;
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace wrsn

@@ -1,0 +1,163 @@
+// Failure-injection tests: the framework's behaviour when sensors drop dead
+// unexpectedly — rotor failover, routing repair, request escalation and
+// eventual revival by RVs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/world.hpp"
+
+namespace wrsn {
+namespace {
+
+SimConfig small_config() {
+  SimConfig cfg;
+  cfg.num_sensors = 120;
+  cfg.num_targets = 4;
+  cfg.num_rvs = 2;
+  cfg.field_side = meters(100.0);
+  cfg.sim_duration = days(3.0);
+  cfg.seed = 555;
+  return cfg;
+}
+
+TEST(FaultInjection, KillsSensorImmediately) {
+  World w(small_config());
+  w.run_until(hours(1.0));
+  ASSERT_TRUE(w.network().sensor(0).alive());
+  w.inject_sensor_failure(0);
+  EXPECT_FALSE(w.network().sensor(0).alive());
+  EXPECT_FALSE(w.network().sensor(0).monitoring);
+}
+
+TEST(FaultInjection, IdempotentOnDeadSensor) {
+  World w(small_config());
+  w.inject_sensor_failure(0);
+  const auto deaths_before = w.report().sensor_deaths;
+  w.inject_sensor_failure(0);  // no-op
+  EXPECT_EQ(w.report().sensor_deaths, deaths_before);
+}
+
+TEST(FaultInjection, OutOfRangeRejected) {
+  World w(small_config());
+  EXPECT_THROW(w.inject_sensor_failure(99999), InvalidArgument);
+}
+
+TEST(FaultInjection, MonitorFailoverWithinCluster) {
+  World w(small_config());
+  // Find a cluster with at least two members and kill its active monitor.
+  const auto& cs = w.clusters();
+  TargetId target = kInvalidId;
+  SensorId monitor = kInvalidId;
+  for (TargetId t = 0; t < cs.num_clusters(); ++t) {
+    if (cs.members[t].size() < 2) continue;
+    for (SensorId s : cs.members[t]) {
+      if (w.network().sensor(s).monitoring) {
+        target = t;
+        monitor = s;
+      }
+    }
+    if (monitor != kInvalidId) break;
+  }
+  ASSERT_NE(monitor, kInvalidId) << "test network has no multi-member cluster";
+  w.inject_sensor_failure(monitor);
+  // Another member of the same cluster must have taken over.
+  std::size_t monitoring = 0;
+  for (SensorId s : cs.members[target]) {
+    if (w.network().sensor(s).monitoring) {
+      ++monitoring;
+      EXPECT_NE(s, monitor);
+      EXPECT_TRUE(w.network().sensor(s).alive());
+    }
+  }
+  EXPECT_EQ(monitoring, 1u);
+}
+
+TEST(FaultInjection, DeadSensorLeavesRoutingTree) {
+  World w(small_config());
+  // Pick a sensor that currently relays (has a parent and children).
+  SensorId relay = kInvalidId;
+  for (SensorId s = 0; s < w.network().num_sensors() && relay == kInvalidId; ++s) {
+    for (SensorId v = 0; v < w.network().num_sensors(); ++v) {
+      if (w.network().routing().parent(v) == s) {
+        relay = s;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(relay, kInvalidId);
+  w.inject_sensor_failure(relay);
+  EXPECT_FALSE(w.network().routing().reachable(relay));
+  // No alive sensor routes through the dead relay anymore.
+  for (SensorId v = 0; v < w.network().num_sensors(); ++v) {
+    if (!w.network().sensor(v).alive()) continue;
+    EXPECT_NE(w.network().routing().parent(v), relay);
+  }
+}
+
+TEST(FaultInjection, FailedSensorRequestsAndGetsRevived) {
+  SimConfig cfg = small_config();
+  cfg.sim_duration = days(2.0);
+  World w(cfg);
+  w.run_until(hours(1.0));
+  w.inject_sensor_failure(7);
+  // The dead node's request must be pending or already claimed.
+  EXPECT_TRUE(w.network().sensor(7).recharge_requested);
+  // Give the RVs time to drive out and recharge it.
+  w.run_until(hours(12.0));
+  EXPECT_TRUE(w.network().sensor(7).alive());
+  EXPECT_GE(w.report().sensors_recharged, 1u);
+}
+
+TEST(FaultInjection, MassFailureDegradesCoverageThenRecovers) {
+  SimConfig cfg = small_config();
+  cfg.sim_duration = days(4.0);
+  World w(cfg);
+  w.run_until(hours(1.0));
+  const StateSnapshot before = w.snapshot();
+  // Kill a third of the network.
+  for (SensorId s = 0; s < 40; ++s) w.inject_sensor_failure(s);
+  const StateSnapshot after = w.snapshot();
+  EXPECT_EQ(after.alive_sensors, before.alive_sensors - 40);
+  // Recovery: RVs revive nodes over the following days.
+  w.run_until(days(4.0));
+  EXPECT_GT(w.snapshot().alive_sensors, after.alive_sensors);
+}
+
+TEST(Tracer, ReceivesEventsInTimeOrder) {
+  SimConfig cfg = small_config();
+  cfg.sim_duration = hours(6.0);
+  World w(cfg);
+  std::vector<World::TraceEvent> events;
+  w.set_tracer([&](const World::TraceEvent& e) { events.push_back(e); });
+  w.run();
+  ASSERT_FALSE(events.empty());
+  double prev = -1.0;
+  std::set<EventKind> kinds;
+  for (const auto& e : events) {
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+    kinds.insert(e.kind);
+  }
+  // At minimum the periodic machinery fired.
+  EXPECT_TRUE(kinds.contains(EventKind::kSlotRotation));
+  EXPECT_TRUE(kinds.contains(EventKind::kTargetMove));
+  EXPECT_TRUE(kinds.contains(EventKind::kMetricsSample));
+}
+
+TEST(Tracer, CanBeCleared) {
+  SimConfig cfg = small_config();
+  cfg.sim_duration = hours(2.0);
+  World w(cfg);
+  int count = 0;
+  w.set_tracer([&](const World::TraceEvent&) { ++count; });
+  w.run_until(hours(1.0));
+  const int after_first = count;
+  EXPECT_GT(after_first, 0);
+  w.set_tracer(nullptr);
+  w.run_until(hours(2.0));
+  EXPECT_EQ(count, after_first);
+}
+
+}  // namespace
+}  // namespace wrsn

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/json.hpp"
+#include "sim/metrics.hpp"
+
+namespace wrsn {
+namespace {
+
+TEST(Json, EmptyObject) {
+  JsonWriter w;
+  w.begin_object().end_object();
+  EXPECT_EQ(w.str(), "{}");
+}
+
+TEST(Json, EmptyArray) {
+  JsonWriter w;
+  w.begin_array().end_array();
+  EXPECT_EQ(w.str(), "[]");
+}
+
+TEST(Json, ScalarFields) {
+  JsonWriter w;
+  w.begin_object()
+      .field("s", "text")
+      .field("d", 1.5)
+      .field("i", std::int64_t{-3})
+      .field("u", std::uint64_t{7})
+      .field("b", true)
+      .key("n")
+      .null()
+      .end_object();
+  EXPECT_EQ(w.str(), R"({"s":"text","d":1.5,"i":-3,"u":7,"b":true,"n":null})");
+}
+
+TEST(Json, NestedStructures) {
+  JsonWriter w;
+  w.begin_object().key("xs").begin_array();
+  w.value(1.0).value(2.0);
+  w.begin_object().field("k", "v").end_object();
+  w.end_array().end_object();
+  EXPECT_EQ(w.str(), R"({"xs":[1,2,{"k":"v"}]})");
+}
+
+TEST(Json, StringEscaping) {
+  JsonWriter w;
+  w.begin_object().field("k", "a\"b\\c\nd\te").end_object();
+  EXPECT_EQ(w.str(), "{\"k\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(Json, ControlCharactersEscaped) {
+  JsonWriter w;
+  std::string s = "x";
+  s += static_cast<char>(1);
+  w.begin_array().value(s).end_array();
+  EXPECT_EQ(w.str(), "[\"x\\u0001\"]");
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  JsonWriter w;
+  w.begin_array()
+      .value(std::numeric_limits<double>::infinity())
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(Json, MisuseDetected) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1.0), InvalidArgument);  // value without key
+  }
+  {
+    JsonWriter w;
+    w.begin_object().key("a");
+    EXPECT_THROW(w.key("b"), InvalidArgument);  // two keys in a row
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("a"), InvalidArgument);  // key inside array
+    EXPECT_THROW(w.end_object(), InvalidArgument);
+  }
+  {
+    JsonWriter w;
+    w.begin_object().key("a");
+    EXPECT_THROW(w.end_object(), InvalidArgument);  // dangling key
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW((void)w.str(), InvalidArgument);  // unclosed scope
+  }
+  {
+    JsonWriter w;
+    w.value(1.0);
+    EXPECT_THROW(w.value(2.0), InvalidArgument);  // two top-level documents
+  }
+}
+
+TEST(Json, MetricsReportRoundTripKeys) {
+  MetricsReport r;
+  r.duration = days(1.0);
+  r.rv_travel_energy = megajoules(1.5);
+  r.energy_recharged = megajoules(3.0);
+  r.coverage_ratio = 0.97;
+  r.sensors_recharged = 42;
+  const std::string json = to_json(r);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"duration_s\":86400"), std::string::npos);
+  EXPECT_NE(json.find("\"energy_recharged_j\":3000000"), std::string::npos);
+  EXPECT_NE(json.find("\"sensors_recharged\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"objective_score_j\":1500000"), std::string::npos);
+  // Doubles print with full precision (0.97 -> 0.96999...); check prefix.
+  EXPECT_NE(json.find("\"coverage_ratio\":0.9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wrsn

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "net/deployment.hpp"
+#include "sched/kmeans.hpp"
+
+namespace wrsn {
+namespace {
+
+TEST(KMeans, EmptyInput) {
+  Xoshiro256 rng(1);
+  const auto r = kmeans({}, 3, rng);
+  EXPECT_TRUE(r.assignment.empty());
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(KMeans, KAtLeastN) {
+  Xoshiro256 rng(1);
+  const std::vector<Vec2> pts = {{0, 0}, {1, 1}};
+  const auto r = kmeans(pts, 5, rng);
+  EXPECT_EQ(r.assignment, (std::vector<std::size_t>{0, 1}));
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(KMeans, RejectsZeroK) {
+  Xoshiro256 rng(1);
+  EXPECT_THROW(kmeans({{0, 0}}, 0, rng), InvalidArgument);
+}
+
+TEST(KMeans, SeparatesObviousClusters) {
+  Xoshiro256 rng(2);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 20; ++i) pts.push_back({rng.uniform(0.0, 5.0), rng.uniform(0.0, 5.0)});
+  for (int i = 0; i < 20; ++i) pts.push_back({rng.uniform(95.0, 100.0), rng.uniform(95.0, 100.0)});
+  const auto r = kmeans(pts, 2, rng);
+  ASSERT_TRUE(r.converged);
+  // All of the first 20 share one label, all of the last 20 the other.
+  for (int i = 1; i < 20; ++i) EXPECT_EQ(r.assignment[i], r.assignment[0]);
+  for (int i = 21; i < 40; ++i) EXPECT_EQ(r.assignment[i], r.assignment[20]);
+  EXPECT_NE(r.assignment[0], r.assignment[20]);
+}
+
+TEST(KMeans, CentroidsAreClusterMeans) {
+  Xoshiro256 rng(3);
+  const auto pts = deploy_uniform(100, 50.0, rng);
+  const auto r = kmeans(pts, 4, rng);
+  std::vector<Vec2> sums(4, Vec2{});
+  std::vector<std::size_t> counts(4, 0);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    sums[r.assignment[i]] += pts[i];
+    ++counts[r.assignment[i]];
+  }
+  for (std::size_t c = 0; c < 4; ++c) {
+    if (counts[c] == 0) continue;
+    const Vec2 mean = sums[c] / static_cast<double>(counts[c]);
+    EXPECT_NEAR(mean.x, r.centroids[c].x, 1e-9);
+    EXPECT_NEAR(mean.y, r.centroids[c].y, 1e-9);
+  }
+}
+
+TEST(KMeans, AssignmentIsNearestCentroid) {
+  Xoshiro256 rng(4);
+  const auto pts = deploy_uniform(150, 80.0, rng);
+  const auto r = kmeans(pts, 3, rng);
+  ASSERT_TRUE(r.converged);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const double assigned = squared_distance(pts[i], r.centroids[r.assignment[i]]);
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_LE(assigned, squared_distance(pts[i], r.centroids[c]) + 1e-9);
+    }
+  }
+}
+
+TEST(KMeans, WcssMatchesHelper) {
+  Xoshiro256 rng(5);
+  const auto pts = deploy_uniform(60, 40.0, rng);
+  const auto r = kmeans(pts, 3, rng);
+  EXPECT_NEAR(r.wcss, wcss_of(pts, r.assignment, r.centroids), 1e-9);
+}
+
+TEST(KMeans, MoreClustersNeverIncreaseWcss) {
+  Xoshiro256 rng(6);
+  const auto pts = deploy_uniform(120, 60.0, rng);
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 1; k <= 6; ++k) {
+    Xoshiro256 r2(6);  // fresh stream per k for determinism
+    const auto r = kmeans(pts, k, r2);
+    // Lloyd is a local optimizer; allow slight non-monotonicity headroom.
+    EXPECT_LE(r.wcss, prev * 1.10 + 1e-9) << "k=" << k;
+    prev = std::min(prev, r.wcss);
+  }
+}
+
+TEST(KMeans, DeterministicGivenSameRngState) {
+  Xoshiro256 a(7), b(7);
+  const auto pts = deploy_uniform(80, 30.0, a);
+  Xoshiro256 c(9), d(9);
+  const auto r1 = kmeans(pts, 3, c);
+  const auto r2 = kmeans(pts, 3, d);
+  EXPECT_EQ(r1.assignment, r2.assignment);
+  EXPECT_DOUBLE_EQ(r1.wcss, r2.wcss);
+  (void)b;
+}
+
+TEST(KMeans, IdenticalPointsHandled) {
+  Xoshiro256 rng(8);
+  const std::vector<Vec2> pts(10, Vec2{5.0, 5.0});
+  const auto r = kmeans(pts, 3, rng);
+  EXPECT_EQ(r.assignment.size(), 10u);
+  EXPECT_NEAR(r.wcss, 0.0, 1e-12);
+}
+
+TEST(KMeans, NoEmptyClustersOnDistinctPoints) {
+  Xoshiro256 rng(9);
+  const auto pts = deploy_uniform(50, 100.0, rng);
+  const auto r = kmeans(pts, 5, rng);
+  std::set<std::size_t> used(r.assignment.begin(), r.assignment.end());
+  EXPECT_EQ(used.size(), 5u);
+}
+
+TEST(KMeans, WcssOfValidation) {
+  EXPECT_THROW((void)wcss_of({{0, 0}}, {0, 1}, {{0, 0}}), InvalidArgument);
+  EXPECT_THROW((void)wcss_of({{0, 0}}, {3}, {{0, 0}}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wrsn

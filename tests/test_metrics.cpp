@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "sim/metrics.hpp"
+
+namespace wrsn {
+namespace {
+
+StateSnapshot snap(std::size_t coverable, std::size_t covered, std::size_t alive,
+                   std::size_t total, double pps = 0.0) {
+  StateSnapshot s;
+  s.coverable_targets = coverable;
+  s.covered_targets = covered;
+  s.alive_sensors = alive;
+  s.total_sensors = total;
+  s.delivery_rate_pps = pps;
+  return s;
+}
+
+TEST(Metrics, EmptyFinalize) {
+  MetricsIntegrator m;
+  const auto r = m.finalize(Second{0.0});
+  EXPECT_DOUBLE_EQ(r.coverage_ratio, 1.0);  // vacuous coverage
+  EXPECT_DOUBLE_EQ(r.missing_rate, 0.0);
+  EXPECT_DOUBLE_EQ(r.rv_travel_energy.value(), 0.0);
+}
+
+TEST(Metrics, CoverageTimeWeighted) {
+  MetricsIntegrator m;
+  m.advance(Second{10.0}, snap(10, 10, 100, 100));  // fully covered
+  m.advance(Second{10.0}, snap(10, 5, 100, 100));   // half covered
+  const auto r = m.finalize(Second{20.0});
+  EXPECT_DOUBLE_EQ(r.coverage_ratio, 0.75);
+  EXPECT_DOUBLE_EQ(r.missing_rate, 0.25);
+}
+
+TEST(Metrics, CoverableWeighting) {
+  MetricsIntegrator m;
+  // 2 coverable of which 2 covered, then 8 coverable of which 2 covered.
+  m.advance(Second{1.0}, snap(2, 2, 10, 10));
+  m.advance(Second{1.0}, snap(8, 2, 10, 10));
+  const auto r = m.finalize(Second{2.0});
+  EXPECT_DOUBLE_EQ(r.coverage_ratio, 4.0 / 10.0);
+  EXPECT_DOUBLE_EQ(r.avg_coverable_targets, 5.0);
+}
+
+TEST(Metrics, NonfunctionalPercent) {
+  MetricsIntegrator m;
+  m.advance(Second{10.0}, snap(1, 1, 90, 100));
+  m.advance(Second{10.0}, snap(1, 1, 70, 100));
+  const auto r = m.finalize(Second{20.0});
+  EXPECT_DOUBLE_EQ(r.nonfunctional_pct, 20.0);
+  EXPECT_DOUBLE_EQ(r.avg_alive_sensors, 80.0);
+}
+
+TEST(Metrics, PacketsIntegrateRate) {
+  MetricsIntegrator m;
+  m.advance(Second{100.0}, snap(0, 0, 1, 1, 0.25));
+  m.advance(Second{100.0}, snap(0, 0, 1, 1, 0.75));
+  const auto r = m.finalize(Second{200.0});
+  EXPECT_DOUBLE_EQ(r.packets_delivered, 100.0);
+}
+
+TEST(Metrics, ZeroDtIsNoop) {
+  MetricsIntegrator m;
+  m.advance(Second{0.0}, snap(5, 0, 0, 10));
+  const auto r = m.finalize(Second{0.0});
+  EXPECT_DOUBLE_EQ(r.coverage_ratio, 1.0);
+}
+
+TEST(Metrics, NegativeDtRejected) {
+  MetricsIntegrator m;
+  EXPECT_THROW(m.advance(Second{-1.0}, snap(0, 0, 0, 0)), InvalidArgument);
+}
+
+TEST(Metrics, RvCounters) {
+  MetricsIntegrator m;
+  m.on_rv_leg(Meter{100.0}, Joule{560.0});
+  m.on_rv_leg(Meter{50.0}, Joule{280.0});
+  m.on_recharge(3, Joule{1000.0}, Second{60.0});
+  m.on_recharge(4, Joule{2000.0}, Second{120.0});
+  m.on_rv_tour_started();
+  m.on_rv_base_recharge(Joule{5000.0});
+  m.on_sensor_death();
+  m.on_request();
+  m.on_request();
+  const auto r = m.finalize(Second{100.0});
+  EXPECT_DOUBLE_EQ(r.rv_travel_distance.value(), 150.0);
+  EXPECT_DOUBLE_EQ(r.rv_travel_energy.value(), 840.0);
+  EXPECT_DOUBLE_EQ(r.energy_recharged.value(), 3000.0);
+  EXPECT_EQ(r.sensors_recharged, 2u);
+  EXPECT_DOUBLE_EQ(r.avg_request_latency.value(), 90.0);
+  EXPECT_EQ(r.rv_tours, 1u);
+  EXPECT_EQ(r.rv_base_recharges, 1u);
+  EXPECT_DOUBLE_EQ(r.rv_base_energy_drawn.value(), 5000.0);
+  EXPECT_EQ(r.sensor_deaths, 1u);
+  EXPECT_EQ(r.recharge_requests, 2u);
+}
+
+TEST(Metrics, LatencyPercentiles) {
+  MetricsIntegrator m;
+  for (int i = 1; i <= 100; ++i) {
+    m.on_recharge(static_cast<std::size_t>(i), Joule{1.0},
+                  Second{static_cast<double>(i)});
+  }
+  const auto r = m.finalize(Second{1.0});
+  EXPECT_NEAR(r.p50_request_latency.value(), 50.0, 1.0);
+  EXPECT_NEAR(r.p95_request_latency.value(), 95.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.max_request_latency.value(), 100.0);
+  EXPECT_DOUBLE_EQ(r.avg_request_latency.value(), 50.5);
+}
+
+TEST(Metrics, LatencyPercentilesEmptyAndSingle) {
+  MetricsIntegrator empty;
+  EXPECT_DOUBLE_EQ(empty.finalize(Second{1.0}).p95_request_latency.value(), 0.0);
+  MetricsIntegrator one;
+  one.on_recharge(0, Joule{1.0}, Second{42.0});
+  const auto r = one.finalize(Second{1.0});
+  EXPECT_DOUBLE_EQ(r.p50_request_latency.value(), 42.0);
+  EXPECT_DOUBLE_EQ(r.p95_request_latency.value(), 42.0);
+  EXPECT_DOUBLE_EQ(r.max_request_latency.value(), 42.0);
+}
+
+TEST(Metrics, JainFairness) {
+  // Perfectly even: fairness 1.
+  MetricsIntegrator even;
+  for (std::size_t s = 0; s < 4; ++s) {
+    even.on_recharge(s, Joule{1.0}, Second{0.0});
+    even.on_recharge(s, Joule{1.0}, Second{0.0});
+  }
+  EXPECT_DOUBLE_EQ(even.finalize(Second{1.0}).recharge_fairness_jain, 1.0);
+  // Skewed: (1+1+6)^2 / (3 * (1+1+36)) = 64/114.
+  MetricsIntegrator skew;
+  skew.on_recharge(0, Joule{1.0}, Second{0.0});
+  skew.on_recharge(1, Joule{1.0}, Second{0.0});
+  for (int i = 0; i < 6; ++i) skew.on_recharge(2, Joule{1.0}, Second{0.0});
+  EXPECT_NEAR(skew.finalize(Second{1.0}).recharge_fairness_jain, 64.0 / 114.0,
+              1e-12);
+  // No recharges: defined as 1.
+  MetricsIntegrator none;
+  EXPECT_DOUBLE_EQ(none.finalize(Second{1.0}).recharge_fairness_jain, 1.0);
+}
+
+TEST(Metrics, ObjectiveScoreIsExpressionTwo) {
+  MetricsIntegrator m;
+  m.on_recharge(0, Joule{10000.0}, Second{0.0});
+  m.on_rv_leg(Meter{100.0}, Joule{560.0});
+  const auto r = m.finalize(Second{1.0});
+  EXPECT_DOUBLE_EQ(r.objective_score().value(), 10000.0 - 560.0);
+}
+
+TEST(Metrics, RechargingCostDefinition) {
+  MetricsIntegrator m;
+  m.on_rv_leg(Meter{1000.0}, Joule{5600.0});
+  m.advance(Second{10.0}, snap(0, 0, 100, 100));
+  const auto r = m.finalize(Second{10.0});
+  EXPECT_DOUBLE_EQ(r.recharging_cost_m_per_sensor(), 10.0);
+}
+
+TEST(Metrics, RechargingCostZeroAliveGuard) {
+  MetricsIntegrator m;
+  m.on_rv_leg(Meter{100.0}, Joule{560.0});
+  const auto r = m.finalize(Second{1.0});
+  EXPECT_DOUBLE_EQ(r.recharging_cost_m_per_sensor(), 0.0);
+}
+
+}  // namespace
+}  // namespace wrsn

@@ -1,0 +1,90 @@
+// Heisenberg tests: observation features (time series, tracer, sampling
+// cadence) must never perturb the simulated physics.
+#include <gtest/gtest.h>
+
+#include "sim/world.hpp"
+
+namespace wrsn {
+namespace {
+
+SimConfig obs_config() {
+  SimConfig cfg;
+  cfg.num_sensors = 130;
+  cfg.num_targets = 5;
+  cfg.num_rvs = 2;
+  cfg.field_side = meters(100.0);
+  cfg.sim_duration = days(5.0);
+  cfg.radio.listen_duty_cycle = 0.2;
+  cfg.seed = 20101;
+  return cfg;
+}
+
+void expect_same_physics(const MetricsReport& a, const MetricsReport& b) {
+  EXPECT_DOUBLE_EQ(a.rv_travel_distance.value(), b.rv_travel_distance.value());
+  EXPECT_DOUBLE_EQ(a.energy_recharged.value(), b.energy_recharged.value());
+  EXPECT_DOUBLE_EQ(a.coverage_ratio, b.coverage_ratio);
+  EXPECT_DOUBLE_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.sensor_deaths, b.sensor_deaths);
+  EXPECT_EQ(a.recharge_requests, b.recharge_requests);
+  EXPECT_EQ(a.sensors_recharged, b.sensors_recharged);
+}
+
+TEST(Observability, TimeSeriesRecordingDoesNotPerturb) {
+  World plain(obs_config());
+  World observed(obs_config());
+  observed.enable_time_series(true);
+  expect_same_physics(plain.run(), observed.run());
+  EXPECT_FALSE(observed.time_series().empty());
+}
+
+TEST(Observability, TracerDoesNotPerturb) {
+  World plain(obs_config());
+  World traced(obs_config());
+  std::size_t events = 0;
+  traced.set_tracer([&](const World::TraceEvent&) { ++events; });
+  expect_same_physics(plain.run(), traced.run());
+  EXPECT_GT(events, 100u);
+}
+
+TEST(Observability, SamplePeriodDoesNotPerturbPhysics) {
+  SimConfig coarse = obs_config();
+  coarse.metrics_sample_period = hours(12.0);
+  SimConfig fine = obs_config();
+  fine.metrics_sample_period = minutes(10.0);
+  World a(coarse), b(fine);
+  expect_same_physics(a.run(), b.run());
+}
+
+TEST(Observability, SnapshotQueryIsPure) {
+  World w(obs_config());
+  w.run_until(days(1.0));
+  const StateSnapshot s1 = w.snapshot();
+  const StateSnapshot s2 = w.snapshot();
+  EXPECT_EQ(s1.covered_targets, s2.covered_targets);
+  EXPECT_EQ(s1.alive_sensors, s2.alive_sensors);
+  EXPECT_DOUBLE_EQ(s1.delivery_rate_pps, s2.delivery_rate_pps);
+  // Querying does not advance time or change outcomes.
+  World untouched(obs_config());
+  untouched.run_until(days(1.0));
+  w.run_until(days(5.0));
+  untouched.run_until(days(5.0));
+  expect_same_physics(w.report(), untouched.report());
+}
+
+TEST(Observability, ReportIsIdempotentMidRun) {
+  World w(obs_config());
+  w.run_until(days(2.0));
+  const MetricsReport r1 = w.report();
+  const MetricsReport r2 = w.report();
+  expect_same_physics(r1, r2);
+  EXPECT_DOUBLE_EQ(r1.duration.value(), days(2.0).value());
+}
+
+TEST(Observability, JsonSerializationIsStableForAReport) {
+  World w(obs_config());
+  const MetricsReport r = w.run();
+  EXPECT_EQ(to_json(r), to_json(r));
+}
+
+}  // namespace
+}  // namespace wrsn

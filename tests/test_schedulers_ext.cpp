@@ -1,0 +1,153 @@
+// Tests for the library-extension schedulers (nearest-first, FCFS) and the
+// optional 2-opt tour polishing.
+#include <gtest/gtest.h>
+
+#include "sched/planner.hpp"
+#include "sim/runner.hpp"
+#include "sim/world.hpp"
+
+namespace wrsn {
+namespace {
+
+RechargeItem item_at(Vec2 pos, double demand, bool critical = false,
+                     SensorId sensor = 0) {
+  RechargeItem it;
+  it.pos = pos;
+  it.demand = Joule{demand};
+  it.critical = critical;
+  it.sensors = {sensor};
+  return it;
+}
+
+PlannerParams params() { return {JoulePerMeter{5.6}, Vec2{100, 100}}; }
+
+TEST(NearestNext, PicksClosestRegardlessOfDemand) {
+  const std::vector<RechargeItem> items = {
+      item_at({190, 100}, 5000.0),  // far, rich
+      item_at({105, 100}, 100.0),   // near, poor
+  };
+  RvPlanState rv{{100, 100}, Joule{50000.0}};
+  std::vector<bool> taken(2, false);
+  const auto got = nearest_next(rv, items, taken, params());
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 1u);
+}
+
+TEST(NearestNext, CriticalStillDominates) {
+  const std::vector<RechargeItem> items = {
+      item_at({105, 100}, 100.0, false),
+      item_at({190, 100}, 100.0, true),
+  };
+  RvPlanState rv{{100, 100}, Joule{50000.0}};
+  std::vector<bool> taken(2, false);
+  const auto got = nearest_next(rv, items, taken, params());
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 1u);
+}
+
+TEST(NearestNext, RespectsBudgetAndTaken) {
+  const std::vector<RechargeItem> items = {
+      item_at({105, 100}, 100.0),
+      item_at({110, 100}, 100.0),
+  };
+  RvPlanState rv{{100, 100}, Joule{250.0}};  // item1 costs 5.6*20+100 = 212
+  std::vector<bool> taken = {true, false};
+  const auto got = nearest_next(rv, items, taken, params());
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 1u);
+  RvPlanState broke{{100, 100}, Joule{50.0}};
+  EXPECT_FALSE(nearest_next(broke, items, taken, params()).has_value());
+}
+
+TEST(EdfNext, PicksLowestFractionRegardlessOfGeometry) {
+  std::vector<RechargeItem> items = {
+      item_at({105, 100}, 100.0),  // near
+      item_at({190, 100}, 100.0),  // far but more urgent
+  };
+  items[0].min_fraction = 0.45;
+  items[1].min_fraction = 0.05;
+  RvPlanState rv{{100, 100}, Joule{50000.0}};
+  std::vector<bool> taken(2, false);
+  const auto got = edf_next(rv, items, taken, params());
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 1u);
+}
+
+TEST(EdfNext, RespectsBudget) {
+  std::vector<RechargeItem> items = {item_at({190, 100}, 100.0)};
+  items[0].min_fraction = 0.01;
+  RvPlanState broke{{100, 100}, Joule{50.0}};
+  std::vector<bool> taken(1, false);
+  EXPECT_FALSE(edf_next(broke, items, taken, params()).has_value());
+}
+
+SimConfig ext_config(SchedulerKind sched) {
+  SimConfig cfg;
+  cfg.num_sensors = 150;
+  cfg.num_targets = 6;
+  cfg.num_rvs = 2;
+  cfg.field_side = meters(110.0);
+  cfg.sim_duration = days(8.0);
+  cfg.radio.listen_duty_cycle = 0.12;
+  cfg.scheduler = sched;
+  cfg.seed = 777;
+  return cfg;
+}
+
+TEST(ExtensionSchedulers, NearestFirstRunsAndServes) {
+  const auto r = run_replica(ext_config(SchedulerKind::kNearestFirst));
+  EXPECT_GT(r.sensors_recharged, 10u);
+  EXPECT_GT(r.coverage_ratio, 0.8);
+}
+
+TEST(ExtensionSchedulers, FcfsRunsAndServes) {
+  const auto r = run_replica(ext_config(SchedulerKind::kFcfs));
+  EXPECT_GT(r.sensors_recharged, 10u);
+  EXPECT_GT(r.coverage_ratio, 0.8);
+}
+
+TEST(ExtensionSchedulers, EdfRunsAndServes) {
+  const auto r = run_replica(ext_config(SchedulerKind::kEdf));
+  EXPECT_GT(r.sensors_recharged, 10u);
+  EXPECT_GT(r.coverage_ratio, 0.8);
+  // EDF chases the most-depleted nodes, so fairness across served sensors
+  // stays high.
+  EXPECT_GT(r.recharge_fairness_jain, 0.5);
+}
+
+TEST(ExtensionSchedulers, FcfsHasBoundedLatencySpread) {
+  // FCFS trades distance for fairness: it must still clear the queue.
+  const auto fcfs = run_replica(ext_config(SchedulerKind::kFcfs));
+  const auto nearest = run_replica(ext_config(SchedulerKind::kNearestFirst));
+  EXPECT_GT(fcfs.rv_travel_distance.value(), nearest.rv_travel_distance.value());
+}
+
+TEST(TwoOptTours, NeverIncreasesTravelMaterially) {
+  SimConfig off = ext_config(SchedulerKind::kCombined);
+  SimConfig on = ext_config(SchedulerKind::kCombined);
+  on.two_opt_tours = true;
+  const auto r_off = run_replica(off);
+  const auto r_on = run_replica(on);
+  // The polished plans can reshuffle downstream decisions, so require only
+  // "no material regression" plus identical service accounting sanity.
+  EXPECT_LT(r_on.rv_travel_distance.value(),
+            r_off.rv_travel_distance.value() * 1.05);
+  EXPECT_GT(r_on.sensors_recharged, 10u);
+}
+
+TEST(ExtensionSchedulers, AllFiveSchedulersDeterministic) {
+  for (auto sched : {SchedulerKind::kGreedy, SchedulerKind::kPartition,
+                     SchedulerKind::kCombined, SchedulerKind::kNearestFirst,
+                     SchedulerKind::kFcfs, SchedulerKind::kEdf}) {
+    SimConfig cfg = ext_config(sched);
+    cfg.sim_duration = days(4.0);
+    World a(cfg), b(cfg);
+    const auto ra = a.run();
+    const auto rb = b.run();
+    EXPECT_DOUBLE_EQ(ra.rv_travel_distance.value(), rb.rv_travel_distance.value())
+        << to_string(sched);
+  }
+}
+
+}  // namespace
+}  // namespace wrsn

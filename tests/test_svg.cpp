@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/svg.hpp"
+
+namespace wrsn {
+namespace {
+
+SimConfig tiny_config() {
+  SimConfig cfg;
+  cfg.num_sensors = 40;
+  cfg.num_targets = 3;
+  cfg.num_rvs = 2;
+  cfg.field_side = meters(60.0);
+  cfg.sim_duration = days(1.0);
+  return cfg;
+}
+
+TEST(Svg, WellFormedDocument) {
+  World world(tiny_config());
+  const std::string svg = render_svg(world);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("xmlns"), std::string::npos);
+}
+
+TEST(Svg, ContainsAllEntityKinds) {
+  World world(tiny_config());
+  const std::string svg = render_svg(world);
+  // 40 sensors as circles (alive), 3 target triangles (paths), BS + 2 RVs as
+  // rects.
+  std::size_t circles = 0, paths = 0, rects = 0;
+  for (std::size_t pos = 0; (pos = svg.find("<circle", pos)) != std::string::npos;
+       ++pos) {
+    ++circles;
+  }
+  for (std::size_t pos = 0; (pos = svg.find("<path", pos)) != std::string::npos;
+       ++pos) {
+    ++paths;
+  }
+  for (std::size_t pos = 0; (pos = svg.find("<rect", pos)) != std::string::npos;
+       ++pos) {
+    ++rects;
+  }
+  EXPECT_GE(circles, 40u);
+  EXPECT_GE(paths, 3u);
+  EXPECT_GE(rects, 2u + 1u + 2u);  // background+border, BS, RVs
+}
+
+TEST(Svg, DeadSensorsDrawnAsCrosses) {
+  SimConfig cfg = tiny_config();
+  World world(cfg);
+  // The legend is the only other place strokes appear; count before/after.
+  const std::string before = render_svg(world);
+  World world2(cfg);
+  // Kill a sensor directly.
+  const_cast<Network&>(world2.network()).sensor(0).battery.drain(
+      Joule{cfg.battery.capacity});
+  const std::string after = render_svg(world2);
+  // The dead sensor adds a red cross group.
+  EXPECT_EQ(before.find("#b02020"), std::string::npos);
+  EXPECT_NE(after.find("#b02020"), std::string::npos);
+}
+
+TEST(Svg, OptionsChangeOutput) {
+  World world(tiny_config());
+  SvgOptions plain;
+  plain.draw_cluster_links = false;
+  plain.draw_legend = false;
+  SvgOptions full;
+  full.draw_cluster_links = true;
+  full.draw_comm_edges = true;
+  full.draw_sensing_discs = true;
+  const std::string a = render_svg(world, plain);
+  const std::string b = render_svg(world, full);
+  EXPECT_LT(a.size(), b.size());
+  EXPECT_EQ(a.find("<line"), std::string::npos);  // no links, no legend
+  EXPECT_NE(b.find("<line"), std::string::npos);
+}
+
+TEST(Svg, ScaleValidation) {
+  World world(tiny_config());
+  SvgOptions bad;
+  bad.pixels_per_meter = 0.0;
+  EXPECT_THROW((void)render_svg(world, bad), InvalidArgument);
+}
+
+TEST(Svg, SaveToFile) {
+  World world(tiny_config());
+  const std::string path = ::testing::TempDir() + "/wrsn_test.svg";
+  save_svg(path, world);
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::string first;
+  std::getline(is, first);
+  EXPECT_EQ(first.rfind("<svg", 0), 0u);
+  std::remove(path.c_str());
+  EXPECT_THROW(save_svg("/no/such/dir/x.svg", world), InvalidArgument);
+}
+
+TEST(Svg, RendersMidSimulation) {
+  SimConfig cfg = tiny_config();
+  cfg.radio.listen_duty_cycle = 0.5;
+  World world(cfg);
+  world.run_until(hours(12.0));
+  const std::string svg = render_svg(world);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wrsn

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/table.hpp"
+
+namespace wrsn {
+namespace {
+
+TEST(Table, RequiresHeaders) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), InvalidArgument);
+}
+
+TEST(Table, RowWidthMustMatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), InvalidArgument);
+}
+
+TEST(Table, CountsRowsAndCols) {
+  Table t({"x", "y", "z"});
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({std::string("a"), 1.5, 2LL});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({std::string("short"), 1.0});
+  t.add_row({std::string("much-longer-name"), 2.0});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header + separator + 2 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("much-longer-name"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+}
+
+TEST(Table, PrecisionControlsDoubles) {
+  Table t({"v"});
+  t.set_precision(1);
+  t.add_row({3.14159});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.1"), std::string::npos);
+  EXPECT_EQ(os.str().find("3.14"), std::string::npos);
+  EXPECT_THROW(t.set_precision(-1), InvalidArgument);
+}
+
+TEST(Table, CsvBasic) {
+  Table t({"a", "b"});
+  t.set_precision(2);
+  t.add_row({std::string("x"), 1.5});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,1.50\n");
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"text"});
+  t.add_row({std::string("hello, \"world\"")});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "text\n\"hello, \"\"world\"\"\"\n");
+}
+
+TEST(Table, IntegerCellsPrintWithoutDecimals) {
+  Table t({"n"});
+  t.add_row({42LL});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "n\n42\n");
+}
+
+}  // namespace
+}  // namespace wrsn

@@ -1,0 +1,116 @@
+// Target motion models: teleport (the paper's) vs random waypoint (library
+// extension for physically moving targets).
+#include <gtest/gtest.h>
+
+#include "sim/world.hpp"
+
+namespace wrsn {
+namespace {
+
+SimConfig motion_config(TargetMotion motion) {
+  SimConfig cfg;
+  cfg.num_sensors = 100;
+  cfg.num_targets = 3;
+  cfg.num_rvs = 1;
+  cfg.field_side = meters(100.0);
+  cfg.sim_duration = days(2.0);
+  cfg.target_motion = motion;
+  cfg.target_speed = MeterPerSecond{0.5};
+  cfg.seed = 31337;
+  return cfg;
+}
+
+std::vector<Vec2> target_positions(const World& w) {
+  std::vector<Vec2> out;
+  for (const Target& t : w.network().targets()) out.push_back(t.pos);
+  return out;
+}
+
+TEST(TargetMotion, TeleportJumpsArbitraryDistances) {
+  World w(motion_config(TargetMotion::kTeleport));
+  const auto before = target_positions(w);
+  w.run_until(hours(12.0));  // several target periods
+  const auto after = target_positions(w);
+  double max_jump = 0.0;
+  for (std::size_t t = 0; t < before.size(); ++t) {
+    max_jump = std::max(max_jump, distance(before[t], after[t]));
+  }
+  EXPECT_GT(max_jump, 10.0);  // at least one target far from its origin
+}
+
+TEST(TargetMotion, WaypointSpeedBound) {
+  // Under random-waypoint motion a target can never outrun its speed.
+  SimConfig cfg = motion_config(TargetMotion::kRandomWaypoint);
+  World w(cfg);
+  std::vector<Vec2> prev = target_positions(w);
+  double prev_t = 0.0;
+  const double speed = cfg.target_speed.value();
+  for (double t_h = 1.0; t_h <= 24.0; t_h += 1.0) {
+    w.run_until(hours(t_h));
+    const auto cur = target_positions(w);
+    const double dt = w.now().value() - prev_t;
+    for (std::size_t t = 0; t < cur.size(); ++t) {
+      EXPECT_LE(distance(prev[t], cur[t]), speed * dt + 1e-6)
+          << "target " << t << " at hour " << t_h;
+    }
+    prev = cur;
+    prev_t = w.now().value();
+  }
+}
+
+TEST(TargetMotion, WaypointTargetsActuallyMove) {
+  World w(motion_config(TargetMotion::kRandomWaypoint));
+  const auto before = target_positions(w);
+  w.run_until(days(1.0));
+  const auto after = target_positions(w);
+  double total = 0.0;
+  for (std::size_t t = 0; t < before.size(); ++t) {
+    total += distance(before[t], after[t]);
+  }
+  EXPECT_GT(total, 5.0);
+}
+
+TEST(TargetMotion, WaypointStaysInField) {
+  SimConfig cfg = motion_config(TargetMotion::kRandomWaypoint);
+  cfg.sim_duration = days(4.0);
+  World w(cfg);
+  for (double t_h = 2.0; t_h <= 96.0; t_h += 2.0) {
+    w.run_until(hours(t_h));
+    for (const Target& t : w.network().targets()) {
+      EXPECT_GE(t.pos.x, 0.0);
+      EXPECT_LE(t.pos.x, cfg.field_side.value());
+      EXPECT_GE(t.pos.y, 0.0);
+      EXPECT_LE(t.pos.y, cfg.field_side.value());
+    }
+  }
+}
+
+TEST(TargetMotion, WaypointCoverageRemainsReasonable) {
+  // The framework must keep tracking moving targets: clusters are rebuilt
+  // per motion segment, so coverage stays high.
+  World w(motion_config(TargetMotion::kRandomWaypoint));
+  const auto r = w.run();
+  EXPECT_GT(r.coverage_ratio, 0.8);
+}
+
+TEST(TargetMotion, BothModesDeterministic) {
+  for (auto motion : {TargetMotion::kTeleport, TargetMotion::kRandomWaypoint}) {
+    World a(motion_config(motion)), b(motion_config(motion));
+    a.run();
+    b.run();
+    const auto pa = target_positions(a);
+    const auto pb = target_positions(b);
+    for (std::size_t t = 0; t < pa.size(); ++t) {
+      EXPECT_EQ(pa[t], pb[t]) << to_string(motion);
+    }
+  }
+}
+
+TEST(TargetMotion, ConfigValidation) {
+  SimConfig cfg = motion_config(TargetMotion::kRandomWaypoint);
+  cfg.target_speed = MeterPerSecond{0.0};
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wrsn

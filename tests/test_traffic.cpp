@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "net/graph.hpp"
+#include "net/routing.hpp"
+#include "net/traffic.hpp"
+
+namespace wrsn {
+namespace {
+
+class TrafficTest : public ::testing::Test {
+ protected:
+  // Line: s0 -- s1 -- s2 -- BS, 10 m spacing, range 12 m.
+  void SetUp() override {
+    graph_ = CommGraph({{0, 0}, {10, 0}, {20, 0}}, Vec2{30, 0}, 12.0);
+    tree_.build(graph_, std::vector<bool>(3, true));
+    traffic_.reset(3);
+  }
+  CommGraph graph_;
+  RoutingTree tree_;
+  TrafficModel traffic_;
+};
+
+TEST_F(TrafficTest, SingleSourceRelayRates) {
+  traffic_.add_source(tree_, 0, 0.25);
+  // Source transmits, relays receive + transmit.
+  EXPECT_DOUBLE_EQ(traffic_.tx_rate(0), 0.25);
+  EXPECT_DOUBLE_EQ(traffic_.rx_rate(0), 0.0);
+  EXPECT_DOUBLE_EQ(traffic_.tx_rate(1), 0.25);
+  EXPECT_DOUBLE_EQ(traffic_.rx_rate(1), 0.25);
+  EXPECT_DOUBLE_EQ(traffic_.tx_rate(2), 0.25);
+  EXPECT_DOUBLE_EQ(traffic_.rx_rate(2), 0.25);
+  EXPECT_DOUBLE_EQ(traffic_.delivery_rate(), 0.25);
+}
+
+TEST_F(TrafficTest, MultipleSourcesAccumulate) {
+  traffic_.add_source(tree_, 0, 0.25);
+  traffic_.add_source(tree_, 1, 0.5);
+  EXPECT_DOUBLE_EQ(traffic_.tx_rate(2), 0.75);
+  EXPECT_DOUBLE_EQ(traffic_.rx_rate(2), 0.75);
+  EXPECT_DOUBLE_EQ(traffic_.tx_rate(1), 0.75);
+  EXPECT_DOUBLE_EQ(traffic_.rx_rate(1), 0.25);
+  EXPECT_DOUBLE_EQ(traffic_.delivery_rate(), 0.75);
+}
+
+TEST_F(TrafficTest, RemoveSourceRestoresRates) {
+  traffic_.add_source(tree_, 0, 0.25);
+  traffic_.add_source(tree_, 1, 0.5);
+  traffic_.remove_source(0);
+  EXPECT_DOUBLE_EQ(traffic_.tx_rate(0), 0.0);
+  EXPECT_DOUBLE_EQ(traffic_.tx_rate(2), 0.5);
+  EXPECT_DOUBLE_EQ(traffic_.delivery_rate(), 0.5);
+  traffic_.remove_source(1);
+  for (SensorId s = 0; s < 3; ++s) {
+    EXPECT_DOUBLE_EQ(traffic_.tx_rate(s), 0.0);
+    EXPECT_DOUBLE_EQ(traffic_.rx_rate(s), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(traffic_.delivery_rate(), 0.0);
+}
+
+TEST_F(TrafficTest, ClearSources) {
+  traffic_.add_source(tree_, 0, 0.25);
+  traffic_.add_source(tree_, 2, 0.25);
+  traffic_.clear_sources();
+  EXPECT_EQ(traffic_.num_sources(), 0u);
+  EXPECT_DOUBLE_EQ(traffic_.tx_rate(2), 0.0);
+  EXPECT_DOUBLE_EQ(traffic_.delivery_rate(), 0.0);
+}
+
+TEST_F(TrafficTest, DuplicateSourceRejected) {
+  traffic_.add_source(tree_, 0, 0.25);
+  EXPECT_THROW(traffic_.add_source(tree_, 0, 0.25), InvalidArgument);
+  EXPECT_THROW(traffic_.remove_source(1), InvalidArgument);
+}
+
+TEST_F(TrafficTest, UnreachableSourceStillTransmits) {
+  // Node 0 alive but relay 1 dead: 0 cannot reach the BS.
+  RoutingTree broken;
+  broken.build(graph_, std::vector<bool>{true, false, true});
+  traffic_.add_source(broken, 0, 0.25);
+  EXPECT_DOUBLE_EQ(traffic_.tx_rate(0), 0.25);  // wasted transmissions
+  EXPECT_DOUBLE_EQ(traffic_.tx_rate(2), 0.0);
+  EXPECT_DOUBLE_EQ(traffic_.delivery_rate(), 0.0);
+}
+
+TEST_F(TrafficTest, RerouteFollowsNewTree) {
+  traffic_.add_source(tree_, 0, 0.25);
+  // Node 1 dies: the route breaks, reroute keeps the source registered but
+  // with no deliverable path.
+  RoutingTree broken;
+  broken.build(graph_, std::vector<bool>{true, false, true});
+  traffic_.reroute(broken);
+  EXPECT_EQ(traffic_.num_sources(), 1u);
+  EXPECT_DOUBLE_EQ(traffic_.delivery_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(traffic_.tx_rate(2), 0.0);
+  // Node 1 revives: delivery resumes.
+  traffic_.reroute(tree_);
+  EXPECT_DOUBLE_EQ(traffic_.delivery_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(traffic_.tx_rate(1), 0.25);
+}
+
+TEST_F(TrafficTest, RadioPowerComposition) {
+  RadioModel radio;
+  radio.listen_duty_cycle = 0.0;  // isolate per-packet terms
+  traffic_.add_source(tree_, 0, 1.0);
+  const double etx = radio.tx_energy_per_packet().value();
+  const double erx = radio.rx_energy_per_packet().value();
+  EXPECT_NEAR(traffic_.radio_power(0, radio).value(),
+              radio.idle_power.value() + etx, 1e-12);
+  EXPECT_NEAR(traffic_.radio_power(1, radio).value(),
+              radio.idle_power.value() + etx + erx, 1e-12);
+}
+
+TEST_F(TrafficTest, ListenDutyAddsFloor) {
+  RadioModel radio;
+  radio.listen_duty_cycle = 0.10;
+  EXPECT_NEAR(traffic_.radio_power(0, radio).value(),
+              radio.idle_power.value() + 0.10 * radio.rx_power.value(), 1e-12);
+}
+
+TEST_F(TrafficTest, ZeroRateSourceIsHarmless) {
+  traffic_.add_source(tree_, 0, 0.0);
+  EXPECT_DOUBLE_EQ(traffic_.tx_rate(0), 0.0);
+  EXPECT_DOUBLE_EQ(traffic_.delivery_rate(), 0.0);
+}
+
+TEST_F(TrafficTest, SourceIdValidation) {
+  EXPECT_THROW(traffic_.add_source(tree_, 99, 0.25), InvalidArgument);
+  EXPECT_THROW(traffic_.add_source(tree_, 0, -1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wrsn

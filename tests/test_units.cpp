@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/units.hpp"
+
+namespace wrsn {
+namespace {
+
+TEST(Units, ArithmeticWithinOneUnit) {
+  const Joule a{3.0};
+  const Joule b{4.5};
+  EXPECT_DOUBLE_EQ((a + b).value(), 7.5);
+  EXPECT_DOUBLE_EQ((b - a).value(), 1.5);
+  EXPECT_DOUBLE_EQ((-a).value(), -3.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 6.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).value(), 6.0);
+  EXPECT_DOUBLE_EQ((b / 3.0).value(), 1.5);
+  EXPECT_DOUBLE_EQ(b / a, 1.5);  // ratio is dimensionless
+}
+
+TEST(Units, CompoundAssignment) {
+  Joule e{1.0};
+  e += Joule{2.0};
+  EXPECT_DOUBLE_EQ(e.value(), 3.0);
+  e -= Joule{0.5};
+  EXPECT_DOUBLE_EQ(e.value(), 2.5);
+  e *= 4.0;
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+  e /= 5.0;
+  EXPECT_DOUBLE_EQ(e.value(), 2.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Joule{1.0}, Joule{2.0});
+  EXPECT_GE(Watt{3.0}, Watt{3.0});
+  EXPECT_EQ(Meter{5.0}, Meter{5.0});
+  EXPECT_NE(Second{1.0}, Second{2.0});
+}
+
+TEST(Units, CrossUnitAlgebra) {
+  // P * t = E
+  EXPECT_DOUBLE_EQ((Watt{2.0} * Second{3.0}).value(), 6.0);
+  EXPECT_DOUBLE_EQ((Second{3.0} * Watt{2.0}).value(), 6.0);
+  // E / P = t, E / t = P
+  EXPECT_DOUBLE_EQ((Joule{6.0} / Watt{2.0}).value(), 3.0);
+  EXPECT_DOUBLE_EQ((Joule{6.0} / Second{3.0}).value(), 2.0);
+  // d / v = t, v * t = d
+  EXPECT_DOUBLE_EQ((Meter{10.0} / MeterPerSecond{2.0}).value(), 5.0);
+  EXPECT_DOUBLE_EQ((MeterPerSecond{2.0} * Second{5.0}).value(), 10.0);
+  // e_m * d = E (RV traction)
+  EXPECT_DOUBLE_EQ((JoulePerMeter{5.6} * Meter{100.0}).value(), 560.0);
+  EXPECT_DOUBLE_EQ((Meter{100.0} * JoulePerMeter{5.6}).value(), 560.0);
+  // e_m * v = P (traction power)
+  EXPECT_DOUBLE_EQ((JoulePerMeter{5.6} * MeterPerSecond{1.0}).value(), 5.6);
+}
+
+TEST(Units, LiteralHelpers) {
+  EXPECT_DOUBLE_EQ(kilojoules(2.0).value(), 2000.0);
+  EXPECT_DOUBLE_EQ(megajoules(1.5).value(), 1.5e6);
+  EXPECT_DOUBLE_EQ(milliwatts(30.0).value(), 0.030);
+  EXPECT_DOUBLE_EQ(microwatts(15.0).value(), 15e-6);
+  EXPECT_DOUBLE_EQ(minutes(2.0).value(), 120.0);
+  EXPECT_DOUBLE_EQ(hours(1.0).value(), 3600.0);
+  EXPECT_DOUBLE_EQ(days(1.0).value(), 86400.0);
+}
+
+TEST(Units, BatteryEnergyFormula) {
+  // 750 mAh at 1.2 V = 0.75 * 1.2 * 3600 J = 3240 J per cell.
+  EXPECT_DOUBLE_EQ(battery_energy(1.2, 750.0).value(), 3240.0);
+}
+
+TEST(Units, PowerDrawFormula) {
+  // 27 mA at 3 V = 81 mW (the CC2480 tx figure).
+  EXPECT_DOUBLE_EQ(power_draw(3.0, 27.0).value(), 0.081);
+}
+
+TEST(Units, StreamOutput) {
+  std::ostringstream os;
+  os << Joule{2.5};
+  EXPECT_EQ(os.str(), "2.5");
+}
+
+}  // namespace
+}  // namespace wrsn

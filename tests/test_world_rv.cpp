@@ -1,0 +1,182 @@
+// Focused tests of RV behaviour inside the World: reserve discipline,
+// self-recharge cycles, claimed-set consistency, partial delivery and
+// return-to-base logic.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/world.hpp"
+
+namespace wrsn {
+namespace {
+
+SimConfig rv_config() {
+  SimConfig cfg;
+  cfg.num_sensors = 120;
+  cfg.num_targets = 5;
+  cfg.num_rvs = 2;
+  cfg.field_side = meters(100.0);
+  cfg.sim_duration = days(6.0);
+  cfg.radio.listen_duty_cycle = 0.25;  // brisk demand
+  cfg.seed = 808;
+  return cfg;
+}
+
+TEST(WorldRv, ReserveNeverViolatedOverTime) {
+  SimConfig cfg = rv_config();
+  World w(cfg);
+  // The reserve is a planning margin: RVs may dip slightly into it on
+  // demand drift, but must never approach empty.
+  const double hard_floor = 0.0;
+  for (double t = 0.25; t <= 6.0; t += 0.25) {
+    w.run_until(days(t));
+    for (const Rv& rv : w.rvs()) {
+      EXPECT_GT(rv.battery.level().value(), hard_floor) << "day " << t;
+    }
+  }
+  // And they never stall permanently: work keeps being served.
+  EXPECT_GT(w.report().sensors_recharged, 20u);
+}
+
+TEST(WorldRv, SelfRechargeCyclesHappen) {
+  SimConfig cfg = rv_config();
+  // Small RV battery forces many base returns.
+  cfg.rv.capacity = kilojoules(15.0);
+  World w(cfg);
+  const auto r = w.run();
+  EXPECT_GT(r.rv_base_recharges, 3u);
+  EXPECT_GT(r.rv_base_energy_drawn.value(), 0.0);
+  EXPECT_GT(r.rv_tours, r.rv_base_recharges / 2);
+}
+
+TEST(WorldRv, SmallerRvBatteryMeansMoreBaseVisits) {
+  SimConfig big = rv_config();
+  big.rv.capacity = kilojoules(100.0);
+  SimConfig small = rv_config();
+  small.rv.capacity = kilojoules(12.0);
+  const auto rb = World(big).run();
+  const auto rs = World(small).run();
+  EXPECT_GT(rs.rv_base_recharges, rb.rv_base_recharges);
+}
+
+TEST(WorldRv, ClaimedSetAlwaysSubsetOfRequests) {
+  SimConfig cfg = rv_config();
+  World w(cfg);
+  for (double t = 0.1; t <= 4.0; t += 0.1) {
+    w.run_until(days(t));
+    // Every queued service target must have a pending request.
+    std::set<SensorId> queued;
+    for (const Rv& rv : w.rvs()) {
+      for (SensorId s : rv.service_queue) {
+        EXPECT_TRUE(queued.insert(s).second)
+            << "sensor " << s << " queued on two RVs at day " << t;
+        EXPECT_TRUE(w.recharge_list().contains(s))
+            << "sensor " << s << " queued without a pending request";
+      }
+    }
+  }
+}
+
+TEST(WorldRv, ChargingBringsSensorsToFull) {
+  SimConfig cfg = rv_config();
+  cfg.sim_duration = days(6.0);
+  World w(cfg);
+  std::vector<double> fractions_after_charge;
+  w.set_tracer([&](const World::TraceEvent& e) {
+    if (e.kind == EventKind::kRvChargeDone) {
+      const Rv& rv = w.rvs()[e.subject];
+      // The node just served is the one the RV sits on; find the nearest
+      // sensor to the RV position.
+      // (Indirect check: overall, served sensors end up essentially full.)
+      (void)rv;
+    }
+  });
+  const auto r = w.run();
+  ASSERT_GT(r.sensors_recharged, 0u);
+  // Average delivered per service is close to the threshold-to-full demand
+  // (E_c/2) — i.e. sensors are topped up, not trickled.
+  const double avg_delivered =
+      r.energy_recharged.value() / static_cast<double>(r.sensors_recharged);
+  EXPECT_GT(avg_delivered, 0.4 * cfg.battery.capacity.value());
+}
+
+TEST(WorldRv, NoServiceWithoutRequests) {
+  SimConfig cfg = rv_config();
+  cfg.radio.listen_duty_cycle = 0.0;  // negligible drain
+  cfg.sim_duration = days(2.0);
+  World w(cfg);
+  const auto r = w.run();
+  EXPECT_EQ(r.recharge_requests, 0u);
+  EXPECT_EQ(r.sensors_recharged, 0u);
+  EXPECT_DOUBLE_EQ(r.rv_travel_distance.value(), 0.0);
+  for (const Rv& rv : w.rvs()) {
+    EXPECT_EQ(rv.pos, w.network().base_station());
+    EXPECT_TRUE(rv.idle());
+  }
+}
+
+TEST(WorldRv, TravelDistanceConsistentWithSpeedAndTime) {
+  SimConfig cfg = rv_config();
+  World w(cfg);
+  const auto r = w.run();
+  // At v_r = 1 m/s an RV cannot cover more metres than seconds of sim time.
+  const double max_possible =
+      cfg.rv.speed.value() * cfg.sim_duration.value() * cfg.num_rvs;
+  EXPECT_LE(r.rv_travel_distance.value(), max_possible);
+}
+
+TEST(WorldRv, FasterChargerRaisesThroughput) {
+  SimConfig slow = rv_config();
+  slow.rv.charge_power = watts(0.6);
+  SimConfig fast = rv_config();
+  fast.rv.charge_power = watts(4.0);
+  const auto rs = World(slow).run();
+  const auto rf = World(fast).run();
+  EXPECT_LT(rf.avg_request_latency.value(), rs.avg_request_latency.value());
+  EXPECT_GE(rf.sensors_recharged + 5, rs.sensors_recharged);
+}
+
+TEST(WorldRv, SingleRvHandlesLightLoadEventually) {
+  SimConfig cfg = rv_config();
+  cfg.num_rvs = 1;
+  cfg.radio.listen_duty_cycle = 0.08;  // light demand a lone RV can absorb
+  cfg.sim_duration = days(10.0);
+  World w(cfg);
+  const auto r = w.run();
+  EXPECT_GT(r.sensors_recharged, 10u);
+  // Backlog at the end is bounded.
+  EXPECT_LT(w.recharge_list().size(), 40u);
+}
+
+TEST(WorldRv, MoreRvsMoreParallelService) {
+  SimConfig one = rv_config();
+  one.num_rvs = 1;
+  SimConfig four = rv_config();
+  four.num_rvs = 4;
+  const auto r1 = World(one).run();
+  const auto r4 = World(four).run();
+  EXPECT_LT(r4.avg_request_latency.value(), r1.avg_request_latency.value());
+}
+
+TEST(WorldRv, PerRvOdometersSumToTotal) {
+  World w(rv_config());
+  const auto r = w.run();
+  double total = 0.0;
+  for (const Rv& rv : w.rvs()) total += rv.distance_traveled;
+  EXPECT_NEAR(total, r.rv_travel_distance.value(), 1e-6);
+}
+
+TEST(WorldRv, PartitionUsesBothRvs) {
+  SimConfig cfg = rv_config();
+  cfg.scheduler = SchedulerKind::kPartition;
+  cfg.sim_duration = days(8.0);
+  World w(cfg);
+  w.run();
+  // Confinement must not starve one vehicle entirely.
+  for (const Rv& rv : w.rvs()) {
+    EXPECT_GT(rv.nodes_served, 0u) << "RV " << rv.id << " never served";
+  }
+}
+
+}  // namespace
+}  // namespace wrsn

@@ -1,0 +1,235 @@
+// wrsn_sim — command-line driver for the WRSN simulator.
+//
+//   wrsn_sim [options]
+//     --config FILE        load a key=value config file (see --print-config)
+//     --set KEY=VALUE      override one config key (repeatable)
+//     --days N             shorthand for --set sim_days=N
+//     --seed N             shorthand for --set seed=N
+//     --scheduler NAME     shorthand for --set scheduler=NAME
+//     --seeds N            run N replicas (seed, seed+1, ...) and report
+//                          mean +/- 95% CI per metric
+//     --csv FILE           append one CSV row per replica to FILE
+//     --series FILE        write the time series of the first replica as CSV
+//     --svg FILE           render the first replica's final state as SVG
+//     --print-config       print the effective configuration and exit
+//     --list-keys          list every recognized config key and exit
+//     --help               this text
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/config_io.hpp"
+#include "core/error.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "core/thread_pool.hpp"
+#include "sim/runner.hpp"
+#include "sim/svg.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+using namespace wrsn;
+
+[[noreturn]] void usage(int code) {
+  std::cout <<
+      "wrsn_sim — WRSN joint charging & activity management simulator\n"
+      "\n"
+      "  --config FILE        load a key=value config file\n"
+      "  --set KEY=VALUE      override one config key (repeatable)\n"
+      "  --days N             shorthand for --set sim_days=N\n"
+      "  --seed N             shorthand for --set seed=N\n"
+      "  --scheduler NAME     greedy | partition | combined | nearest-first | fcfs\n"
+      "  --seeds N            replicas to run (mean +/- 95% CI reported)\n"
+      "  --csv FILE           append one CSV row per replica\n"
+      "  --json FILE          write all replica reports as a JSON array\n"
+      "  --series FILE        time series of the first replica as CSV\n"
+      "  --svg FILE           final state of the first replica as SVG\n"
+      "  --print-config       print the effective configuration and exit\n"
+      "  --list-keys          list recognized config keys and exit\n"
+      "  --help               this text\n";
+  std::exit(code);
+}
+
+struct MetricRow {
+  const char* name;
+  double (*get)(const MetricsReport&);
+};
+
+const MetricRow kMetrics[] = {
+    {"rv travel distance (km)",
+     [](const MetricsReport& r) { return r.rv_travel_distance.value() / 1e3; }},
+    {"rv travel energy (MJ)",
+     [](const MetricsReport& r) { return r.rv_travel_energy.value() / 1e6; }},
+    {"energy recharged (MJ)",
+     [](const MetricsReport& r) { return r.energy_recharged.value() / 1e6; }},
+    {"objective score (MJ)",
+     [](const MetricsReport& r) { return r.objective_score().value() / 1e6; }},
+    {"coverage ratio (%)",
+     [](const MetricsReport& r) { return 100.0 * r.coverage_ratio; }},
+    {"missing rate (%)",
+     [](const MetricsReport& r) { return 100.0 * r.missing_rate; }},
+    {"nonfunctional (%)",
+     [](const MetricsReport& r) { return r.nonfunctional_pct; }},
+    {"recharging cost (m/sensor)",
+     [](const MetricsReport& r) { return r.recharging_cost_m_per_sensor(); }},
+    {"recharge requests",
+     [](const MetricsReport& r) { return static_cast<double>(r.recharge_requests); }},
+    {"sensors recharged",
+     [](const MetricsReport& r) { return static_cast<double>(r.sensors_recharged); }},
+    {"mean request latency (min)",
+     [](const MetricsReport& r) { return r.avg_request_latency.value() / 60.0; }},
+    {"sensor deaths",
+     [](const MetricsReport& r) { return static_cast<double>(r.sensor_deaths); }},
+    {"packets delivered (k)",
+     [](const MetricsReport& r) { return r.packets_delivered / 1e3; }},
+};
+
+void write_csv(const std::string& path, const SimConfig& cfg,
+               const std::vector<MetricsReport>& reports) {
+  const bool exists = static_cast<bool>(std::ifstream(path));
+  std::ofstream os(path, std::ios::app);
+  WRSN_REQUIRE(os.good(), "cannot open '" + path + "' for writing");
+  if (!exists) {
+    os << "seed,scheduler,activation,erp";
+    for (const MetricRow& m : kMetrics) os << ',' << m.name;
+    os << '\n';
+  }
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    os << cfg.seed + i << ',' << to_string(cfg.scheduler) << ','
+       << to_string(cfg.activation) << ',' << cfg.energy_request_percentage;
+    for (const MetricRow& m : kMetrics) os << ',' << m.get(reports[i]);
+    os << '\n';
+  }
+}
+
+void write_series(const std::string& path, const TimeSeries& series) {
+  std::ofstream os(path);
+  WRSN_REQUIRE(os.good(), "cannot open '" + path + "' for writing");
+  os << "t_hours,alive,covered,coverable,pending_requests,rv_km\n";
+  for (const TimeSeriesPoint& p : series) {
+    os << p.t / 3600.0 << ',' << p.alive << ',' << p.covered << ','
+       << p.coverable << ',' << p.pending_requests << ','
+       << p.rv_travel_distance / 1e3 << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  SimConfig cfg = SimConfig::paper_defaults();
+  std::size_t seeds = 1;
+  std::string csv_path, series_path, svg_path, json_path;
+  bool print_config = false;
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  auto need_value = [&](std::size_t& i) -> const std::string& {
+    WRSN_REQUIRE(i + 1 < args.size(), args[i] + " needs a value");
+    return args[++i];
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--help" || a == "-h") usage(0);
+    if (a == "--list-keys") {
+      for (const std::string& k : config_keys()) std::cout << k << '\n';
+      return 0;
+    }
+    if (a == "--config") {
+      cfg = load_config(need_value(i), cfg);
+    } else if (a == "--set") {
+      const std::string& kv = need_value(i);
+      const auto eq = kv.find('=');
+      WRSN_REQUIRE(eq != std::string::npos, "--set expects KEY=VALUE");
+      config_set(cfg, kv.substr(0, eq), kv.substr(eq + 1));
+    } else if (a == "--days") {
+      config_set(cfg, "sim_days", need_value(i));
+    } else if (a == "--seed") {
+      config_set(cfg, "seed", need_value(i));
+    } else if (a == "--scheduler") {
+      config_set(cfg, "scheduler", need_value(i));
+    } else if (a == "--seeds") {
+      seeds = static_cast<std::size_t>(std::stoul(need_value(i)));
+      WRSN_REQUIRE(seeds > 0, "--seeds must be positive");
+    } else if (a == "--csv") {
+      csv_path = need_value(i);
+    } else if (a == "--json") {
+      json_path = need_value(i);
+    } else if (a == "--series") {
+      series_path = need_value(i);
+    } else if (a == "--svg") {
+      svg_path = need_value(i);
+    } else if (a == "--print-config") {
+      print_config = true;
+    } else {
+      std::cerr << "unknown option '" << a << "'\n\n";
+      usage(2);
+    }
+  }
+
+  cfg.validate();
+  if (print_config) {
+    std::cout << config_to_text(cfg);
+    return 0;
+  }
+
+  // First replica runs in-process so its series / final state can be dumped.
+  std::vector<MetricsReport> reports;
+  {
+    World world(cfg);
+    world.enable_time_series(!series_path.empty());
+    reports.push_back(world.run());
+    if (!series_path.empty()) write_series(series_path, world.time_series());
+    if (!svg_path.empty()) save_svg(svg_path, world);
+  }
+  if (seeds > 1) {
+    SimConfig rest = cfg;
+    rest.seed = cfg.seed + 1;
+    ThreadPool pool;
+    auto more = run_replicas(rest, seeds - 1, &pool);
+    reports.insert(reports.end(), more.begin(), more.end());
+  }
+
+  std::cout << "wrsn_sim: " << to_string(cfg.scheduler) << " / "
+            << to_string(cfg.activation)
+            << ", ERP=" << cfg.energy_request_percentage << ", "
+            << cfg.sim_duration.value() / 86400.0 << " days x " << seeds
+            << " replica(s)\n\n";
+
+  Table t(seeds > 1
+              ? std::vector<std::string>{"metric", "mean", "+/- 95% CI", "min", "max"}
+              : std::vector<std::string>{"metric", "value"});
+  t.set_precision(3);
+  for (const MetricRow& m : kMetrics) {
+    RunningStats stats;
+    for (const MetricsReport& r : reports) stats.add(m.get(r));
+    if (seeds > 1) {
+      t.add_row({std::string(m.name), stats.mean(), stats.ci95_halfwidth(),
+                 stats.min(), stats.max()});
+    } else {
+      t.add_row({std::string(m.name), stats.mean()});
+    }
+  }
+  t.print(std::cout);
+
+  if (!csv_path.empty()) {
+    write_csv(csv_path, cfg, reports);
+    std::cout << "\nwrote " << reports.size() << " row(s) to " << csv_path << '\n';
+  }
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    WRSN_REQUIRE(os.good(), "cannot open '" + json_path + "' for writing");
+    os << '[';
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      os << (i ? "," : "") << '\n' << to_json(reports[i]);
+    }
+    os << "\n]\n";
+    std::cout << "wrote JSON reports to " << json_path << '\n';
+  }
+  if (!series_path.empty()) std::cout << "wrote time series to " << series_path << '\n';
+  if (!svg_path.empty()) std::cout << "wrote final-state SVG to " << svg_path << '\n';
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "wrsn_sim: " << e.what() << '\n';
+  return 1;
+}
