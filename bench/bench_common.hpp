@@ -2,8 +2,12 @@
 // Shared plumbing for the figure/table reproduction harnesses.
 //
 // Environment knobs (keep default runs fast but allow full-fidelity runs):
-//   WRSN_BENCH_DAYS     simulated days per replica   (default 60)
-//   WRSN_BENCH_SEEDS    replicas averaged per point  (default 2)
+//   WRSN_BENCH_DAYS       simulated days per replica   (default 60)
+//   WRSN_BENCH_SEEDS      replicas averaged per point  (default 2)
+//   WRSN_BENCH_TELEMETRY  path: aggregate per-replica telemetry (event-loop
+//                         counters, scheduler timing histograms) over every
+//                         run_point replica and write it there on exit —
+//                         JSON, or Prometheus text when it ends in ".prom"
 
 #include <cstdlib>
 #include <iostream>
@@ -12,6 +16,7 @@
 #include "core/config.hpp"
 #include "core/table.hpp"
 #include "core/thread_pool.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/runner.hpp"
 
 namespace wrsn::bench {
@@ -34,9 +39,27 @@ inline SimConfig bench_config() {
   return cfg;
 }
 
+// Registry aggregating telemetry across every replica this process runs, or
+// nullptr when WRSN_BENCH_TELEMETRY is unset. The file is written when the
+// bench exits, so harness mains need no extra plumbing.
+inline obs::TelemetryRegistry* telemetry_registry() {
+  static obs::TelemetryRegistry* registry = []() -> obs::TelemetryRegistry* {
+    const char* path = std::getenv("WRSN_BENCH_TELEMETRY");
+    if (path == nullptr || *path == '\0') return nullptr;
+    static obs::TelemetryRegistry instance;
+    static const std::string out_path = path;
+    std::atexit([] {
+      obs::write_registry_file(out_path, instance);
+      std::cerr << "wrote bench telemetry to " << out_path << '\n';
+    });
+    return &instance;
+  }();
+  return registry;
+}
+
 inline MetricsReport run_point(const SimConfig& cfg) {
   static ThreadPool pool;
-  return run_mean(cfg, num_seeds(), &pool);
+  return run_mean(cfg, num_seeds(), &pool, telemetry_registry());
 }
 
 inline void print_header(const std::string& title, const std::string& paper_note) {

@@ -1,10 +1,13 @@
 #pragma once
 // Minimal streaming JSON writer (objects, arrays, scalars, escaping) for
-// machine-readable experiment output. Deliberately tiny: no DOM, no parsing
-// — results flow out of the simulator, never back in.
+// machine-readable experiment output, plus a validating parser used to
+// smoke-check the simulator's own emissions (telemetry documents, JSONL
+// trace lines). Deliberately tiny: no DOM — results flow out of the
+// simulator; the parser only answers "is this well-formed JSON?".
 
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace wrsn {
@@ -53,5 +56,12 @@ class JsonWriter {
   std::vector<Scope> stack_;
   bool started_ = false;
 };
+
+// Validates that `text` is exactly one well-formed JSON value (RFC 8259
+// grammar: objects, arrays, strings with escapes, numbers, true/false/null),
+// surrounded by optional whitespace. Returns true when valid; otherwise
+// false, with a human-readable reason in *error when non-null.
+[[nodiscard]] bool json_validate(std::string_view text,
+                                 std::string* error = nullptr);
 
 }  // namespace wrsn

@@ -1,0 +1,47 @@
+#include "obs/trace.hpp"
+
+#include "core/json.hpp"
+
+namespace wrsn::obs {
+
+JsonlTraceSink::JsonlTraceSink(std::ostream& out) : out_(out) {
+  JsonWriter w;
+  w.begin_object()
+      .field("record", "meta")
+      .field("schema", "wrsn.trace")
+      .field("version", std::int64_t{kTraceSchemaVersion});
+  w.key("fields").begin_array();
+  for (const char* f : {"t_s", "kind", "subject", "epoch", "queue"}) w.value(f);
+  w.end_array().end_object();
+  out_ << w.str() << '\n';
+}
+
+void JsonlTraceSink::on_event(const TraceRecord& rec) {
+  JsonWriter w;
+  w.begin_object()
+      .field("record", "event")
+      .field("t_s", rec.t)
+      .field("kind", rec.kind)
+      .field("subject", rec.subject)
+      .field("epoch", rec.epoch)
+      .field("queue", rec.queue_size)
+      .end_object();
+  out_ << w.str() << '\n';
+  ++events_;
+}
+
+void JsonlTraceSink::finish() { out_.flush(); }
+
+CsvTraceSink::CsvTraceSink(std::ostream& out) : out_(out) {
+  out_ << "t_seconds,t_hours,event,subject,epoch,queue_size\n";
+}
+
+void CsvTraceSink::on_event(const TraceRecord& rec) {
+  out_ << rec.t << ',' << rec.t / 3600.0 << ',' << rec.kind << ',' << rec.subject
+       << ',' << rec.epoch << ',' << rec.queue_size << '\n';
+  ++events_;
+}
+
+void CsvTraceSink::finish() { out_.flush(); }
+
+}  // namespace wrsn::obs

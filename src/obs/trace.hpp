@@ -1,0 +1,71 @@
+#pragma once
+// Structured event-trace sinks. The simulator reports one TraceRecord per
+// processed discrete event; sinks serialize the stream for offline analysis.
+//
+// The JSONL sink is the canonical machine-readable format: line 1 is a meta
+// record naming the schema and its version, every following line is one
+// event record. The field list is frozen per schema version — tests pin it
+// (tests/test_telemetry.cpp), so extending the schema means bumping
+// kTraceSchemaVersion deliberately.
+//
+// This layer deliberately knows nothing about sim/ types: the event kind
+// arrives as a string, so obs/ sits next to core/ in the dependency order
+// and sched/, sim/, tools/ and bench/ can all use it.
+
+#include <cstdint>
+#include <ostream>
+
+namespace wrsn::obs {
+
+inline constexpr int kTraceSchemaVersion = 1;
+
+// One processed discrete event, as the simulator saw it.
+struct TraceRecord {
+  double t = 0.0;              // simulated seconds since t=0
+  const char* kind = "";       // stable event-kind name (e.g. "rv-arrival")
+  std::uint64_t subject = 0;   // sensor/target/RV id, kind-dependent
+  std::uint64_t epoch = 0;     // subject epoch carried by the event
+  std::uint64_t queue_size = 0;  // pending events right after this pop
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceRecord& rec) = 0;
+  // Called once after the last event; flushes buffered output.
+  virtual void finish() {}
+};
+
+// JSON-lines sink. Emits the meta record on construction:
+//   {"record":"meta","schema":"wrsn.trace","version":1,"fields":[...]}
+// then one event record per on_event:
+//   {"record":"event","t_s":...,"kind":"...","subject":N,"epoch":N,"queue":N}
+class JsonlTraceSink final : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream& out);
+  void on_event(const TraceRecord& rec) override;
+  void finish() override;
+
+  [[nodiscard]] std::uint64_t events_written() const { return events_; }
+
+ private:
+  std::ostream& out_;
+  std::uint64_t events_ = 0;
+};
+
+// CSV sink with the same field set (header row on construction):
+//   t_seconds,t_hours,event,subject,epoch,queue_size
+class CsvTraceSink final : public TraceSink {
+ public:
+  explicit CsvTraceSink(std::ostream& out);
+  void on_event(const TraceRecord& rec) override;
+  void finish() override;
+
+  [[nodiscard]] std::uint64_t events_written() const { return events_; }
+
+ private:
+  std::ostream& out_;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace wrsn::obs

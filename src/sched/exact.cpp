@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.hpp"
+#include "obs/telemetry.hpp"
 
 namespace wrsn {
 
@@ -70,6 +71,7 @@ ExactSolution exact_single_rv(const RvPlanState& rv,
                               const std::vector<RechargeItem>& items,
                               const PlannerParams& params,
                               bool include_return_in_budget) {
+  WRSN_OBS_SCOPE("exact/branch-and-bound");
   WRSN_REQUIRE(items.size() <= 14,
                "exact solver is exponential; refuse instances above 14 items");
   SearchState st;

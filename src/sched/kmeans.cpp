@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "core/error.hpp"
+#include "obs/telemetry.hpp"
 
 namespace wrsn {
 
@@ -59,6 +60,7 @@ double wcss_of(const std::vector<Vec2>& points,
 
 KMeansResult kmeans(const std::vector<Vec2>& points, std::size_t k,
                     Xoshiro256& rng, std::size_t max_iterations) {
+  WRSN_OBS_SCOPE("kmeans/lloyd");
   WRSN_REQUIRE(k > 0, "k must be positive");
   KMeansResult result;
   if (points.empty()) {

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/error.hpp"
+#include "obs/telemetry.hpp"
 #include "sched/kmeans.hpp"
 #include "sched/profit.hpp"
 
@@ -23,6 +24,7 @@ std::optional<std::size_t> greedy_next(const RvPlanState& rv,
                                        const std::vector<RechargeItem>& items,
                                        const std::vector<bool>& taken,
                                        const PlannerParams& params) {
+  WRSN_OBS_SCOPE("planner/greedy");
   WRSN_REQUIRE(taken.size() == items.size(), "taken mask size mismatch");
   std::optional<std::size_t> best;
   Joule best_profit{-std::numeric_limits<double>::infinity()};
@@ -98,6 +100,7 @@ std::vector<std::size_t> insertion_sequence(const RvPlanState& rv,
                                             const std::vector<RechargeItem>& items,
                                             std::vector<bool>& taken,
                                             const PlannerParams& params) {
+  WRSN_OBS_SCOPE("planner/insertion");
   WRSN_REQUIRE(taken.size() == items.size(), "taken mask size mismatch");
 
   std::vector<std::size_t> seq;
@@ -149,6 +152,7 @@ std::vector<std::size_t> insertion_sequence(const RvPlanState& rv,
 
 std::vector<std::vector<std::size_t>> partition_items(
     const std::vector<RechargeItem>& items, std::size_t num_groups, Xoshiro256& rng) {
+  WRSN_OBS_SCOPE("planner/partition");
   WRSN_REQUIRE(num_groups > 0, "need at least one group");
   std::vector<Vec2> positions;
   positions.reserve(items.size());
@@ -198,6 +202,7 @@ std::vector<std::size_t> match_groups_to_rvs(const std::vector<Vec2>& group_cent
 std::vector<std::vector<std::size_t>> combined_plan(
     const std::vector<RvPlanState>& rvs, const std::vector<RechargeItem>& items,
     const PlannerParams& params) {
+  WRSN_OBS_SCOPE("planner/combined");
   std::vector<bool> taken(items.size(), false);
   std::vector<std::vector<std::size_t>> sequences;
   sequences.reserve(rvs.size());

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/error.hpp"
+#include "obs/telemetry.hpp"
 
 namespace wrsn {
 
@@ -13,6 +14,7 @@ constexpr std::size_t kBadIndex = std::numeric_limits<std::size_t>::max();
 
 std::vector<std::size_t> nearest_neighbor_tour(Vec2 start,
                                                const std::vector<Vec2>& points) {
+  WRSN_OBS_SCOPE("tsp/nearest-neighbor");
   const std::size_t n = points.size();
   std::vector<std::size_t> order;
   order.reserve(n);
@@ -39,6 +41,7 @@ std::vector<std::size_t> nearest_neighbor_tour(Vec2 start,
 
 void two_opt(Vec2 start, const std::vector<Vec2>& points,
              std::vector<std::size_t>& order, int max_rounds) {
+  WRSN_OBS_SCOPE("tsp/two-opt");
   WRSN_REQUIRE(order.size() == points.size() ||
                    order.size() <= points.size(),
                "order must index into points");

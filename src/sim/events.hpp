@@ -24,6 +24,24 @@ enum class EventKind : std::uint8_t {
   kSimEnd,
 };
 
+inline constexpr std::size_t kNumEventKinds = 8;
+
+// Stable human/machine-readable name; these strings are part of the trace
+// schema (obs/trace.hpp) — renaming one is a schema change.
+[[nodiscard]] constexpr const char* kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSlotRotation: return "slot-rotation";
+    case EventKind::kTargetMove: return "target-move";
+    case EventKind::kSensorCrossing: return "sensor-crossing";
+    case EventKind::kRvArrival: return "rv-arrival";
+    case EventKind::kRvChargeDone: return "rv-charge-done";
+    case EventKind::kRvBaseChargeDone: return "rv-base-charge-done";
+    case EventKind::kMetricsSample: return "metrics-sample";
+    case EventKind::kSimEnd: return "sim-end";
+  }
+  return "unknown";
+}
+
 struct Event {
   double time = 0.0;
   std::uint64_t seq = 0;  // FIFO tie-break for equal times

@@ -65,6 +65,7 @@ MetricsReport MetricsIntegrator::finalize(Second duration) const {
     };
     out.p50_request_latency = Second{quantile(0.50)};
     out.p95_request_latency = Second{quantile(0.95)};
+    out.p99_request_latency = Second{quantile(0.99)};
     out.max_request_latency = Second{sorted.back()};
   }
   if (!recharge_counts_.empty()) {
@@ -104,6 +105,7 @@ std::string to_json(const MetricsReport& r) {
       .field("avg_request_latency_s", r.avg_request_latency.value())
       .field("p50_request_latency_s", r.p50_request_latency.value())
       .field("p95_request_latency_s", r.p95_request_latency.value())
+      .field("p99_request_latency_s", r.p99_request_latency.value())
       .field("max_request_latency_s", r.max_request_latency.value())
       .field("recharge_fairness_jain", r.recharge_fairness_jain)
       .end_object();

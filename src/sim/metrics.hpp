@@ -48,6 +48,7 @@ struct MetricsReport {
   Second avg_request_latency{0.0};   // request -> charge-complete
   Second p50_request_latency{0.0};
   Second p95_request_latency{0.0};
+  Second p99_request_latency{0.0};
   Second max_request_latency{0.0};
   // Jain fairness index of recharge counts over the sensors that were served
   // at least once: 1 = perfectly even service, ->0 = service concentrated on

@@ -1,14 +1,17 @@
 #include "sim/runner.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "core/error.hpp"
 #include "sim/world.hpp"
 
 namespace wrsn {
 
-MetricsReport run_replica(const SimConfig& config) {
+MetricsReport run_replica(const SimConfig& config,
+                          obs::TelemetryRegistry* telemetry) {
   World world(config);
+  world.set_telemetry(telemetry);
   return world.run();
 }
 
@@ -40,6 +43,7 @@ MetricsReport mean_report(const std::vector<MetricsReport>& reports) {
     latency += r.avg_request_latency.value() / n;
     mean.p50_request_latency += r.p50_request_latency / n;
     mean.p95_request_latency += r.p95_request_latency / n;
+    mean.p99_request_latency += r.p99_request_latency / n;
     mean.max_request_latency =
         std::max(mean.max_request_latency, r.max_request_latency);
     mean.recharge_fairness_jain += r.recharge_fairness_jain / n;
@@ -54,13 +58,24 @@ MetricsReport mean_report(const std::vector<MetricsReport>& reports) {
 }
 
 std::vector<MetricsReport> run_replicas(const SimConfig& config,
-                                        std::size_t num_replicas, ThreadPool* pool) {
+                                        std::size_t num_replicas, ThreadPool* pool,
+                                        obs::TelemetryRegistry* telemetry) {
   WRSN_REQUIRE(num_replicas > 0, "need at least one replica");
   std::vector<MetricsReport> reports(num_replicas);
+  std::mutex merge_mutex;  // serializes merge_from on the shared registry
   auto run_one = [&](std::size_t i) {
     SimConfig c = config;
     c.seed = config.seed + i;
-    reports[i] = run_replica(c);
+    if (telemetry == nullptr) {
+      reports[i] = run_replica(c);
+      return;
+    }
+    // Each replica records into a private registry so hot-path updates never
+    // contend across workers; the merge at the end is the only shared write.
+    obs::TelemetryRegistry local;
+    reports[i] = run_replica(c, &local);
+    const std::lock_guard lock(merge_mutex);
+    telemetry->merge_from(local);
   };
   if (pool != nullptr) {
     pool->parallel_for(num_replicas, run_one);
@@ -71,8 +86,8 @@ std::vector<MetricsReport> run_replicas(const SimConfig& config,
 }
 
 MetricsReport run_mean(const SimConfig& config, std::size_t num_replicas,
-                       ThreadPool* pool) {
-  return mean_report(run_replicas(config, num_replicas, pool));
+                       ThreadPool* pool, obs::TelemetryRegistry* telemetry) {
+  return mean_report(run_replicas(config, num_replicas, pool, telemetry));
 }
 
 }  // namespace wrsn

@@ -65,30 +65,77 @@ MetricsReport World::run() {
   return report();
 }
 
+void World::set_telemetry(obs::TelemetryRegistry* registry) {
+  telemetry_ = registry;
+  if (registry == nullptr) {
+    pop_counters_.fill(nullptr);
+    stale_counter_ = nullptr;
+    queue_hwm_gauge_ = nullptr;
+    return;
+  }
+  for (std::size_t k = 0; k < kNumEventKinds; ++k) {
+    pop_counters_[k] = &registry->counter(
+        std::string("events/popped/") + kind_name(static_cast<EventKind>(k)));
+  }
+  stale_counter_ = &registry->counter("events/stale-discarded");
+  queue_hwm_gauge_ = &registry->gauge("events/queue-high-water");
+  queue_hwm_gauge_->record_max(static_cast<double>(queue_hwm_));
+  // Pre-register the scheduler timing scopes so an export always carries
+  // them, even for schedulers that never enter a given path.
+  for (const char* scope :
+       {"planner/greedy", "planner/insertion", "kmeans/lloyd",
+        "tsp/nearest-neighbor", "tsp/two-opt"}) {
+    registry->timer(scope);
+  }
+}
+
 void World::run_until(Second t_in) {
+  // Install this world's registry (possibly null) on the running thread so
+  // WRSN_OBS_SCOPE sites in the schedulers report here — and so a replica
+  // without telemetry never leaks into a pool worker's previous installation.
+  const obs::TelemetryScope obs_scope(telemetry_);
   const double t = std::min(t_in.value(), end_);
   if (t <= now_) return;  // past or current horizon: nothing to do
   while (!queue_.empty() && queue_.top().time <= t) {
     const Event ev = queue_.pop();
+    queue_hwm_ = std::max(queue_hwm_, queue_.size() + 1);
     // Lazy invalidation: predicted events must match their subject's epoch.
     if (ev.kind == EventKind::kSensorCrossing &&
         ev.epoch != sensor_epoch_[ev.subject]) {
+      if (stale_counter_ != nullptr) stale_counter_->add();
       continue;
     }
     if ((ev.kind == EventKind::kRvArrival || ev.kind == EventKind::kRvChargeDone ||
          ev.kind == EventKind::kRvBaseChargeDone) &&
         ev.epoch != rvs_[ev.subject].epoch) {
+      if (stale_counter_ != nullptr) stale_counter_->add();
       continue;
     }
     advance_to(ev.time);
     handle(ev);
-    if (tracer_) tracer_({ev.time, ev.kind, ev.subject});
+    if (pop_counters_[static_cast<std::size_t>(ev.kind)] != nullptr) {
+      pop_counters_[static_cast<std::size_t>(ev.kind)]->add();
+    }
+    if (tracer_) tracer_({ev.time, ev.kind, ev.subject, ev.epoch, queue_.size()});
+    if (trace_sink_ != nullptr) {
+      obs::TraceRecord rec;
+      rec.t = ev.time;
+      rec.kind = kind_name(ev.kind);
+      rec.subject = ev.subject;
+      rec.epoch = ev.epoch;
+      rec.queue_size = queue_.size();
+      trace_sink_->on_event(rec);
+    }
+  }
+  if (queue_hwm_gauge_ != nullptr) {
+    queue_hwm_gauge_->record_max(static_cast<double>(queue_hwm_));
   }
   advance_to(t);
   if (t >= end_) finished_ = true;
 }
 
 void World::inject_sensor_failure(SensorId s) {
+  const obs::TelemetryScope obs_scope(telemetry_);  // dispatch() runs planners
   WRSN_REQUIRE(s < net_.num_sensors(), "sensor id out of range");
   Sensor& sensor = net_.sensor(s);
   if (!sensor.alive()) return;  // already down

@@ -7,6 +7,7 @@
 // engine integrates energy and metrics analytically and schedules exact
 // threshold/death crossing events — there is no fixed timestep.
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <unordered_set>
@@ -18,6 +19,8 @@
 #include "core/rng.hpp"
 #include "net/network.hpp"
 #include "net/traffic.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "sched/planner.hpp"
 #include "sched/request.hpp"
 #include "sim/events.hpp"
@@ -48,9 +51,25 @@ class World {
     double time = 0.0;
     EventKind kind = EventKind::kSimEnd;
     std::size_t subject = 0;
+    std::uint64_t epoch = 0;
+    std::size_t queue_size = 0;  // events still pending after this one
   };
   using TraceFn = std::function<void(const TraceEvent&)>;
   void set_tracer(TraceFn tracer) { tracer_ = std::move(tracer); }
+
+  // Structured trace sink (obs/trace.hpp): receives every processed event as
+  // a TraceRecord. Subsumes set_tracer for serialization use cases; both may
+  // be attached at once. Pass nullptr to detach. The sink must outlive the
+  // run; finish() is left to the caller.
+  void set_trace_sink(obs::TraceSink* sink) { trace_sink_ = sink; }
+
+  // Attaches a telemetry registry (obs/telemetry.hpp): the event loop counts
+  // pops per EventKind, stale-epoch discards and the queue high-water mark,
+  // and while events are being processed the registry is installed on the
+  // running thread so WRSN_OBS_SCOPE timers in the schedulers report to it.
+  // Pass nullptr to detach. Telemetry is observational only: attaching it
+  // never changes simulated physics (tests/test_observability.cpp).
+  void set_telemetry(obs::TelemetryRegistry* registry);
 
   // Fault injection: drains the sensor's battery and processes the death
   // immediately (the node behaves like any depleted node afterwards and can
@@ -150,6 +169,15 @@ class World {
   bool record_series_ = false;
   TimeSeries series_;
   TraceFn tracer_;
+  obs::TraceSink* trace_sink_ = nullptr;
+
+  // Telemetry (optional, never physics-relevant). Counter handles are
+  // resolved once in set_telemetry so the event loop updates them lock-free.
+  obs::TelemetryRegistry* telemetry_ = nullptr;
+  std::array<obs::Counter*, kNumEventKinds> pop_counters_{};
+  obs::Counter* stale_counter_ = nullptr;
+  obs::Gauge* queue_hwm_gauge_ = nullptr;
+  std::size_t queue_hwm_ = 0;
 };
 
 }  // namespace wrsn

@@ -99,6 +99,69 @@ TEST(Json, MisuseDetected) {
   }
 }
 
+TEST(JsonValidate, AcceptsWellFormedDocuments) {
+  for (const char* doc : {
+           "{}",
+           "[]",
+           "null",
+           "true",
+           R"("a string with \"escapes\" and é")",
+           "-12.5e3",
+           "0",
+           R"({"a":[1,2,{"b":null}],"c":-0.5,"d":"x"})",
+           "  { \"spaced\" : [ 1 , 2 ] }  ",
+       }) {
+    std::string error;
+    EXPECT_TRUE(json_validate(doc, &error)) << doc << ": " << error;
+  }
+}
+
+TEST(JsonValidate, RejectsMalformedDocuments) {
+  for (const char* doc : {
+           "",
+           "{",
+           "[1,2",
+           "{\"a\":}",
+           "{\"a\":1,}",
+           "[1,]",
+           "{'a':1}",
+           "\"unterminated",
+           "\"bad \\u12 escape\"",
+           "01",
+           "1.",
+           "1e",
+           "nul",
+           "truefalse",
+           "{} extra",
+           "\x01",
+       }) {
+    std::string error;
+    EXPECT_FALSE(json_validate(doc, &error)) << doc;
+    EXPECT_FALSE(error.empty()) << doc;
+  }
+}
+
+TEST(JsonValidate, ValidatesWriterOutput) {
+  JsonWriter w;
+  w.begin_object()
+      .field("s", "text \"quoted\" \n")
+      .field("d", 0.97)
+      .field("neg", -1.5e-8)
+      .key("arr")
+      .begin_array()
+      .value(std::int64_t{-3})
+      .value(std::uint64_t{7})
+      .end_array()
+      .end_object();
+  std::string error;
+  EXPECT_TRUE(json_validate(w.str(), &error)) << error;
+}
+
+TEST(JsonValidate, ErrorIsOptional) {
+  EXPECT_FALSE(json_validate("{"));
+  EXPECT_TRUE(json_validate("{}"));
+}
+
 TEST(Json, MetricsReportRoundTripKeys) {
   MetricsReport r;
   r.duration = days(1.0);

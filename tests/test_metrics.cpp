@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/error.hpp"
 #include "sim/metrics.hpp"
 
@@ -106,8 +108,15 @@ TEST(Metrics, LatencyPercentiles) {
   const auto r = m.finalize(Second{1.0});
   EXPECT_NEAR(r.p50_request_latency.value(), 50.0, 1.0);
   EXPECT_NEAR(r.p95_request_latency.value(), 95.0, 1.0);
+  EXPECT_NEAR(r.p99_request_latency.value(), 99.0, 1.0);
   EXPECT_DOUBLE_EQ(r.max_request_latency.value(), 100.0);
   EXPECT_DOUBLE_EQ(r.avg_request_latency.value(), 50.5);
+  // Quantiles are ordered.
+  EXPECT_LE(r.p50_request_latency.value(), r.p95_request_latency.value());
+  EXPECT_LE(r.p95_request_latency.value(), r.p99_request_latency.value());
+  EXPECT_LE(r.p99_request_latency.value(), r.max_request_latency.value());
+  // ...and exported.
+  EXPECT_NE(to_json(r).find("\"p99_request_latency_s\":"), std::string::npos);
 }
 
 TEST(Metrics, LatencyPercentilesEmptyAndSingle) {
@@ -118,6 +127,7 @@ TEST(Metrics, LatencyPercentilesEmptyAndSingle) {
   const auto r = one.finalize(Second{1.0});
   EXPECT_DOUBLE_EQ(r.p50_request_latency.value(), 42.0);
   EXPECT_DOUBLE_EQ(r.p95_request_latency.value(), 42.0);
+  EXPECT_DOUBLE_EQ(r.p99_request_latency.value(), 42.0);
   EXPECT_DOUBLE_EQ(r.max_request_latency.value(), 42.0);
 }
 

@@ -1,7 +1,15 @@
-// Heisenberg tests: observation features (time series, tracer, sampling
-// cadence) must never perturb the simulated physics.
+// Heisenberg tests: observation features (time series, tracer, telemetry
+// registry, trace sinks, sampling cadence) must never perturb the simulated
+// physics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "core/json.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "sim/world.hpp"
 
 namespace wrsn {
@@ -84,6 +92,65 @@ TEST(Observability, JsonSerializationIsStableForAReport) {
   World w(obs_config());
   const MetricsReport r = w.run();
   EXPECT_EQ(to_json(r), to_json(r));
+}
+
+TEST(Observability, TelemetryRegistryDoesNotPerturb) {
+  World plain(obs_config());
+  World instrumented(obs_config());
+  obs::TelemetryRegistry registry;
+  instrumented.set_telemetry(&registry);
+  const MetricsReport a = plain.run();
+  const MetricsReport b = instrumented.run();
+  expect_same_physics(a, b);
+  // The whole report must be byte-identical, not just the spot checks.
+  EXPECT_EQ(to_json(a), to_json(b));
+  // ...and the registry actually observed the run.
+  EXPECT_GT(registry.counter("events/popped/metrics-sample").value(), 0u);
+  EXPECT_GT(registry.gauge("events/queue-high-water").value(), 0.0);
+  EXPECT_GT(registry.timer("planner/greedy").count(), 0u);
+}
+
+TEST(Observability, TraceSinkDoesNotPerturb) {
+  World plain(obs_config());
+  World traced(obs_config());
+  std::ostringstream jsonl;
+  obs::JsonlTraceSink sink(jsonl);
+  traced.set_trace_sink(&sink);
+  const MetricsReport a = plain.run();
+  const MetricsReport b = traced.run();
+  sink.finish();
+  expect_same_physics(a, b);
+  EXPECT_EQ(to_json(a), to_json(b));
+  EXPECT_GT(sink.events_written(), 100u);
+  std::istringstream lines(jsonl.str());
+  std::string line, error;
+  while (std::getline(lines, line)) {
+    ASSERT_TRUE(json_validate(line, &error)) << error << ": " << line;
+  }
+}
+
+TEST(Observability, DisabledTelemetryAddsNoEvents) {
+  // A registry that is never attached must stay empty even while other
+  // worlds run: scope installation is per-thread and per-run.
+  obs::TelemetryRegistry unattached;
+  World w(obs_config());
+  w.run();
+  EXPECT_TRUE(unattached.empty());
+  EXPECT_EQ(obs::current_registry(), nullptr);
+}
+
+TEST(Observability, TraceEventsCarryEpochAndQueueDepth) {
+  World w(obs_config());
+  std::size_t events = 0;
+  std::size_t max_queue = 0;
+  w.set_tracer([&](const World::TraceEvent& ev) {
+    ++events;
+    max_queue = std::max(max_queue, ev.queue_size);
+  });
+  w.run();
+  EXPECT_GT(events, 100u);
+  // A live simulation always has pending events while it runs.
+  EXPECT_GT(max_queue, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,77 @@
+// wrsn_jsonl_check — validate a JSON-lines file with core/json's parser.
+//
+//   wrsn_jsonl_check FILE [--schema wrsn.trace]
+//
+// Every non-empty line must be one well-formed JSON value. With --schema,
+// the first line must additionally be a meta record carrying
+// "schema":"<name>" and a "version" field (the JSONL trace contract; see
+// obs/trace.hpp). Exit 0 when the whole file validates; exit 1 with the
+// first offending line number otherwise. Used as the ctest smoke check for
+// `wrsn_trace --format jsonl`.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/json.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace wrsn;
+  std::string path, schema;
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--help" || a == "-h") {
+      std::cout << "wrsn_jsonl_check FILE [--schema NAME]\n";
+      return 0;
+    }
+    if (a == "--schema") {
+      WRSN_REQUIRE(i + 1 < args.size(), "--schema needs a value");
+      schema = args[++i];
+    } else if (path.empty()) {
+      path = a;
+    } else {
+      std::cerr << "unexpected argument '" << a << "'\n";
+      return 2;
+    }
+  }
+  WRSN_REQUIRE(!path.empty(), "usage: wrsn_jsonl_check FILE [--schema NAME]");
+
+  std::ifstream in(path);
+  WRSN_REQUIRE(in.good(), "cannot open '" + path + "'");
+
+  std::string line, error;
+  std::size_t line_no = 0, records = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (!json_validate(line, &error)) {
+      std::cerr << path << ':' << line_no << ": invalid JSON: " << error << '\n';
+      return 1;
+    }
+    if (records == 0 && !schema.empty()) {
+      // Cheap containment check is enough for a smoke test; the structural
+      // guarantees come from json_validate above.
+      const bool has_schema =
+          line.find("\"schema\":\"" + schema + "\"") != std::string::npos;
+      const bool has_version = line.find("\"version\":") != std::string::npos;
+      if (!has_schema || !has_version) {
+        std::cerr << path << ":1: meta record does not declare schema '"
+                  << schema << "' with a version\n";
+        return 1;
+      }
+    }
+    ++records;
+  }
+  if (records == 0) {
+    std::cerr << path << ": no JSON records found\n";
+    return 1;
+  }
+  std::cout << path << ": " << records << " JSON record(s) ok\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "wrsn_jsonl_check: " << e.what() << '\n';
+  return 1;
+}

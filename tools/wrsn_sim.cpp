@@ -24,6 +24,7 @@
 #include "core/stats.hpp"
 #include "core/table.hpp"
 #include "core/thread_pool.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/runner.hpp"
 #include "sim/svg.hpp"
 #include "sim/world.hpp"
@@ -44,6 +45,9 @@ using namespace wrsn;
       "  --seeds N            replicas to run (mean +/- 95% CI reported)\n"
       "  --csv FILE           append one CSV row per replica\n"
       "  --json FILE          write all replica reports as a JSON array\n"
+      "  --telemetry FILE     write aggregated telemetry (event counts, queue\n"
+      "                       high-water, scheduler timings) as JSON, or as\n"
+      "                       Prometheus text when FILE ends in .prom\n"
       "  --series FILE        time series of the first replica as CSV\n"
       "  --svg FILE           final state of the first replica as SVG\n"
       "  --print-config       print the effective configuration and exit\n"
@@ -120,7 +124,7 @@ void write_series(const std::string& path, const TimeSeries& series) {
 int main(int argc, char** argv) try {
   SimConfig cfg = SimConfig::paper_defaults();
   std::size_t seeds = 1;
-  std::string csv_path, series_path, svg_path, json_path;
+  std::string csv_path, series_path, svg_path, json_path, telemetry_path;
   bool print_config = false;
 
   const std::vector<std::string> args(argv + 1, argv + argc);
@@ -155,6 +159,8 @@ int main(int argc, char** argv) try {
       csv_path = need_value(i);
     } else if (a == "--json") {
       json_path = need_value(i);
+    } else if (a == "--telemetry") {
+      telemetry_path = need_value(i);
     } else if (a == "--series") {
       series_path = need_value(i);
     } else if (a == "--svg") {
@@ -174,9 +180,14 @@ int main(int argc, char** argv) try {
   }
 
   // First replica runs in-process so its series / final state can be dumped.
+  obs::TelemetryRegistry telemetry;
+  obs::TelemetryRegistry* telemetry_ptr =
+      telemetry_path.empty() ? nullptr : &telemetry;
+  if (telemetry_ptr != nullptr) obs::require_writable(telemetry_path);
   std::vector<MetricsReport> reports;
   {
     World world(cfg);
+    world.set_telemetry(telemetry_ptr);
     world.enable_time_series(!series_path.empty());
     reports.push_back(world.run());
     if (!series_path.empty()) write_series(series_path, world.time_series());
@@ -186,7 +197,7 @@ int main(int argc, char** argv) try {
     SimConfig rest = cfg;
     rest.seed = cfg.seed + 1;
     ThreadPool pool;
-    auto more = run_replicas(rest, seeds - 1, &pool);
+    auto more = run_replicas(rest, seeds - 1, &pool, telemetry_ptr);
     reports.insert(reports.end(), more.begin(), more.end());
   }
 
@@ -225,6 +236,10 @@ int main(int argc, char** argv) try {
     }
     os << "\n]\n";
     std::cout << "wrote JSON reports to " << json_path << '\n';
+  }
+  if (!telemetry_path.empty()) {
+    obs::write_registry_file(telemetry_path, telemetry);
+    std::cout << "wrote telemetry to " << telemetry_path << '\n';
   }
   if (!series_path.empty()) std::cout << "wrote time series to " << series_path << '\n';
   if (!svg_path.empty()) std::cout << "wrote final-state SVG to " << svg_path << '\n';

@@ -7,7 +7,11 @@
 //
 //   wrsn_sweep --sweep KEY=V1,V2,... [--sweep KEY=...]...
 //              [--config FILE] [--set KEY=VALUE]... [--days N] [--seeds N]
-//              [--csv FILE]
+//              [--csv FILE] [--telemetry FILE]
+//
+// --telemetry FILE aggregates telemetry (event-loop counters, scheduler
+// timing histograms) over every replica of every grid point and writes it
+// as JSON (Prometheus text when FILE ends in .prom).
 //
 // Example (Fig. 6 grid):
 //   wrsn_sweep --sweep scheduler=greedy,partition,combined
@@ -23,6 +27,7 @@
 #include "core/error.hpp"
 #include "core/stats.hpp"
 #include "core/thread_pool.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/runner.hpp"
 
 namespace {
@@ -72,7 +77,7 @@ int main(int argc, char** argv) try {
   SimConfig base = SimConfig::paper_defaults();
   std::vector<Sweep> sweeps;
   std::size_t seeds = 2;
-  std::string csv_path;
+  std::string csv_path, telemetry_path;
 
   const std::vector<std::string> args(argv + 1, argv + argc);
   auto need_value = [&](std::size_t& i) -> const std::string& {
@@ -107,6 +112,8 @@ int main(int argc, char** argv) try {
       seeds = static_cast<std::size_t>(std::stoul(need_value(i)));
     } else if (a == "--csv") {
       csv_path = need_value(i);
+    } else if (a == "--telemetry") {
+      telemetry_path = need_value(i);
     } else {
       std::cerr << "unknown option '" << a << "' (try --help)\n";
       return 2;
@@ -136,6 +143,10 @@ int main(int argc, char** argv) try {
   }
 
   ThreadPool pool;
+  obs::TelemetryRegistry telemetry;
+  obs::TelemetryRegistry* telemetry_ptr =
+      telemetry_path.empty() ? nullptr : &telemetry;
+  if (telemetry_ptr != nullptr) obs::require_writable(telemetry_path);
   std::vector<std::size_t> idx(sweeps.size(), 0);
   for (std::size_t point = 0; point < total_points; ++point) {
     SimConfig cfg = base;
@@ -143,7 +154,7 @@ int main(int argc, char** argv) try {
       config_set(cfg, sweeps[k].key, sweeps[k].values[idx[k]]);
     }
     cfg.validate();
-    const auto reports = run_replicas(cfg, seeds, &pool);
+    const auto reports = run_replicas(cfg, seeds, &pool, telemetry_ptr);
 
     for (std::size_t k = 0; k < sweeps.size(); ++k) {
       out << sweeps[k].values[idx[k]] << ',';
@@ -167,6 +178,10 @@ int main(int argc, char** argv) try {
   }
   if (csv.is_open()) {
     std::cout << "\nwrote " << total_points << " row(s) to " << csv_path << '\n';
+  }
+  if (!telemetry_path.empty()) {
+    obs::write_registry_file(telemetry_path, telemetry);
+    std::cout << "wrote telemetry to " << telemetry_path << '\n';
   }
   return 0;
 } catch (const std::exception& e) {

@@ -1,41 +1,34 @@
-// wrsn_trace — dump the discrete-event stream of a simulation as CSV
-// (one row per processed event), for debugging schedules and for teaching
-// material. Use short horizons: a 120-day run emits hundreds of thousands
-// of events.
+// wrsn_trace — dump the discrete-event stream of a simulation (one record
+// per processed event), for debugging schedules and for teaching material.
+// Use short horizons: a 120-day run emits hundreds of thousands of events.
 //
 //   wrsn_trace [--days N] [--set KEY=VALUE]... [--out FILE]
+//              [--format csv|jsonl] [--telemetry FILE]
+//
+// Formats (both carry the same fields; see obs/trace.hpp):
+//   csv    t_seconds,t_hours,event,subject,epoch,queue_size   (default)
+//   jsonl  schema-versioned JSON lines; line 1 is a meta record
+//
+// --telemetry FILE additionally writes the run's telemetry registry (event
+// pop counts, stale discards, queue high-water mark, scheduler timings) as
+// JSON, or Prometheus text exposition when FILE ends in ".prom".
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/config_io.hpp"
 #include "core/error.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "sim/world.hpp"
-
-namespace {
-
-const char* kind_name(wrsn::EventKind kind) {
-  switch (kind) {
-    case wrsn::EventKind::kSlotRotation: return "slot-rotation";
-    case wrsn::EventKind::kTargetMove: return "target-move";
-    case wrsn::EventKind::kSensorCrossing: return "sensor-crossing";
-    case wrsn::EventKind::kRvArrival: return "rv-arrival";
-    case wrsn::EventKind::kRvChargeDone: return "rv-charge-done";
-    case wrsn::EventKind::kRvBaseChargeDone: return "rv-base-charge-done";
-    case wrsn::EventKind::kMetricsSample: return "metrics-sample";
-    case wrsn::EventKind::kSimEnd: return "sim-end";
-  }
-  return "unknown";
-}
-
-}  // namespace
 
 int main(int argc, char** argv) try {
   using namespace wrsn;
   SimConfig cfg = SimConfig::paper_defaults();
   cfg.sim_duration = days(1.0);
-  std::string out_path;
+  std::string out_path, format = "csv", telemetry_path;
 
   const std::vector<std::string> args(argv + 1, argv + argc);
   auto need_value = [&](std::size_t& i) -> const std::string& {
@@ -45,7 +38,8 @@ int main(int argc, char** argv) try {
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a == "--help" || a == "-h") {
-      std::cout << "wrsn_trace [--days N] [--set KEY=VALUE]... [--out FILE]\n";
+      std::cout << "wrsn_trace [--days N] [--set KEY=VALUE]... [--out FILE]\n"
+                   "           [--format csv|jsonl] [--telemetry FILE]\n";
       return 0;
     }
     if (a == "--days") {
@@ -57,6 +51,12 @@ int main(int argc, char** argv) try {
       config_set(cfg, kv.substr(0, eq), kv.substr(eq + 1));
     } else if (a == "--out") {
       out_path = need_value(i);
+    } else if (a == "--format") {
+      format = need_value(i);
+      WRSN_REQUIRE(format == "csv" || format == "jsonl",
+                   "--format must be csv or jsonl");
+    } else if (a == "--telemetry") {
+      telemetry_path = need_value(i);
     } else {
       std::cerr << "unknown option '" << a << "'\n";
       return 2;
@@ -71,16 +71,27 @@ int main(int argc, char** argv) try {
   }
   std::ostream& out = file.is_open() ? static_cast<std::ostream&>(file) : std::cout;
 
-  out << "t_seconds,t_hours,event,subject\n";
+  std::unique_ptr<obs::TraceSink> sink;
+  if (format == "jsonl") {
+    sink = std::make_unique<obs::JsonlTraceSink>(out);
+  } else {
+    sink = std::make_unique<obs::CsvTraceSink>(out);
+  }
+
+  obs::TelemetryRegistry registry;
+  if (!telemetry_path.empty()) obs::require_writable(telemetry_path);
   std::size_t count = 0;
   World world(cfg);
-  world.set_tracer([&](const World::TraceEvent& e) {
-    out << e.time << ',' << e.time / 3600.0 << ',' << kind_name(e.kind) << ','
-        << e.subject << '\n';
-    ++count;
-  });
+  world.set_trace_sink(sink.get());
+  if (!telemetry_path.empty()) world.set_telemetry(&registry);
+  world.set_tracer([&](const World::TraceEvent&) { ++count; });
   world.run();
+  sink->finish();
 
+  if (!telemetry_path.empty()) {
+    obs::write_registry_file(telemetry_path, registry);
+    std::cerr << "wrote telemetry to " << telemetry_path << '\n';
+  }
   std::cerr << "traced " << count << " events over "
             << cfg.sim_duration.value() / 86400.0 << " simulated day(s)\n";
   return 0;
