@@ -17,7 +17,7 @@ RedundancyReport analyze_redundancy(const Network& net, const ClusterSet& cluste
   report.degree_per_target.reserve(net.num_targets());
   double degree_sum = 0.0;
   for (const Target& t : net.targets()) {
-    const std::size_t degree = net.sensors_covering(t.pos).size();
+    const std::size_t degree = net.count_covering(t.pos);
     report.degree_per_target.push_back(degree);
     degree_sum += static_cast<double>(degree);
     if (degree == 0) ++report.uncovered_targets;
@@ -40,7 +40,7 @@ RedundancyReport analyze_redundancy(const Network& net, const ClusterSet& cluste
     const double side = net.config().field_side.value();
     for (std::size_t i = 0; i < field_samples; ++i) {
       const Vec2 p = random_location(side, rng);
-      const std::size_t covering = net.sensors_covering(p).size();
+      const std::size_t covering = net.count_covering(p);
       for (std::size_t k = 1; k <= std::min(covering, max_k); ++k) {
         ++at_least[k];
       }

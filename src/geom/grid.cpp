@@ -28,16 +28,15 @@ std::size_t SpatialGrid::cell_index(int cx, int cy) const {
 
 void SpatialGrid::build(const std::vector<Vec2>& points) {
   points_ = points;
-  const std::size_t num_cells =
-      static_cast<std::size_t>(cells_per_side_) * static_cast<std::size_t>(cells_per_side_);
-  std::vector<std::size_t> counts(num_cells, 0);
+  const std::size_t nc = num_cells();
+  std::vector<std::size_t> counts(nc, 0);
   std::vector<std::size_t> cell_of(points_.size());
   for (std::size_t i = 0; i < points_.size(); ++i) {
     cell_of[i] = cell_index(cell_coord(points_[i].x), cell_coord(points_[i].y));
     ++counts[cell_of[i]];
   }
-  starts_.assign(num_cells + 1, 0);
-  for (std::size_t c = 0; c < num_cells; ++c) starts_[c + 1] = starts_[c] + counts[c];
+  starts_.assign(nc + 1, 0);
+  for (std::size_t c = 0; c < nc; ++c) starts_[c + 1] = starts_[c] + counts[c];
   ids_.resize(points_.size());
   std::vector<std::size_t> cursor(starts_.begin(), starts_.end() - 1);
   // Insert in ascending id order so each cell slice is already sorted.
@@ -47,27 +46,87 @@ void SpatialGrid::build(const std::vector<Vec2>& points) {
 }
 
 std::vector<std::size_t> SpatialGrid::query_radius(Vec2 q, double radius) const {
+  // Reserve from cell occupancy so the collection loop never reallocates.
+  const int lo_x = cell_coord(q.x - radius);
+  const int hi_x = cell_coord(q.x + radius);
+  const int lo_y = cell_coord(q.y - radius);
+  const int hi_y = cell_coord(q.y + radius);
+  std::size_t occupancy = 0;
+  for (int cy = lo_y; cy <= hi_y; ++cy) {
+    for (int cx = lo_x; cx <= hi_x; ++cx) occupancy += cell_count(cx, cy);
+  }
   std::vector<std::size_t> result;
+  result.reserve(occupancy);
   for_each_in_radius(q, radius, [&](std::size_t id) { result.push_back(id); });
   std::sort(result.begin(), result.end());
   return result;
 }
 
+std::size_t SpatialGrid::count_in_radius(Vec2 q, double radius) const {
+  std::size_t count = 0;
+  for_each_in_radius(q, radius, [&](std::size_t) { ++count; });
+  return count;
+}
+
+bool SpatialGrid::any_in_radius(Vec2 q, double radius) const {
+  const double r2 = radius * radius;
+  const int lo_x = cell_coord(q.x - radius);
+  const int hi_x = cell_coord(q.x + radius);
+  const int lo_y = cell_coord(q.y - radius);
+  const int hi_y = cell_coord(q.y + radius);
+  for (int cy = lo_y; cy <= hi_y; ++cy) {
+    for (int cx = lo_x; cx <= hi_x; ++cx) {
+      const std::size_t cell = cell_index(cx, cy);
+      for (std::size_t k = starts_[cell]; k < starts_[cell + 1]; ++k) {
+        if (squared_distance(points_[ids_[k]], q) <= r2) return true;
+      }
+    }
+  }
+  return false;
+}
+
 std::size_t SpatialGrid::nearest(Vec2 q) const {
   WRSN_REQUIRE(!points_.empty(), "nearest() on an empty grid");
-  // Expand the search ring until a hit is found, then verify one extra ring
-  // (a point in a farther cell can still be closer than one found earlier).
+  const int qx = cell_coord(q.x);
+  const int qy = cell_coord(q.y);
   double best_d2 = std::numeric_limits<double>::infinity();
   std::size_t best = 0;
-  for (double radius = cell_size_;; radius *= 2.0) {
-    for_each_in_radius(q, radius, [&](std::size_t id) {
+  bool found = false;
+  auto visit_cell = [&](int cx, int cy) {
+    if (cx < 0 || cx >= cells_per_side_ || cy < 0 || cy >= cells_per_side_) return;
+    const std::size_t cell = cell_index(cx, cy);
+    for (std::size_t k = starts_[cell]; k < starts_[cell + 1]; ++k) {
+      const std::size_t id = ids_[k];
       const double d2 = squared_distance(points_[id], q);
       if (d2 < best_d2 || (d2 == best_d2 && id < best)) {
         best_d2 = d2;
         best = id;
+        found = true;
       }
-    });
-    if (best_d2 <= radius * radius || radius > 2.0 * field_side_) break;
+    }
+  };
+  // A point in a cell at Chebyshev ring r lies at distance > (r-1)*cell_size
+  // from q (clamped out-of-field points only move cells inward, which keeps
+  // the bound valid). The tiny shave guards against the product rounding up
+  // past a true distance on the ring boundary.
+  for (int ring = 0; ring < cells_per_side_ + 1; ++ring) {
+    if (found && ring > 0) {
+      const double lb = static_cast<double>(ring - 1) * cell_size_ *
+                        (1.0 - 1e-12);
+      if (lb * lb > best_d2) break;
+    }
+    if (ring == 0) {
+      visit_cell(qx, qy);
+      continue;
+    }
+    for (int cx = qx - ring; cx <= qx + ring; ++cx) {
+      visit_cell(cx, qy - ring);
+      visit_cell(cx, qy + ring);
+    }
+    for (int cy = qy - ring + 1; cy <= qy + ring - 1; ++cy) {
+      visit_cell(qx - ring, cy);
+      visit_cell(qx + ring, cy);
+    }
   }
   return best;
 }

@@ -1,11 +1,17 @@
 #pragma once
 // Uniform spatial hash grid over the square sensing field.
 //
-// Supports the two queries the framework needs, both in O(points in the
+// Supports the queries the framework needs, all in O(points in the
 // neighbouring cells) instead of O(N):
 //   * all points within radius r of a query point (which sensors cover a
 //     target; which sensors are communication neighbours),
-//   * the nearest point to a query point.
+//   * count / existence of points within radius r (allocation-free),
+//   * the nearest point to a query point (ring-expanding search).
+//
+// The cell layer (cell coordinates, per-cell id slices, exact point-to-cell
+// distance lower bounds) is public so branch-and-bound searches — the
+// planner's PlanContext, the grid-pruned 2-opt — can traverse cells in
+// expanding rings and prune whole cells against an incumbent.
 
 #include <cstddef>
 #include <vector>
@@ -25,8 +31,61 @@ class SpatialGrid {
 
   [[nodiscard]] std::size_t size() const { return points_.size(); }
 
+  // --- cell layer --------------------------------------------------------
+  [[nodiscard]] double cell_size() const { return cell_size_; }
+  [[nodiscard]] int cells_per_side() const { return cells_per_side_; }
+  [[nodiscard]] std::size_t num_cells() const {
+    return static_cast<std::size_t>(cells_per_side_) *
+           static_cast<std::size_t>(cells_per_side_);
+  }
+  // Grid coordinate of a world coordinate, clamped to [0, cells_per_side).
+  [[nodiscard]] int cell_coord(double v) const;
+  [[nodiscard]] std::size_t cell_index(int cx, int cy) const;
+  [[nodiscard]] std::size_t cell_count(int cx, int cy) const {
+    const std::size_t cell = cell_index(cx, cy);
+    return starts_[cell + 1] - starts_[cell];
+  }
+
+  // Visits every id whose point hashed into cell (cx, cy).
+  template <typename Fn>
+  void for_each_in_cell(int cx, int cy, Fn&& fn) const {
+    const std::size_t cell = cell_index(cx, cy);
+    for (std::size_t k = starts_[cell]; k < starts_[cell + 1]; ++k) fn(ids_[k]);
+  }
+
+  // Lower bound on distance(q, p) for any point p hashed into cell (cx, cy).
+  // Border cells absorb out-of-field points through clamping, so they extend
+  // to infinity on the clamped side and the bound degrades to the in-range
+  // axes only (never over-estimates).
+  [[nodiscard]] double cell_distance_lower_bound_sq(Vec2 q, int cx, int cy) const {
+    double dx = 0.0;
+    if (cx > 0 && q.x < static_cast<double>(cx) * cell_size_) {
+      dx = static_cast<double>(cx) * cell_size_ - q.x;
+    } else if (cx + 1 < cells_per_side_ &&
+               q.x > static_cast<double>(cx + 1) * cell_size_) {
+      dx = q.x - static_cast<double>(cx + 1) * cell_size_;
+    }
+    double dy = 0.0;
+    if (cy > 0 && q.y < static_cast<double>(cy) * cell_size_) {
+      dy = static_cast<double>(cy) * cell_size_ - q.y;
+    } else if (cy + 1 < cells_per_side_ &&
+               q.y > static_cast<double>(cy + 1) * cell_size_) {
+      dy = q.y - static_cast<double>(cy + 1) * cell_size_;
+    }
+    return dx * dx + dy * dy;
+  }
+
+  // --- queries ------------------------------------------------------------
   // Ids of all points with distance(p, q) <= radius, in ascending id order.
+  // Capacity is reserved from the occupancy of the touched cells, so the
+  // result vector never reallocates while collecting.
   [[nodiscard]] std::vector<std::size_t> query_radius(Vec2 q, double radius) const;
+
+  // Number of points within radius, without allocating.
+  [[nodiscard]] std::size_t count_in_radius(Vec2 q, double radius) const;
+
+  // Whether any point lies within radius; early-exits on the first hit.
+  [[nodiscard]] bool any_in_radius(Vec2 q, double radius) const;
 
   // Visits ids within radius without allocating.
   template <typename Fn>
@@ -47,13 +106,13 @@ class SpatialGrid {
     }
   }
 
-  // Id of the nearest point to q; size() must be > 0.
+  // Id of the nearest point to q (lowest id on exact ties); size() must be
+  // > 0. Expands Chebyshev cell rings outward from q's cell and stops as
+  // soon as the next ring provably cannot beat the incumbent, so sparse
+  // grids no longer degrade to repeated full-rectangle scans.
   [[nodiscard]] std::size_t nearest(Vec2 q) const;
 
  private:
-  [[nodiscard]] int cell_coord(double v) const;
-  [[nodiscard]] std::size_t cell_index(int cx, int cy) const;
-
   double field_side_;
   double cell_size_;
   int cells_per_side_;

@@ -39,6 +39,14 @@ std::vector<SensorId> Network::sensors_covering(Vec2 point) const {
   return sensing_grid_.query_radius(point, config_.sensing_range.value());
 }
 
+std::size_t Network::count_covering(Vec2 point) const {
+  return sensing_grid_.count_in_radius(point, config_.sensing_range.value());
+}
+
+bool Network::any_covering(Vec2 point) const {
+  return sensing_grid_.any_in_radius(point, config_.sensing_range.value());
+}
+
 void Network::relocate_target(TargetId id, Xoshiro256& rng) {
   WRSN_REQUIRE(id < targets_.size(), "target id out of range");
   targets_[id].pos = random_location(config_.field_side.value(), rng);

@@ -3,6 +3,7 @@
 // a base station at the field centre (Section II-A), the communication
 // graph, and a BS-rooted routing tree over alive sensors.
 
+#include <utility>
 #include <vector>
 
 #include "core/config.hpp"
@@ -33,7 +34,26 @@ class Network {
   [[nodiscard]] const Target& target(TargetId id) const { return targets_[id]; }
 
   // Ids of all sensors (alive or not) whose sensing disc contains `point`.
+  // Allocates the result vector; hot paths that only need the count, a
+  // yes/no, or a pass over the ids should use the allocation-free forms
+  // below instead.
   [[nodiscard]] std::vector<SensorId> sensors_covering(Vec2 point) const;
+
+  // Number of sensors whose sensing disc contains `point`, without
+  // allocating.
+  [[nodiscard]] std::size_t count_covering(Vec2 point) const;
+
+  // Whether any sensor's sensing disc contains `point`; early-exits on the
+  // first hit.
+  [[nodiscard]] bool any_covering(Vec2 point) const;
+
+  // Visits the id of every sensor whose sensing disc contains `point`
+  // (unsorted cell order), without allocating.
+  template <typename Fn>
+  void for_each_covering(Vec2 point, Fn&& fn) const {
+    sensing_grid_.for_each_in_radius(point, config_.sensing_range.value(),
+                                     std::forward<Fn>(fn));
+  }
 
   // Moves the target to a fresh uniform random location.
   void relocate_target(TargetId id, Xoshiro256& rng);

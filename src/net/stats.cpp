@@ -44,9 +44,9 @@ NetworkStats compute_stats(const Network& net) {
 
   double coverage_sum = 0.0;
   for (const Target& t : net.targets()) {
-    const auto covering = net.sensors_covering(t.pos);
-    coverage_sum += static_cast<double>(covering.size());
-    if (covering.empty()) ++stats.uncovered_targets;
+    const std::size_t covering = net.count_covering(t.pos);
+    coverage_sum += static_cast<double>(covering);
+    if (covering == 0) ++stats.uncovered_targets;
   }
   stats.avg_coverage_degree =
       net.num_targets() > 0

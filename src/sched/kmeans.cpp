@@ -1,13 +1,29 @@
 #include "sched/kmeans.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "core/error.hpp"
 #include "obs/telemetry.hpp"
+#include "sched/plan_context.hpp"
 
 namespace wrsn {
 
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Bound bookkeeping only pays off once the n*k product is sizeable.
+constexpr std::size_t kSmallKMeans = 64;
+
+// Certification margin (in metres) for skipping a point's assignment scan:
+// a skip is taken only when the bounds prove the current center strictly
+// dominates every other by more than this, so the full argmin — ties to the
+// lowest index included — provably returns the current assignment. The
+// margin towers over the bound drift accumulated across iterations (a few
+// hundred ulps), keeping every skip sound in floating point.
+constexpr double kMargin = 1e-7;
 
 std::vector<Vec2> kmeanspp_init(const std::vector<Vec2>& points, std::size_t k,
                                 Xoshiro256& rng) {
@@ -44,6 +60,43 @@ std::vector<Vec2> kmeanspp_init(const std::vector<Vec2>& points, std::size_t k,
   return centroids;
 }
 
+// The update step shared verbatim by the reference and the Elkan path, so
+// both evaluate the exact same floating-point expressions. Appends the
+// index of every point used to re-seed an empty cluster to `reseeded`.
+bool update_centroids(const std::vector<Vec2>& points, std::size_t k,
+                      std::vector<std::size_t>& assignment,
+                      std::vector<Vec2>& centroids,
+                      std::vector<std::size_t>* reseeded) {
+  bool changed = false;
+  std::vector<Vec2> sums(k, Vec2{});
+  std::vector<std::size_t> counts(k, 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    sums[assignment[i]] += points[i];
+    ++counts[assignment[i]];
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] > 0) {
+      centroids[c] = sums[c] / static_cast<double>(counts[c]);
+    } else {
+      // Re-seed an empty cluster on the farthest point from its centroid.
+      double far_d = -1.0;
+      std::size_t far_i = 0;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        const double d = squared_distance(points[i], centroids[assignment[i]]);
+        if (d > far_d) {
+          far_d = d;
+          far_i = i;
+        }
+      }
+      centroids[c] = points[far_i];
+      assignment[far_i] = c;
+      if (reseeded) reseeded->push_back(far_i);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
 }  // namespace
 
 double wcss_of(const std::vector<Vec2>& points,
@@ -58,8 +111,8 @@ double wcss_of(const std::vector<Vec2>& points,
   return total;
 }
 
-KMeansResult kmeans(const std::vector<Vec2>& points, std::size_t k,
-                    Xoshiro256& rng, std::size_t max_iterations) {
+KMeansResult kmeans_reference(const std::vector<Vec2>& points, std::size_t k,
+                              Xoshiro256& rng, std::size_t max_iterations) {
   WRSN_OBS_SCOPE("kmeans/lloyd");
   WRSN_REQUIRE(k > 0, "k must be positive");
   KMeansResult result;
@@ -98,32 +151,151 @@ KMeansResult kmeans(const std::vector<Vec2>& points, std::size_t k,
       }
     }
     // Update step.
-    std::vector<Vec2> sums(k, Vec2{});
-    std::vector<std::size_t> counts(k, 0);
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      sums[result.assignment[i]] += points[i];
-      ++counts[result.assignment[i]];
+    if (update_centroids(points, k, result.assignment, result.centroids,
+                         nullptr)) {
+      changed = true;
     }
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.wcss = wcss_of(points, result.assignment, result.centroids);
+  return result;
+}
+
+KMeansResult kmeans(const std::vector<Vec2>& points, std::size_t k,
+                    Xoshiro256& rng, std::size_t max_iterations) {
+  if (planners_use_reference() || points.size() < kSmallKMeans) {
+    return kmeans_reference(points, k, rng, max_iterations);
+  }
+  WRSN_OBS_SCOPE("kmeans/lloyd");
+  WRSN_REQUIRE(k > 0, "k must be positive");
+  KMeansResult result;
+  // points.size() > kSmallKMeans > 0 here; the k >= n identity case still
+  // mirrors the reference for completeness.
+  if (k >= points.size()) {
+    result.assignment.resize(points.size());
+    result.centroids = points;
+    for (std::size_t i = 0; i < points.size(); ++i) result.assignment[i] = i;
+    result.converged = true;
+    return result;
+  }
+
+  result.centroids = kmeanspp_init(points, k, rng);
+  result.assignment.assign(points.size(), 0);
+
+  const std::size_t n = points.size();
+  // Hamerly-style triangle-inequality bounds — one pair per point, so the
+  // per-iteration bookkeeping is O(n + k^2) instead of the reference's
+  // O(n*k) scan (or Elkan's O(n*k) bound maintenance, whose memory traffic
+  // eats the savings at the k's this simulator uses):
+  //   u[i] >= d(point i, its center)
+  //   l[i] <= min over c != assignment[i] of d(point i, center c)
+  // both maintained within a few hundred ulps (<< kMargin).
+  std::vector<double> u(n, kInf);
+  std::vector<double> l(n, 0.0);
+  std::vector<double> s(k, 0.0);  // half the distance to the closest other center
+  std::vector<Vec2> old_centroids(k);
+  std::vector<double> delta(k, 0.0);
+  std::vector<std::size_t> reseeded;
+
+  // Full reference argmin for one point; refreshes its bounds exactly.
+  auto assign_full = [&](std::size_t i) -> std::size_t {
+    double best = kInf;
+    double second = kInf;
+    std::size_t best_c = 0;
     for (std::size_t c = 0; c < k; ++c) {
-      if (counts[c] > 0) {
-        result.centroids[c] = sums[c] / static_cast<double>(counts[c]);
+      const double d = squared_distance(points[i], result.centroids[c]);
+      if (d < best) {
+        second = best;
+        best = d;
+        best_c = c;
       } else {
-        // Re-seed an empty cluster on the farthest point from its centroid.
-        double far_d = -1.0;
-        std::size_t far_i = 0;
-        for (std::size_t i = 0; i < points.size(); ++i) {
-          const double d =
-              squared_distance(points[i], result.centroids[result.assignment[i]]);
-          if (d > far_d) {
-            far_d = d;
-            far_i = i;
-          }
-        }
-        result.centroids[c] = points[far_i];
-        result.assignment[far_i] = c;
-        changed = true;
+        second = std::min(second, d);
       }
     }
+    u[i] = std::sqrt(best);
+    l[i] = std::sqrt(second);  // inf stays inf when k == 1
+    return best_c;
+  };
+
+  for (result.iterations = 1; result.iterations <= max_iterations;
+       ++result.iterations) {
+    bool changed = false;
+    if (result.iterations == 1) {
+      // First pass: full scans, exactly the reference, seeding the bounds.
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t best_c = assign_full(i);
+        if (result.assignment[i] != best_c) {
+          result.assignment[i] = best_c;
+          changed = true;
+        }
+      }
+    } else {
+      for (std::size_t c = 0; c < k; ++c) {
+        double nearest = kInf;
+        for (std::size_t o = 0; o < k; ++o) {
+          if (o == c) continue;
+          nearest = std::min(nearest,
+                             distance(result.centroids[c], result.centroids[o]));
+        }
+        s[c] = 0.5 * nearest;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t a = result.assignment[i];
+        // Skip when either bound proves strict dominance: any other center
+        // c has d(i,c) >= max(2*s[a] - u[i], l[i]) > u[i] >= d(i,a), so the
+        // full argmin — ties to the lowest index included — would return
+        // the current assignment.
+        const double m = std::max(s[a], l[i]);
+        if (u[i] + kMargin < m) continue;
+        // Tighten u to the exact distance and retry before paying for the
+        // full scan (the cheap test fails mostly because u has drifted).
+        u[i] = std::sqrt(squared_distance(points[i], result.centroids[a]));
+        if (u[i] + kMargin < m) continue;
+        const std::size_t best_c = assign_full(i);
+        if (result.assignment[i] != best_c) {
+          result.assignment[i] = best_c;
+          changed = true;
+        }
+      }
+    }
+
+    // Update step (verbatim reference expressions).
+    old_centroids = result.centroids;
+    reseeded.clear();
+    if (update_centroids(points, k, result.assignment, result.centroids,
+                         &reseeded)) {
+      changed = true;
+    }
+
+    // Drift the bounds by how far each center moved: u grows by the own
+    // center's drift, l shrinks by the largest drift among the others.
+    double d1 = 0.0, d2 = 0.0;  // two largest drifts
+    std::size_t c1 = 0;         // center with the largest drift
+    for (std::size_t c = 0; c < k; ++c) {
+      delta[c] = distance(old_centroids[c], result.centroids[c]);
+      if (delta[c] > d1) {
+        d2 = d1;
+        d1 = delta[c];
+        c1 = c;
+      } else {
+        d2 = std::max(d2, delta[c]);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t a = result.assignment[i];
+      u[i] += delta[a];
+      l[i] = std::max(0.0, l[i] - (a == c1 ? d2 : d1));
+    }
+    // A re-seeded point sits exactly on its new center, but its second-best
+    // bound is unknown; force a full scan next iteration.
+    for (std::size_t i : reseeded) {
+      u[i] = 0.0;
+      l[i] = 0.0;
+    }
+
     if (!changed) {
       result.converged = true;
       break;

@@ -1,0 +1,91 @@
+#pragma once
+// PlanContext — spatial acceleration for the recharge planners (hot path).
+//
+// Per planning round the context precomputes, once over the item list:
+//   * a SpatialGrid over item positions,
+//   * each item's return-leg length to base (the second sqrt of the
+//     affordability check, hoisted out of every query),
+//   * per-cell maximum demands (branch-and-bound upper bounds),
+//   * the list of critical items (destination selection scans these first,
+//     per Section III-C they dominate regardless of profit).
+//
+// Queries then run as ring-expanding branch-and-bound over grid cells: a
+// cell is pruned when its best possible profit
+//     max_demand(cell) - e_m * dist_lower_bound(cell)
+// cannot beat the incumbent, and the ring expansion stops when even the
+// global maximum demand at the ring's distance lower bound cannot. All
+// bounds are shaved by a relative epsilon so floating-point rounding can
+// only make pruning more conservative, never unsound: every query returns
+// the bit-identical result of the corresponding linear-scan reference in
+// sched/planner.hpp (ties included — lowest index wins, exactly like an
+// ascending reference scan with strict comparisons).
+//
+// Setting the environment variable WRSN_REFERENCE_PLANNERS=1 routes every
+// query back to the reference scans (A/B hook for tests and benches).
+
+#include <optional>
+#include <vector>
+
+#include "geom/grid.hpp"
+#include "sched/planner.hpp"
+#include "sched/request.hpp"
+
+namespace wrsn {
+
+// True when WRSN_REFERENCE_PLANNERS is set (to anything but "" or "0"):
+// PlanContext queries and the optimized tsp/kmeans routines then fall back
+// to their linear reference implementations. Read once per process.
+[[nodiscard]] bool planners_use_reference();
+
+class PlanContext {
+ public:
+  // `items` and `params` must outlive the context; the item list must not
+  // change while the context is in use (the `taken` mask may).
+  PlanContext(const std::vector<RechargeItem>& items, const PlannerParams& params);
+
+  [[nodiscard]] const std::vector<RechargeItem>& items() const { return *items_; }
+  [[nodiscard]] const PlannerParams& params() const { return params_; }
+  [[nodiscard]] std::size_t size() const { return items_->size(); }
+  // Precomputed distance(items[i].pos, params.base).
+  [[nodiscard]] double base_distance(std::size_t i) const { return base_dist_[i]; }
+
+  // Algorithm 2 destination selection; bit-identical to wrsn::greedy_next.
+  [[nodiscard]] std::optional<std::size_t> greedy_next(
+      const RvPlanState& rv, const std::vector<bool>& taken) const;
+
+  // Nearest affordable item (critical first); bit-identical to
+  // wrsn::nearest_next.
+  [[nodiscard]] std::optional<std::size_t> nearest_next(
+      const RvPlanState& rv, const std::vector<bool>& taken) const;
+
+  // Earliest-deadline item. No spatial structure to exploit (the key is the
+  // battery fraction), so this simply forwards to the reference scan.
+  [[nodiscard]] std::optional<std::size_t> edf_next(
+      const RvPlanState& rv, const std::vector<bool>& taken) const;
+
+  // Algorithm 3 with grid-pruned insertion scans; bit-identical to
+  // wrsn::insertion_sequence.
+  [[nodiscard]] std::vector<std::size_t> insertion_sequence(
+      const RvPlanState& rv, std::vector<bool>& taken) const;
+
+ private:
+  // Best insertion of any untaken item between waypoints a and b, given the
+  // running budget; updates best_{profit,item,slot} in place (exact
+  // reference tie semantics: strictly-greater profit wins; an equal profit
+  // only wins within the same slot at a lower item index).
+  void best_insertion_in_slot(Vec2 a, Vec2 b, std::size_t slot, Joule spent,
+                              Joule available, const std::vector<bool>& taken,
+                              Joule max_untaken_demand, Joule& best_profit,
+                              std::size_t& best_item, std::size_t& best_slot) const;
+
+  const std::vector<RechargeItem>* items_;
+  PlannerParams params_;
+  SpatialGrid grid_;
+  std::vector<double> base_dist_;        // item -> distance to base
+  std::vector<std::size_t> critical_;    // critical item indices, ascending
+  std::vector<double> cell_max_demand_;  // over all items in the cell
+  std::vector<double> cell_max_demand_noncrit_;
+  double max_demand_noncrit_ = 0.0;      // global bound for ring stops
+};
+
+}  // namespace wrsn

@@ -14,8 +14,7 @@ namespace {
 
 // Energy needed to drive to the item, fill it, and still make it home.
 Joule serve_cost(Vec2 from, const RechargeItem& item, const PlannerParams& params) {
-  const double travel = distance(from, item.pos) + distance(item.pos, params.base);
-  return params.em * Meter{travel} + item.demand;
+  return serve_cost(from, item, params.em, params.base);
 }
 
 }  // namespace

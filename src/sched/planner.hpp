@@ -15,6 +15,12 @@
 // Algorithm 3's "reserve energy for the dest node"). Critical items
 // (clusters with members near depletion) are prioritized for destination
 // selection per Section III-C.
+//
+// The free functions below are the O(n) linear-scan REFERENCE
+// implementations. The production hot path is sched/plan_context.hpp, which
+// answers the same queries with grid-pruned branch-and-bound search and is
+// bit-identical to these scans on every input (enforced by the
+// planner-equivalence property tests).
 
 #include <optional>
 #include <vector>

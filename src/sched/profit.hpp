@@ -15,6 +15,16 @@ namespace wrsn {
   return item.demand - em * Meter{distance(from, item.pos)};
 }
 
+// Energy needed to drive from `from` to the item, fill it, and still make it
+// back to `base` (the affordability check of Algorithms 2/3). Shared by the
+// linear-scan reference planners and the grid-pruned PlanContext so both
+// evaluate the exact same floating-point expression.
+[[nodiscard]] inline Joule serve_cost(Vec2 from, const RechargeItem& item,
+                                      JoulePerMeter em, Vec2 base) {
+  const double travel = distance(from, item.pos) + distance(item.pos, base);
+  return em * Meter{travel} + item.demand;
+}
+
 // Detour length of inserting point `p` between `a` and `b`.
 [[nodiscard]] inline double insertion_detour(Vec2 a, Vec2 b, Vec2 p) {
   return distance(a, p) + distance(p, b) - distance(a, b);

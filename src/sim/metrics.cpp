@@ -67,6 +67,7 @@ MetricsReport MetricsIntegrator::finalize(Second duration) const {
     out.p95_request_latency = Second{quantile(0.95)};
     out.p99_request_latency = Second{quantile(0.99)};
     out.max_request_latency = Second{sorted.back()};
+    out.p99_max_request_latency = out.max_request_latency;
   }
   if (!recharge_counts_.empty()) {
     double sum = 0.0, sum_sq = 0.0;
@@ -107,6 +108,7 @@ std::string to_json(const MetricsReport& r) {
       .field("p95_request_latency_s", r.p95_request_latency.value())
       .field("p99_request_latency_s", r.p99_request_latency.value())
       .field("max_request_latency_s", r.max_request_latency.value())
+      .field("p99_max_request_latency_s", r.p99_max_request_latency.value())
       .field("recharge_fairness_jain", r.recharge_fairness_jain)
       .end_object();
   return w.str();

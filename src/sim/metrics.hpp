@@ -50,6 +50,10 @@ struct MetricsReport {
   Second p95_request_latency{0.0};
   Second p99_request_latency{0.0};
   Second max_request_latency{0.0};
+  // p99 of max_request_latency across replicas (tail of the worst case).
+  // For a single replica this equals max_request_latency; mean_report
+  // replaces it with the cross-replica quantile.
+  Second p99_max_request_latency{0.0};
   // Jain fairness index of recharge counts over the sensors that were served
   // at least once: 1 = perfectly even service, ->0 = service concentrated on
   // few nodes. 1 when nothing was served.

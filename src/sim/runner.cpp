@@ -48,6 +48,15 @@ MetricsReport mean_report(const std::vector<MetricsReport>& reports) {
         std::max(mean.max_request_latency, r.max_request_latency);
     mean.recharge_fairness_jain += r.recharge_fairness_jain / n;
   }
+  // Tail of the worst case: p99 over the per-replica maxima, using the same
+  // nearest-rank convention as the per-replica quantiles in metrics.cpp.
+  std::vector<double> maxes;
+  maxes.reserve(reports.size());
+  for (const MetricsReport& r : reports) maxes.push_back(r.max_request_latency.value());
+  std::sort(maxes.begin(), maxes.end());
+  const auto idx = static_cast<std::size_t>(
+      0.99 * static_cast<double>(maxes.size() - 1) + 0.5);
+  mean.p99_max_request_latency = Second{maxes[std::min(idx, maxes.size() - 1)]};
   mean.sensor_deaths = static_cast<std::size_t>(deaths + 0.5);
   mean.recharge_requests = static_cast<std::size_t>(requests + 0.5);
   mean.sensors_recharged = static_cast<std::size_t>(recharged + 0.5);

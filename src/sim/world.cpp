@@ -283,7 +283,7 @@ void World::recluster() {
 
   const double rate_pps = config_.data_rate_pkt_per_min / 60.0;
   for (TargetId t = 0; t < net_.num_targets(); ++t) {
-    coverable_[t] = !net_.sensors_covering(net_.target(t).pos).empty();
+    coverable_[t] = net_.any_covering(net_.target(t).pos);
     rotors_[t] = ClusterRotor(clusters_.members[t]);
     if (config_.activation == ActivationPolicy::kRoundRobin) {
       const SensorId first =

@@ -4,6 +4,7 @@
 
 #include "core/error.hpp"
 #include "energy/charge_profile.hpp"
+#include "sched/plan_context.hpp"
 #include "sched/tsp.hpp"
 #include "sim/world.hpp"
 
@@ -83,11 +84,14 @@ void World::dispatch() {
         continue;
       }
       case SchedulerKind::kCombined: {
-        seq = insertion_sequence(state, items, taken, params);
+        // Grid-pruned hot path (bit-identical to the reference scan).
+        const PlanContext ctx(items, params);
+        seq = ctx.insertion_sequence(state, taken);
         break;
       }
       case SchedulerKind::kNearestFirst: {
-        if (const auto next = nearest_next(state, items, taken, params)) {
+        const PlanContext ctx(items, params);
+        if (const auto next = ctx.nearest_next(state, taken)) {
           seq.push_back(*next);
         }
         break;
@@ -160,8 +164,8 @@ void World::dispatch() {
         group_items.reserve(best_group->size());
         for (std::size_t i : *best_group) group_items.push_back(items[i]);
         std::vector<bool> group_taken(group_items.size(), false);
-        const auto group_seq =
-            insertion_sequence(state, group_items, group_taken, params);
+        const PlanContext group_ctx(group_items, params);
+        const auto group_seq = group_ctx.insertion_sequence(state, group_taken);
         if (group_seq.empty()) {
           // Unaffordable as aggregates: serve the best raw node within the
           // group, or refill first.

@@ -120,6 +120,50 @@ TEST(SpatialGrid, DuplicatePointsAllReturned) {
   EXPECT_EQ(grid.query_radius({3.0, 3.0}, 0.5).size(), 3u);
 }
 
+TEST(SpatialGrid, NearestOnSparseGridMatchesBruteForce) {
+  // A handful of points in a big field: the ring expansion has to cross
+  // many empty rings and must not stop early on the first hit when a closer
+  // point can still live in the next ring's corner.
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Vec2> points;
+    const std::size_t n = 1 + rng.uniform_int(6);
+    for (std::size_t i = 0; i < n; ++i) {
+      points.push_back({rng.uniform(0.0, 5000.0), rng.uniform(0.0, 5000.0)});
+    }
+    SpatialGrid grid(5000.0, 50.0);
+    grid.build(points);
+    const Vec2 q{rng.uniform(-100.0, 5100.0), rng.uniform(-100.0, 5100.0)};
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t want = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const double d = squared_distance(points[i], q);
+      if (d < best) {
+        best = d;
+        want = i;
+      }
+    }
+    EXPECT_EQ(grid.nearest(q), want) << "trial " << trial;
+  }
+}
+
+TEST_F(SpatialGridTest, CountAndAnyMatchQueryRadius) {
+  SpatialGrid grid(200.0, 9.0);
+  grid.build(points_);
+  Xoshiro256 rng(21);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vec2 q{rng.uniform(-20.0, 220.0), rng.uniform(-20.0, 220.0)};
+    const double r = rng.uniform(0.5, 60.0);
+    const auto ids = grid.query_radius(q, r);
+    EXPECT_EQ(grid.count_in_radius(q, r), ids.size()) << "trial " << trial;
+    EXPECT_EQ(grid.any_in_radius(q, r), !ids.empty()) << "trial " << trial;
+    std::vector<std::size_t> via_each;
+    grid.for_each_in_radius(q, r, [&](std::size_t id) { via_each.push_back(id); });
+    std::sort(via_each.begin(), via_each.end());
+    EXPECT_EQ(via_each, ids) << "trial " << trial;
+  }
+}
+
 TEST(Coverage, Eq1MatchesPaperFormula) {
   // N = 3*sqrt(3)*S_a / (2*pi^2*r^2), Table II: L=200, d_s=8.
   const double expected =

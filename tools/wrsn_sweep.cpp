@@ -19,6 +19,7 @@
 //              --days 120 --seeds 3 --csv fig6.csv
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -142,38 +143,85 @@ int main(int argc, char** argv) try {
         << (m + 1 < std::size(kMetrics) ? "," : "\n");
   }
 
-  ThreadPool pool;
   obs::TelemetryRegistry telemetry;
   obs::TelemetryRegistry* telemetry_ptr =
       telemetry_path.empty() ? nullptr : &telemetry;
   if (telemetry_ptr != nullptr) obs::require_writable(telemetry_path);
+
+  // Materialize the grid up front (mixed-radix counter over the sweeps), so
+  // the (point x replica) product flattens into one task list and a single
+  // parallel_for keeps every worker busy across point boundaries instead of
+  // draining the pool once per point.
+  std::vector<SimConfig> point_cfgs;
+  std::vector<std::vector<std::string>> point_values;
+  point_cfgs.reserve(total_points);
+  point_values.reserve(total_points);
   std::vector<std::size_t> idx(sweeps.size(), 0);
   for (std::size_t point = 0; point < total_points; ++point) {
     SimConfig cfg = base;
+    std::vector<std::string> values;
+    values.reserve(sweeps.size());
     for (std::size_t k = 0; k < sweeps.size(); ++k) {
       config_set(cfg, sweeps[k].key, sweeps[k].values[idx[k]]);
+      values.push_back(sweeps[k].values[idx[k]]);
     }
     cfg.validate();
-    const auto reports = run_replicas(cfg, seeds, &pool, telemetry_ptr);
-
-    for (std::size_t k = 0; k < sweeps.size(); ++k) {
-      out << sweeps[k].values[idx[k]] << ',';
-    }
-    for (std::size_t m = 0; m < std::size(kMetrics); ++m) {
-      RunningStats stats;
-      for (const MetricsReport& r : reports) stats.add(kMetrics[m].get(r));
-      out << stats.mean() << ',' << stats.ci95_halfwidth()
-          << (m + 1 < std::size(kMetrics) ? "," : "\n");
-    }
-    if (csv.is_open()) {
-      std::cout << "  point " << point + 1 << '/' << total_points << " done\r"
-                << std::flush;
-    }
-
-    // Advance the mixed-radix counter.
+    point_cfgs.push_back(std::move(cfg));
+    point_values.push_back(std::move(values));
     for (std::size_t k = sweeps.size(); k-- > 0;) {
       if (++idx[k] < sweeps[k].values.size()) break;
       idx[k] = 0;
+    }
+  }
+
+  const std::size_t total_tasks = total_points * seeds;
+  std::vector<MetricsReport> reports(total_tasks);
+  // Replica-private registries, merged in task order after the parallel
+  // phase so the aggregate is independent of completion order.
+  std::vector<obs::TelemetryRegistry> local_telemetry(
+      telemetry_ptr != nullptr ? total_tasks : 0);
+
+  // Rows stream out in point order as soon as every replica of a point has
+  // finished, each flushed immediately, so partial results survive an
+  // interrupted sweep.
+  std::mutex write_mutex;
+  std::vector<std::size_t> remaining(total_points, seeds);
+  std::size_t next_write = 0;
+  auto write_row = [&](std::size_t point) {
+    for (const std::string& v : point_values[point]) out << v << ',';
+    for (std::size_t m = 0; m < std::size(kMetrics); ++m) {
+      RunningStats stats;
+      for (std::size_t i = 0; i < seeds; ++i) {
+        stats.add(kMetrics[m].get(reports[point * seeds + i]));
+      }
+      out << stats.mean() << ',' << stats.ci95_halfwidth()
+          << (m + 1 < std::size(kMetrics) ? "," : "\n");
+    }
+    out.flush();
+    std::cerr << "point " << point + 1 << '/' << total_points << " done\n";
+  };
+
+  ThreadPool pool;
+  pool.parallel_for(total_tasks, [&](std::size_t task) {
+    const std::size_t point = task / seeds;
+    const std::size_t replica = task % seeds;
+    SimConfig cfg = point_cfgs[point];
+    // Same per-replica seed derivation as run_replicas, so the flattened
+    // grid reproduces the sequential driver's reports byte for byte.
+    cfg.seed = point_cfgs[point].seed + replica;
+    reports[task] = run_replica(
+        cfg, telemetry_ptr != nullptr ? &local_telemetry[task] : nullptr);
+    const std::lock_guard lock(write_mutex);
+    if (--remaining[point] == 0) {
+      while (next_write < total_points && remaining[next_write] == 0) {
+        write_row(next_write);
+        ++next_write;
+      }
+    }
+  });
+  if (telemetry_ptr != nullptr) {
+    for (const obs::TelemetryRegistry& local : local_telemetry) {
+      telemetry.merge_from(local);
     }
   }
   if (csv.is_open()) {
