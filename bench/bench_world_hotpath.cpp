@@ -1,0 +1,179 @@
+// bench_world_hotpath — old-vs-new event-loop throughput for the World.
+//
+// Runs the same battery-stressed random-waypoint + round-robin scenario
+// under the reference engine (full O(N) rescans per event) and the
+// incremental engine (lazy settlement, O(1) coverage counters, dirty-marked
+// drain refreshes, grid-scoped reclustering) at n in {500, 2000, 10000} and
+// writes a machine-readable JSON report:
+//
+//   bench_world_hotpath [--quick] [--out FILE]
+//
+//   --quick   only n in {500, 2000} (the ctest smoke target)
+//   --out     output path (default BENCH_world.json in the cwd)
+//
+// The two runs must agree bit-for-bit: the metrics report JSON and the final
+// per-sensor battery vector are cross-checked before any timing is reported,
+// so the benchmark doubles as an engine-equivalence smoke test at scales the
+// unit suite does not reach. Timing is whole-run wall clock (steady_clock,
+// best of 2 fresh worlds per engine); the figure of merit is events/sec.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/json.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+using namespace wrsn;
+
+using Clock = std::chrono::steady_clock;
+
+// Constant sensor density (the paper's Table II instance is 500 sensors on a
+// 200 m field); targets and RVs scale with n so per-event work, not idle
+// time, dominates. Small batteries and a high listen duty cycle compress the
+// full request/recharge/death/revival lifecycle into a few simulated hours.
+SimConfig bench_config(std::size_t n) {
+  SimConfig cfg;
+  cfg.num_sensors = n;
+  cfg.num_targets = std::max<std::size_t>(4, n / 100);
+  cfg.num_rvs = 2;
+  cfg.field_side = meters(200.0 * std::sqrt(static_cast<double>(n) / 500.0));
+  cfg.sim_duration = hours(1.8);
+  cfg.seed = 0xbe7c0000ULL + n;
+  cfg.target_motion = TargetMotion::kRandomWaypoint;
+  cfg.target_period = minutes(1.0);
+  cfg.target_speed = MeterPerSecond{1.0};
+  cfg.activation = ActivationPolicy::kRoundRobin;
+  cfg.activation_slot = Second{30.0};
+  cfg.battery.capacity = Joule{200.0};
+  cfg.radio.listen_duty_cycle = 0.3;
+  cfg.rv.speed = MeterPerSecond{5.0};
+  cfg.rv.charge_power = watts(10.0);
+  return cfg;
+}
+
+struct RunOutcome {
+  double wall_s = 0.0;
+  std::uint64_t events = 0;
+  std::string report_json;
+  std::vector<double> battery_levels;
+};
+
+RunOutcome run_once(const SimConfig& cfg, WorldEngine engine) {
+  World w(cfg, engine);  // construction (clustering, seeding) is not timed
+  const auto t0 = Clock::now();
+  w.run_until(cfg.sim_duration);
+  const auto t1 = Clock::now();
+  RunOutcome out;
+  out.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  out.events = w.events_processed();
+  out.report_json = to_json(w.report());
+  out.battery_levels.reserve(w.network().num_sensors());
+  for (const Sensor& s : w.network().sensors()) {
+    out.battery_levels.push_back(s.battery.level().value());
+  }
+  return out;
+}
+
+RunOutcome run_best(const SimConfig& cfg, WorldEngine engine, int reps) {
+  RunOutcome best = run_once(cfg, engine);
+  for (int r = 1; r < reps; ++r) {
+    RunOutcome next = run_once(cfg, engine);
+    if (next.wall_s < best.wall_s) best = std::move(next);
+  }
+  return best;
+}
+
+struct Row {
+  std::size_t n = 0;
+  std::uint64_t events = 0;
+  double ref_wall_s = 0.0;
+  double inc_wall_s = 0.0;
+};
+
+bool run_size(std::size_t n, std::vector<Row>& rows) {
+  const SimConfig cfg = bench_config(n);
+  const RunOutcome inc = run_best(cfg, WorldEngine::kIncremental, 2);
+  const RunOutcome ref = run_best(cfg, WorldEngine::kReference, 2);
+
+  if (inc.report_json != ref.report_json || inc.events != ref.events ||
+      inc.battery_levels != ref.battery_levels) {
+    std::cerr << "bench_world_hotpath: engine divergence at n=" << n
+              << " (events " << inc.events << " vs " << ref.events << ")\n";
+    return false;
+  }
+
+  rows.push_back({n, inc.events, ref.wall_s, inc.wall_s});
+  const double ref_eps = static_cast<double>(ref.events) / ref.wall_s;
+  const double inc_eps = static_cast<double>(inc.events) / inc.wall_s;
+  std::cerr << "  n=" << n << ": " << inc.events << " events, "
+            << static_cast<std::uint64_t>(ref_eps) << " -> "
+            << static_cast<std::uint64_t>(inc_eps) << " events/s ("
+            << ref.wall_s / inc.wall_s << "x)\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_world.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--quick") {
+      quick = true;
+    } else if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (a == "--help" || a == "-h") {
+      std::cout << "usage: bench_world_hotpath [--quick] [--out FILE]\n";
+      return 0;
+    } else {
+      std::cerr << "unknown option '" << a << "' (try --help)\n";
+      return 2;
+    }
+  }
+
+  std::vector<std::size_t> sizes = {500, 2000, 10000};
+  if (quick) sizes = {500, 2000};
+
+  std::vector<Row> rows;
+  for (const std::size_t n : sizes) {
+    std::cerr << "n=" << n << '\n';
+    if (!run_size(n, rows)) return 1;
+  }
+
+  JsonWriter w;
+  w.begin_object()
+      .field("schema", "wrsn.bench_world.v1")
+      .field("quick", quick)
+      .key("results")
+      .begin_array();
+  for (const Row& r : rows) {
+    const double ref_eps = static_cast<double>(r.events) / r.ref_wall_s;
+    const double inc_eps = static_cast<double>(r.events) / r.inc_wall_s;
+    w.begin_object()
+        .field("n", static_cast<std::uint64_t>(r.n))
+        .field("events", r.events)
+        .field("ref_wall_s", r.ref_wall_s)
+        .field("inc_wall_s", r.inc_wall_s)
+        .field("ref_events_per_sec", ref_eps)
+        .field("inc_events_per_sec", inc_eps)
+        .field("speedup", r.ref_wall_s / r.inc_wall_s)
+        .end_object();
+  }
+  w.end_array().end_object();
+
+  std::ofstream out(out_path);
+  if (!out.good()) {
+    std::cerr << "cannot open '" << out_path << "'\n";
+    return 1;
+  }
+  out << w.str() << '\n';
+  std::cout << "wrote " << out_path << '\n';
+  return 0;
+}

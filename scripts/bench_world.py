@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Run bench_world_hotpath and summarize BENCH_world.json.
+
+Builds nothing itself: point --bin at an already-built bench_world_hotpath
+(default: build/bench/bench_world_hotpath relative to the repo root). The
+binary runs the reference and incremental World engines over identical
+scenarios, cross-checks them bit-for-bit, and writes the JSON report; this
+script renders the events/sec table and can gate on a minimum speedup:
+
+    scripts/bench_world.py                  # full sizes (500, 2000, 10000)
+    scripts/bench_world.py --quick          # n in {500, 2000} only
+    scripts/bench_world.py --min-speedup 3  # fail unless >= 3x at largest n
+
+Only the standard library is used.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def run(argv: list[str] | None = None) -> int:
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--bin", default=str(repo / "build" / "bench" / "bench_world_hotpath"),
+                    help="path to the bench_world_hotpath binary")
+    ap.add_argument("--out", default=str(repo / "BENCH_world.json"),
+                    help="where the JSON report is written")
+    ap.add_argument("--quick", action="store_true", help="small sizes only")
+    ap.add_argument("--min-speedup", type=float, default=None, metavar="MIN",
+                    help="fail unless the largest measured n reaches MIN x")
+    args = ap.parse_args(argv)
+
+    cmd = [args.bin, "--out", args.out]
+    if args.quick:
+        cmd.append("--quick")
+    try:
+        subprocess.run(cmd, check=True)
+    except FileNotFoundError:
+        print(f"bench binary not found: {args.bin} (build with cmake first)",
+              file=sys.stderr)
+        return 2
+    except subprocess.CalledProcessError as err:
+        return err.returncode
+
+    with open(args.out, encoding="utf-8") as fh:
+        report = json.load(fh)
+    if report.get("schema") != "wrsn.bench_world.v1":
+        print(f"unexpected schema in {args.out}", file=sys.stderr)
+        return 2
+
+    rows = report["results"]
+    print(f"\n{'n':>6} {'events':>9} {'ref ev/s':>12} {'inc ev/s':>12} {'speedup':>9}")
+    for r in rows:
+        print(f"{r['n']:>6} {r['events']:>9} {r['ref_events_per_sec']:12.0f} "
+              f"{r['inc_events_per_sec']:12.0f} {r['speedup']:8.2f}x")
+
+    if args.min_speedup is not None:
+        largest = max(rows, key=lambda r: r["n"])
+        if largest["speedup"] < args.min_speedup:
+            print(f"CHECK FAILED: {largest['speedup']:.2f}x at n={largest['n']}"
+                  f" < required {args.min_speedup:.2f}x", file=sys.stderr)
+            return 1
+        print("speedup check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

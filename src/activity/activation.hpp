@@ -42,6 +42,37 @@ class ClusterRotor {
     return kInvalidId;
   }
 
+  // Incremental membership edits for scoped re-clustering. Both preserve the
+  // rotation state: the cursor keeps pointing at the same sensor whenever
+  // that sensor survives the edit, so unaffected clusters do not lose their
+  // rotation position when a neighbouring cluster changes.
+  void add_member(SensorId s) {
+    const std::size_t old_size = members_.size();
+    const auto it = std::lower_bound(members_.begin(), members_.end(), s);
+    if (it != members_.end() && *it == s) return;
+    const auto pos = static_cast<std::size_t>(it - members_.begin());
+    members_.insert(it, s);
+    if (cursor_ >= old_size) {
+      cursor_ = members_.size();  // "no current member" stays that way
+    } else if (pos <= cursor_) {
+      ++cursor_;
+    }
+  }
+  void remove_member(SensorId s) {
+    const auto it = std::lower_bound(members_.begin(), members_.end(), s);
+    if (it == members_.end() || *it != s) return;
+    const auto pos = static_cast<std::size_t>(it - members_.begin());
+    const bool was_valid = cursor_ < members_.size();
+    members_.erase(it);
+    if (!was_valid) {
+      cursor_ = members_.size();
+    } else if (pos < cursor_) {
+      --cursor_;
+    } else if (pos == cursor_ && cursor_ >= members_.size()) {
+      cursor_ = 0;  // current removed at the tail: wrap to the cyclic next
+    }
+  }
+
   // Moves to the next alive member after the current one (cyclically),
   // emulating the notification/ack handover. If only the current member is
   // alive it stays current. Returns the new current id or kInvalidId.

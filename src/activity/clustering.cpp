@@ -108,6 +108,73 @@ ClusterSet balanced_clustering(const std::vector<Vec2>& sensor_pos,
   return out;
 }
 
+RebalanceResult rebalance_dirty(ClusterSet& clusters, SensorPosFn sensor_pos,
+                                const std::vector<Vec2>& target_pos,
+                                double sensing_range,
+                                const std::vector<SensorId>& dirty) {
+  WRSN_REQUIRE(sensing_range > 0.0, "sensing range must be positive");
+  RebalanceResult out;
+  if (dirty.empty()) return out;
+  const double r2 = sensing_range * sensing_range;
+
+  // Fresh candidate sets and loads for the dirty sensors only.
+  std::vector<std::vector<TargetId>> cand(dirty.size());
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    const Vec2 p = sensor_pos(dirty[i]);
+    for (TargetId t = 0; t < target_pos.size(); ++t) {
+      if (squared_distance(p, target_pos[t]) <= r2) cand[i].push_back(t);
+    }
+    clusters.loads[dirty[i]] = cand[i].size();
+  }
+
+  // Detach everything first so cluster sizes reflect the removals before any
+  // dirty sensor re-joins.
+  std::vector<TargetId> old_target(dirty.size());
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    const SensorId s = dirty[i];
+    old_target[i] = clusters.assignment[s];
+    if (old_target[i] == kInvalidId) continue;
+    auto& members = clusters.members[old_target[i]];
+    members.erase(std::find(members.begin(), members.end(), s));
+    clusters.assignment[s] = kInvalidId;
+  }
+
+  // Re-admit fewest-choices-first (dirty is ascending by id, so the stable
+  // sort breaks load ties by id), each into its smallest candidate cluster
+  // with ties broken by target id.
+  std::vector<std::size_t> order(dirty.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return clusters.loads[dirty[a]] < clusters.loads[dirty[b]];
+  });
+
+  for (const std::size_t i : order) {
+    const SensorId s = dirty[i];
+    TargetId best = kInvalidId;
+    std::size_t best_size = 0;
+    for (const TargetId t : cand[i]) {
+      const std::size_t size = clusters.members[t].size();
+      if (best == kInvalidId || size < best_size) {
+        best = t;
+        best_size = size;
+      }
+    }
+    if (best != kInvalidId) {
+      clusters.members[best].push_back(s);
+      clusters.assignment[s] = best;
+    }
+    if (best != old_target[i]) {
+      out.moves.push_back({s, old_target[i], best});
+      if (old_target[i] != kInvalidId) out.affected.push_back(old_target[i]);
+      if (best != kInvalidId) out.affected.push_back(best);
+    }
+  }
+  std::sort(out.affected.begin(), out.affected.end());
+  out.affected.erase(std::unique(out.affected.begin(), out.affected.end()),
+                     out.affected.end());
+  return out;
+}
+
 ClusterSet naive_clustering(const std::vector<Vec2>& sensor_pos,
                             const std::vector<Vec2>& target_pos,
                             double sensing_range,

@@ -8,11 +8,15 @@ void TrafficModel::reset(std::size_t num_sensors) {
   tx_rate_.assign(num_sensors, 0.0);
   rx_rate_.assign(num_sensors, 0.0);
   delivery_rate_ = 0.0;
+  weighted_hops_ = 0.0;
+  delivering_rate_ = 0.0;
+  delivering_sources_ = 0;
   routes_.clear();
 }
 
 void TrafficModel::apply(const SourceFlow& flow, SensorId source, double sign) {
   const double r = sign * flow.rate_pps;
+  if (touch_log_ != nullptr) touch_log_->push_back(source);
   if (flow.relay_path.empty()) {
     // Unreachable source: it still transmits (and wastes energy), nothing is
     // relayed or delivered.
@@ -23,8 +27,24 @@ void TrafficModel::apply(const SourceFlow& flow, SensorId source, double sign) {
     const std::size_t node = flow.relay_path[i];
     tx_rate_[node] += r;
     if (i > 0) rx_rate_[node] += r;  // relays receive before forwarding
+    if (touch_log_ != nullptr && i > 0) touch_log_->push_back(node);
   }
   delivery_rate_ += r;
+  if (flow.rate_pps > 0.0) {
+    weighted_hops_ += r * static_cast<double>(flow.relay_path.size());
+    delivering_rate_ += r;
+    if (sign > 0.0) {
+      ++delivering_sources_;
+    } else {
+      --delivering_sources_;
+    }
+    if (delivering_sources_ == 0) {
+      // Exact quiescence: discard any accumulated rounding residue.
+      delivery_rate_ = 0.0;
+      weighted_hops_ = 0.0;
+      delivering_rate_ = 0.0;
+    }
+  }
 }
 
 void TrafficModel::add_source(const RoutingTree& tree, SensorId source,
@@ -60,18 +80,6 @@ void TrafficModel::reroute(const RoutingTree& tree) {
   for (const auto& [source, flow] : routes_) sources.emplace_back(source, flow.rate_pps);
   clear_sources();
   for (const auto& [source, rate] : sources) add_source(tree, source, rate);
-}
-
-double TrafficModel::average_delivery_hops() const {
-  double weighted = 0.0;
-  double total = 0.0;
-  for (const auto& [source, flow] : routes_) {
-    if (flow.relay_path.empty() || flow.rate_pps <= 0.0) continue;
-    // Path holds source + relays; hop count includes the final hop to BS.
-    weighted += flow.rate_pps * static_cast<double>(flow.relay_path.size());
-    total += flow.rate_pps;
-  }
-  return total > 0.0 ? weighted / total : 0.0;
 }
 
 Watt TrafficModel::radio_power(SensorId s, const RadioModel& radio) const {

@@ -51,8 +51,17 @@ class TrafficModel {
 
   // Rate-weighted mean hop count of delivered traffic (a per-packet latency
   // proxy: end-to-end delay ~ hops x per-hop service time). 0 when nothing
-  // is being delivered.
-  [[nodiscard]] double average_delivery_hops() const;
+  // is being delivered. O(1): maintained incrementally in apply() rather
+  // than re-scanned over sources, so per-event metric snapshots stay cheap.
+  [[nodiscard]] double average_delivery_hops() const {
+    return delivering_sources_ > 0 ? weighted_hops_ / delivering_rate_ : 0.0;
+  }
+
+  // Optional observer: every sensor whose tx/rx rate is touched by an
+  // add/remove/reroute is appended to `log` (duplicates allowed). The world
+  // uses this to mark drains dirty instead of rescanning all sensors.
+  // Pass nullptr to detach; the log must outlive the model while attached.
+  void set_touch_log(std::vector<SensorId>* log) { touch_log_ = log; }
 
   // Radio power draw of sensor s under `radio` (tx + rx + idle floor).
   [[nodiscard]] Watt radio_power(SensorId s, const RadioModel& radio) const;
@@ -70,7 +79,15 @@ class TrafficModel {
   std::vector<double> tx_rate_;
   std::vector<double> rx_rate_;
   double delivery_rate_ = 0.0;
+  // Delivery-hop accumulators: weighted_hops_ = sum(rate * path_len) over
+  // delivering sources, delivering_rate_ = sum(rate). The integer source
+  // count gates the quotient and lets both sums snap back to exactly 0 at
+  // quiescence, so floating-point residue cannot leak into the average.
+  double weighted_hops_ = 0.0;
+  double delivering_rate_ = 0.0;
+  std::size_t delivering_sources_ = 0;
   std::unordered_map<SensorId, SourceFlow> routes_;
+  std::vector<SensorId>* touch_log_ = nullptr;
 };
 
 }  // namespace wrsn

@@ -7,34 +7,47 @@
 
 namespace wrsn {
 
+std::size_t RechargeNodeList::slot_of(SensorId sensor) const {
+  return sensor < slot_.size() ? slot_[sensor] : 0;
+}
+
 void RechargeNodeList::add(RechargeRequest request) {
   WRSN_REQUIRE(request.sensor != kInvalidId, "request needs a sensor id");
   WRSN_REQUIRE(request.demand.value() >= 0.0, "demand must be non-negative");
   WRSN_REQUIRE(!contains(request.sensor), "sensor already has a pending request");
+  if (request.sensor >= slot_.size()) slot_.resize(request.sensor + 1, 0);
+  slot_[request.sensor] = requests_.size() + 1;
   requests_.push_back(std::move(request));
 }
 
 bool RechargeNodeList::remove(SensorId sensor) {
-  const auto it = std::find_if(requests_.begin(), requests_.end(),
-                               [&](const RechargeRequest& r) { return r.sensor == sensor; });
-  if (it == requests_.end()) return false;
-  requests_.erase(it);
+  const std::size_t slot = slot_of(sensor);
+  if (slot == 0) return false;
+  requests_.erase(requests_.begin() + static_cast<std::ptrdiff_t>(slot - 1));
+  slot_[sensor] = 0;
+  for (std::size_t i = slot - 1; i < requests_.size(); ++i) {
+    slot_[requests_[i].sensor] = i + 1;
+  }
   return true;
 }
 
+void RechargeNodeList::clear() {
+  requests_.clear();
+  std::fill(slot_.begin(), slot_.end(), 0);
+}
+
 bool RechargeNodeList::contains(SensorId sensor) const {
-  return std::any_of(requests_.begin(), requests_.end(),
-                     [&](const RechargeRequest& r) { return r.sensor == sensor; });
+  return slot_of(sensor) != 0;
 }
 
 void RechargeNodeList::update(SensorId sensor, Joule demand, bool critical,
                               double fraction) {
-  const auto it = std::find_if(requests_.begin(), requests_.end(),
-                               [&](const RechargeRequest& r) { return r.sensor == sensor; });
-  WRSN_REQUIRE(it != requests_.end(), "no pending request for sensor");
-  it->demand = demand;
-  it->critical = critical;
-  it->fraction = fraction;
+  const std::size_t slot = slot_of(sensor);
+  WRSN_REQUIRE(slot != 0, "no pending request for sensor");
+  RechargeRequest& r = requests_[slot - 1];
+  r.demand = demand;
+  r.critical = critical;
+  r.fraction = fraction;
 }
 
 std::vector<RechargeItem> aggregate_requests(

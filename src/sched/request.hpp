@@ -34,7 +34,7 @@ class RechargeNodeList {
   void add(RechargeRequest request);
   // Removes the request of `sensor`; returns whether one existed.
   bool remove(SensorId sensor);
-  void clear() { requests_.clear(); }
+  void clear();
 
   [[nodiscard]] bool empty() const { return requests_.empty(); }
   [[nodiscard]] std::size_t size() const { return requests_.size(); }
@@ -46,7 +46,13 @@ class RechargeNodeList {
   void update(SensorId sensor, Joule demand, bool critical, double fraction);
 
  private:
-  std::vector<RechargeRequest> requests_;
+  [[nodiscard]] std::size_t slot_of(SensorId sensor) const;
+
+  std::vector<RechargeRequest> requests_;  // arrival order (planner contract)
+  // slot_[s] = position of s's request in requests_ plus one, 0 when absent.
+  // The list can hold thousands of waiting requests at large n, so the
+  // per-dispatch contains/update lookups must not be linear scans.
+  std::vector<std::size_t> slot_;
 };
 
 // One unit of work for the route planners: a cluster batch or a lone node.

@@ -87,6 +87,13 @@ class MetricsIntegrator {
   // Produces the final report; `duration` is the simulated horizon.
   [[nodiscard]] MetricsReport finalize(Second duration) const;
 
+  // Running RV odometer (sum of all on_rv_leg distances so far). Cheap —
+  // unlike finalize(), which sorts the latency list — so per-sample readers
+  // (World::record_sample) use this instead of building a full report.
+  [[nodiscard]] Meter rv_travel_distance() const {
+    return report_.rv_travel_distance;
+  }
+
  private:
   MetricsReport report_;
   double covered_time_ = 0.0;    // integral of covered targets (target*s)

@@ -1,6 +1,8 @@
 #include "sim/world.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
 
 #include "activity/erp.hpp"
 #include "core/error.hpp"
@@ -12,10 +14,33 @@ namespace {
 // Scheduled crossings overshoot by this much so the crossing condition is
 // strictly satisfied at the handler despite floating-point residue.
 constexpr double kTimeEps = 1e-6;
+
+// "events/popped/<kind>" for every kind, assembled once per process so
+// set_telemetry (called once per replica in sweeps) does no string work.
+const std::array<std::string, kNumEventKinds>& popped_counter_names() {
+  static const std::array<std::string, kNumEventKinds> names = [] {
+    std::array<std::string, kNumEventKinds> out;
+    for (std::size_t k = 0; k < kNumEventKinds; ++k) {
+      out[k] = std::string("events/popped/") + kind_name(static_cast<EventKind>(k));
+    }
+    return out;
+  }();
+  return names;
+}
 }  // namespace
 
-World::World(const SimConfig& config)
+WorldEngine world_default_engine() {
+  const char* env = std::getenv("WRSN_REFERENCE_WORLD");
+  const bool reference =
+      env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+  return reference ? WorldEngine::kReference : WorldEngine::kIncremental;
+}
+
+World::World(const SimConfig& config) : World(config, world_default_engine()) {}
+
+World::World(const SimConfig& config, WorldEngine engine)
     : config_(config),
+      engine_(engine),
       streams_(config.seed),
       target_rng_(streams_.stream("targets")),
       sched_rng_(streams_.stream("scheduler")),
@@ -30,7 +55,14 @@ World::World(const SimConfig& config)
 
   request_time_.assign(config_.num_sensors, -1.0);
   drain_.assign(config_.num_sensors, 0.0);
+  last_settle_.assign(config_.num_sensors, 0.0);
   sensor_epoch_.assign(config_.num_sensors, 0);
+  death_processed_.assign(config_.num_sensors, false);
+  covered_.assign(config_.num_targets, false);
+  alive_members_.assign(config_.num_targets, 0);
+  // Both engines collect dirty marks (cleared by either refresh flavour) so
+  // switching engines never changes the traffic model's behaviour.
+  traffic_.set_touch_log(&drain_marks_);
 
   target_waypoint_.resize(config_.num_targets);
   target_dwelling_.assign(config_.num_targets, true);
@@ -70,14 +102,18 @@ void World::set_telemetry(obs::TelemetryRegistry* registry) {
   if (registry == nullptr) {
     pop_counters_.fill(nullptr);
     stale_counter_ = nullptr;
+    settle_counter_ = nullptr;
+    drain_update_counter_ = nullptr;
     queue_hwm_gauge_ = nullptr;
     return;
   }
+  const auto& names = popped_counter_names();
   for (std::size_t k = 0; k < kNumEventKinds; ++k) {
-    pop_counters_[k] = &registry->counter(
-        std::string("events/popped/") + kind_name(static_cast<EventKind>(k)));
+    pop_counters_[k] = &registry->counter(names[k]);
   }
   stale_counter_ = &registry->counter("events/stale-discarded");
+  settle_counter_ = &registry->counter("world/battery-settlements");
+  drain_update_counter_ = &registry->counter("world/drain-updates");
   queue_hwm_gauge_ = &registry->gauge("events/queue-high-water");
   queue_hwm_gauge_->record_max(static_cast<double>(queue_hwm_));
   // Pre-register the scheduler timing scopes so an export always carries
@@ -113,6 +149,7 @@ void World::run_until(Second t_in) {
     }
     advance_to(ev.time);
     handle(ev);
+    ++events_processed_;
     if (pop_counters_[static_cast<std::size_t>(ev.kind)] != nullptr) {
       pop_counters_[static_cast<std::size_t>(ev.kind)]->add();
     }
@@ -131,15 +168,20 @@ void World::run_until(Second t_in) {
     queue_hwm_gauge_->record_max(static_cast<double>(queue_hwm_));
   }
   advance_to(t);
+  // Public horizon: realize every battery at t so levels, alive counts and
+  // the energy-conservation invariant are current for callers.
+  settle_all_sensors();
   if (t >= end_) finished_ = true;
 }
 
 void World::inject_sensor_failure(SensorId s) {
   const obs::TelemetryScope obs_scope(telemetry_);  // dispatch() runs planners
   WRSN_REQUIRE(s < net_.num_sensors(), "sensor id out of range");
+  settle_sensor(s);
   Sensor& sensor = net_.sensor(s);
-  if (!sensor.alive()) return;  // already down
-  sensor.battery.drain(sensor.battery.level());
+  if (!sensor.alive()) return;  // already down (or death pending its event)
+  sensor_energy_consumed_ += sensor.battery.drain(sensor.battery.level()).value();
+  on_sensor_alive_changed(s, false);
   ++sensor_epoch_[s];
   handle_death(s);
   dispatch();
@@ -172,18 +214,36 @@ void World::advance_to(double t) {
   WRSN_ASSERT(t + 1e-9 >= now_, "time went backwards");
   if (t <= now_) return;
   const double dt = t - now_;
-  metrics_.advance(Second{dt}, snapshot());
-  for (SensorId s = 0; s < drain_.size(); ++s) {
-    if (drain_[s] > 0.0) {
-      // drain() clamps at empty; account only what actually left the cell.
-      sensor_energy_consumed_ +=
-          net_.sensor(s).battery.drain(Joule{drain_[s] * dt}).value();
-    }
-  }
+  metrics_.advance(Second{dt}, engine_ == WorldEngine::kReference
+                                   ? snapshot_scan()
+                                   : snapshot_counters());
   now_ = t;
 }
 
+void World::settle_sensor(SensorId s) {
+  double& last = last_settle_[s];
+  if (now_ <= last) return;
+  const double dt = now_ - last;
+  last = now_;
+  if (drain_[s] <= 0.0) return;
+  Sensor& sensor = net_.sensor(s);
+  const bool was_alive = sensor.alive();
+  sensor_energy_consumed_ +=
+      sensor.battery.drain(Joule{drain_[s] * dt}).value();
+  if (settle_counter_ != nullptr) settle_counter_->add();
+  if (was_alive && !sensor.alive()) on_sensor_alive_changed(s, false);
+}
+
+void World::settle_all_sensors() {
+  for (SensorId s = 0; s < last_settle_.size(); ++s) settle_sensor(s);
+}
+
 StateSnapshot World::snapshot() const {
+  return engine_ == WorldEngine::kReference ? snapshot_scan()
+                                            : snapshot_counters();
+}
+
+StateSnapshot World::snapshot_scan() const {
   StateSnapshot snap;
   snap.total_sensors = net_.num_sensors();
   snap.alive_sensors = net_.alive_count();
@@ -209,6 +269,17 @@ StateSnapshot World::snapshot() const {
   return snap;
 }
 
+StateSnapshot World::snapshot_counters() const {
+  StateSnapshot snap;
+  snap.total_sensors = net_.num_sensors();
+  snap.alive_sensors = alive_count_;
+  snap.coverable_targets = coverable_count_;
+  snap.covered_targets = covered_count_;
+  snap.delivery_rate_pps = traffic_.delivery_rate();
+  snap.avg_delivery_hops = traffic_.average_delivery_hops();
+  return snap;
+}
+
 Watt World::sensor_drain(SensorId s) const {
   const Sensor& sensor = net_.sensor(s);
   if (!sensor.alive()) return Watt{0.0};
@@ -219,14 +290,48 @@ Watt World::sensor_drain(SensorId s) const {
   return sensing + self_discharge + traffic_.radio_power(s, config_.radio);
 }
 
-void World::refresh_drains() {
-  for (SensorId s = 0; s < drain_.size(); ++s) {
-    const double d = sensor_drain(s).value();
-    if (d != drain_[s]) {
-      drain_[s] = d;
-      ++sensor_epoch_[s];
-      schedule_crossing(s);
+bool World::update_drain(SensorId s) {
+  const Sensor& sensor = net_.sensor(s);
+  if (!death_processed_[s]) {
+    // A depleted — or depleting-within-this-instant — sensor whose death
+    // crossing has not fired yet keeps its drain and epoch, so the pending
+    // crossing stays valid and handle_death runs exactly once.
+    if (!sensor.alive()) return false;
+    if (drain_[s] > 0.0 &&
+        drain_[s] * (now_ - last_settle_[s]) >= sensor.battery.level().value()) {
+      return false;
     }
+  }
+  const double d = sensor_drain(s).value();
+  if (d == drain_[s]) return false;
+  settle_sensor(s);  // integrate the old drain up to now before switching
+  drain_[s] = d;
+  ++sensor_epoch_[s];
+  schedule_crossing(s);
+  if (drain_update_counter_ != nullptr) drain_update_counter_->add();
+  return true;
+}
+
+void World::refresh_drains() {
+  for (SensorId s = 0; s < drain_.size(); ++s) update_drain(s);
+  drain_marks_.clear();
+}
+
+void World::flush_drain_marks() {
+  // Ascending-id order matches the reference full scan, so equal-time
+  // crossings enqueue with identical tie-break sequence numbers.
+  std::sort(drain_marks_.begin(), drain_marks_.end());
+  drain_marks_.erase(std::unique(drain_marks_.begin(), drain_marks_.end()),
+                     drain_marks_.end());
+  for (const SensorId s : drain_marks_) update_drain(s);
+  drain_marks_.clear();
+}
+
+void World::request_drain_refresh() {
+  if (engine_ == WorldEngine::kReference) {
+    refresh_drains();
+  } else {
+    flush_drain_marks();
   }
 }
 
@@ -237,7 +342,90 @@ void World::schedule_crossing(SensorId s) {
   const double threshold = config_.battery.threshold().value();
   const double target = level > threshold ? threshold : 0.0;
   const double dt = (level - target) / drain_[s] + kTimeEps;
-  queue_.push(now_ + dt, EventKind::kSensorCrossing, s, sensor_epoch_[s]);
+  const double when = now_ + dt;
+  // Crossings past the simulation end are never popped (run_until clamps its
+  // horizon to end_), so keeping them out of the heap trims both the push
+  // cost and the log-factor of every later queue operation.
+  if (when > end_) return;
+  queue_.push(when, EventKind::kSensorCrossing, s, sensor_epoch_[s]);
+}
+
+// ---------------------------------------------------------------------------
+// Derived-state accounting
+// ---------------------------------------------------------------------------
+
+void World::on_sensor_alive_changed(SensorId s, bool alive_now) {
+  if (alive_now) {
+    ++alive_count_;
+  } else {
+    --alive_count_;
+  }
+  const TargetId t = net_.sensor(s).assigned_target;
+  if (t == kInvalidId) return;
+  if (alive_now) {
+    ++alive_members_[t];
+  } else {
+    --alive_members_[t];
+  }
+  recompute_covered(t);
+}
+
+void World::set_covered(TargetId t, bool v) {
+  if (covered_[t] == v) return;
+  covered_[t] = v;
+  if (!coverable_[t]) return;
+  if (v) {
+    ++covered_count_;
+  } else {
+    --covered_count_;
+  }
+}
+
+void World::set_coverable(TargetId t, bool v) {
+  if (coverable_[t] == v) return;
+  coverable_[t] = v;
+  if (v) {
+    ++coverable_count_;
+    if (covered_[t]) ++covered_count_;
+  } else {
+    --coverable_count_;
+    if (covered_[t]) --covered_count_;
+  }
+}
+
+void World::recompute_covered(TargetId t) {
+  bool cov = false;
+  if (config_.activation == ActivationPolicy::kRoundRobin) {
+    const SensorId m = active_monitor_[t];
+    cov = m != kInvalidId && net_.sensor(m).alive();
+  } else {
+    cov = alive_members_[t] > 0;
+  }
+  set_covered(t, cov);
+}
+
+void World::rebuild_counters() {
+  alive_count_ = 0;
+  for (SensorId s = 0; s < net_.num_sensors(); ++s) {
+    if (net_.sensor(s).alive()) ++alive_count_;
+  }
+  alive_members_.assign(net_.num_targets(), 0);
+  for (SensorId s = 0; s < net_.num_sensors(); ++s) {
+    const TargetId t = clusters_.assignment[s];
+    if (t != kInvalidId && net_.sensor(s).alive()) ++alive_members_[t];
+  }
+  coverable_count_ = 0;
+  covered_count_ = 0;
+  for (TargetId t = 0; t < net_.num_targets(); ++t) {
+    if (coverable_[t]) ++coverable_count_;
+    if (config_.activation == ActivationPolicy::kRoundRobin) {
+      const SensorId m = active_monitor_[t];
+      covered_[t] = m != kInvalidId && net_.sensor(m).alive();
+    } else {
+      covered_[t] = alive_members_[t] > 0;
+    }
+    if (coverable_[t] && covered_[t]) ++covered_count_;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -253,6 +441,13 @@ bool World::sensor_critical(SensorId s) const {
   return !sensor.alive() || sensor.battery.fraction() < config_.critical_fraction;
 }
 
+std::vector<Vec2> World::current_target_positions() const {
+  std::vector<Vec2> target_pos;
+  target_pos.reserve(net_.num_targets());
+  for (const Target& t : net_.targets()) target_pos.push_back(t.pos);
+  return target_pos;
+}
+
 void World::recluster() {
   // Tear down the previous activation state.
   traffic_.clear_sources();
@@ -265,9 +460,7 @@ void World::recluster() {
     sensor_pos.push_back(net_.sensor(s).pos);
     alive[s] = net_.sensor(s).alive();
   }
-  std::vector<Vec2> target_pos;
-  target_pos.reserve(net_.num_targets());
-  for (const Target& t : net_.targets()) target_pos.push_back(t.pos);
+  const std::vector<Vec2> target_pos = current_target_positions();
 
   clusters_ = balanced_clustering(sensor_pos, target_pos,
                                   config_.sensing_range.value(), alive);
@@ -283,7 +476,9 @@ void World::recluster() {
 
   const double rate_pps = config_.data_rate_pkt_per_min / 60.0;
   for (TargetId t = 0; t < net_.num_targets(); ++t) {
-    coverable_[t] = net_.any_covering(net_.target(t).pos);
+    coverable_[t] = engine_ == WorldEngine::kReference
+                        ? net_.any_covering_scan(net_.target(t).pos)
+                        : net_.any_covering(net_.target(t).pos);
     rotors_[t] = ClusterRotor(clusters_.members[t]);
     if (config_.activation == ActivationPolicy::kRoundRobin) {
       const SensorId first =
@@ -298,9 +493,143 @@ void World::recluster() {
     }
   }
 
-  refresh_drains();
+  rebuild_counters();
+  refresh_drains();  // full scan in both engines; clears pending marks
   for (ClusterId c = 0; c < net_.num_targets(); ++c) evaluate_cluster_requests(c);
   dispatch();
+}
+
+void World::recluster_moved_target(TargetId t, Vec2 old_pos) {
+  const Vec2 new_pos = net_.target(t).pos;
+
+  // Dirty region: alive sensors within sensing range of either endpoint of
+  // the step. Only their candidate sets can change — and only target t's
+  // coverable bit, since sensor positions are static.
+  std::vector<SensorId> dirty;
+  if (engine_ == WorldEngine::kReference) {
+    const double range = config_.sensing_range.value();
+    const double r2 = range * range;
+    for (SensorId s = 0; s < net_.num_sensors(); ++s) {
+      const Sensor& sensor = net_.sensor(s);
+      if (!sensor.alive()) continue;
+      if (squared_distance(sensor.pos, old_pos) <= r2 ||
+          squared_distance(sensor.pos, new_pos) <= r2) {
+        dirty.push_back(s);
+      }
+    }
+  } else {
+    net_.for_each_covering(old_pos, [&](SensorId s) {
+      if (net_.sensor(s).alive()) dirty.push_back(s);
+    });
+    net_.for_each_covering(new_pos, [&](SensorId s) {
+      if (net_.sensor(s).alive()) dirty.push_back(s);
+    });
+    std::sort(dirty.begin(), dirty.end());
+    dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  }
+
+  set_coverable(t, engine_ == WorldEngine::kReference
+                       ? net_.any_covering_scan(new_pos)
+                       : net_.any_covering(new_pos));
+
+  const std::vector<Vec2> target_pos = current_target_positions();
+  const RebalanceResult res = rebalance_dirty(
+      clusters_, [this](SensorId s) { return net_.sensor(s).pos; }, target_pos,
+      config_.sensing_range.value(), dirty);
+  for (const RebalanceResult::Move& mv : res.moves) {
+    net_.sensor(mv.sensor).assigned_target = mv.to;
+  }
+  apply_rebalance(res, res.affected);
+  request_drain_refresh();
+  dispatch();
+}
+
+void World::apply_rebalance(const RebalanceResult& res,
+                            std::vector<TargetId> affected) {
+  const double rate_pps = config_.data_rate_pkt_per_min / 60.0;
+  for (const RebalanceResult::Move& mv : res.moves) {
+    Sensor& sensor = net_.sensor(mv.sensor);
+    if (mv.from != kInvalidId) {
+      rotors_[mv.from].remove_member(mv.sensor);
+      if (sensor.alive()) --alive_members_[mv.from];
+    }
+    if (mv.to != kInvalidId) {
+      rotors_[mv.to].add_member(mv.sensor);
+      if (sensor.alive()) ++alive_members_[mv.to];
+    }
+    if (config_.activation == ActivationPolicy::kFullTime && sensor.alive()) {
+      const bool want = mv.to != kInvalidId;
+      if (sensor.monitoring != want) {
+        sensor.monitoring = want;
+        if (want) {
+          traffic_.add_source(net_.routing(), mv.sensor, rate_pps);
+        } else if (traffic_.has_source(mv.sensor)) {
+          traffic_.remove_source(mv.sensor);
+        }
+        mark_drain_dirty(mv.sensor);
+      }
+    }
+  }
+
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
+
+  if (config_.activation == ActivationPolicy::kRoundRobin) {
+    // First clear every monitor that is no longer an alive member of its
+    // cluster — before reselecting, so a monitor that migrated clusters is
+    // never cleared after its new cluster adopted it.
+    for (const TargetId a : affected) {
+      const SensorId m = active_monitor_[a];
+      if (m == kInvalidId) continue;
+      if (net_.sensor(m).assigned_target == a && net_.sensor(m).alive()) continue;
+      if (net_.sensor(m).monitoring) {
+        net_.sensor(m).monitoring = false;
+        if (traffic_.has_source(m)) traffic_.remove_source(m);
+        mark_drain_dirty(m);
+      }
+      active_monitor_[a] = kInvalidId;
+      recompute_covered(a);
+    }
+    for (const TargetId a : affected) {
+      if (active_monitor_[a] != kInvalidId) continue;
+      const SensorId next = rotors_[a].select_first(
+          [&](SensorId id) { return net_.sensor(id).alive(); });
+      if (next != kInvalidId) {
+        set_monitor(a, next);
+      } else {
+        recompute_covered(a);
+      }
+    }
+  } else {
+    for (const TargetId a : affected) recompute_covered(a);
+  }
+
+  for (const TargetId a : affected) evaluate_cluster_requests(a);
+}
+
+void World::revive_membership(SensorId s) {
+  const std::vector<Vec2> target_pos = current_target_positions();
+  const RebalanceResult res = rebalance_dirty(
+      clusters_, [this](SensorId id) { return net_.sensor(id).pos; }, target_pos,
+      config_.sensing_range.value(), {s});
+  for (const RebalanceResult::Move& mv : res.moves) {
+    net_.sensor(mv.sensor).assigned_target = mv.to;
+  }
+  std::vector<TargetId> affected = res.affected;
+  if (net_.sensor(s).assigned_target != kInvalidId) {
+    affected.push_back(net_.sensor(s).assigned_target);
+  }
+  apply_rebalance(res, std::move(affected));
+  // Full-time policy: a revived sensor that stayed in its old cluster was
+  // deactivated at death; put it back on duty.
+  Sensor& sensor = net_.sensor(s);
+  if (config_.activation == ActivationPolicy::kFullTime &&
+      sensor.assigned_target != kInvalidId && !sensor.monitoring) {
+    sensor.monitoring = true;
+    traffic_.add_source(net_.routing(), s, config_.data_rate_pkt_per_min / 60.0);
+    mark_drain_dirty(s);
+    recompute_covered(sensor.assigned_target);
+  }
 }
 
 void World::apply_full_time_activation(TargetId t) {
@@ -318,12 +647,15 @@ void World::set_monitor(TargetId t, SensorId s) {
   if (old != kInvalidId) {
     net_.sensor(old).monitoring = false;
     if (traffic_.has_source(old)) traffic_.remove_source(old);
+    mark_drain_dirty(old);
   }
   active_monitor_[t] = s;
   if (s != kInvalidId) {
     net_.sensor(s).monitoring = true;
     traffic_.add_source(net_.routing(), s, config_.data_rate_pkt_per_min / 60.0);
+    mark_drain_dirty(s);
   }
+  recompute_covered(t);
 }
 
 void World::on_slot_rotation() {
@@ -333,7 +665,7 @@ void World::on_slot_rotation() {
         rotors_[t].advance([&](SensorId s) { return net_.sensor(s).alive(); });
     set_monitor(t, next);
   }
-  refresh_drains();
+  request_drain_refresh();
   queue_.push(now_ + config_.activation_slot.value(), EventKind::kSlotRotation);
 }
 
@@ -367,7 +699,7 @@ void World::on_target_move(TargetId t) {
   const Vec2 next =
       leg <= speed * step_time ? goal : lerp(pos, goal, speed * step_time / leg);
   net_.set_target_position(t, next);
-  recluster();
+  recluster_moved_target(t, pos);
   queue_.push(now_ + step_time, EventKind::kTargetMove, t);
 }
 
@@ -376,6 +708,7 @@ void World::evaluate_cluster_requests(ClusterId c) {
   if (members.empty()) return;
   std::size_t below = 0;
   for (SensorId s : members) {
+    settle_sensor(s);  // decision point: thresholds compare current levels
     const Sensor& sensor = net_.sensor(s);
     if (!sensor.alive() || sensor.below_threshold(config_.battery.threshold_fraction)) {
       ++below;
@@ -391,6 +724,7 @@ void World::evaluate_cluster_requests(ClusterId c) {
 }
 
 void World::add_request(SensorId s) {
+  settle_sensor(s);
   Sensor& sensor = net_.sensor(s);
   if (sensor.recharge_requested) return;
   sensor.recharge_requested = true;
@@ -407,6 +741,7 @@ void World::add_request(SensorId s) {
 }
 
 void World::on_sensor_crossing(SensorId s) {
+  settle_sensor(s);
   Sensor& sensor = net_.sensor(s);
   if (!sensor.alive()) {
     handle_death(s);
@@ -433,9 +768,12 @@ void World::on_sensor_crossing(SensorId s) {
 }
 
 void World::handle_death(SensorId s) {
+  if (death_processed_[s]) return;
+  death_processed_[s] = true;
   Sensor& sensor = net_.sensor(s);
   metrics_.on_sensor_death();
   ++sensor_epoch_[s];
+  mark_drain_dirty(s);
 
   if (sensor.monitoring) {
     sensor.monitoring = false;
@@ -447,6 +785,8 @@ void World::handle_death(SensorId s) {
         rotors_[t].advance([&](SensorId id) { return net_.sensor(id).alive(); });
     active_monitor_[t] = kInvalidId;  // force set_monitor to register anew
     set_monitor(t, next);
+  } else if (t != kInvalidId) {
+    recompute_covered(t);
   }
 
   // A dead relay changes the topology for everyone.
@@ -457,7 +797,7 @@ void World::handle_death(SensorId s) {
   } else {
     evaluate_cluster_requests(t);
   }
-  refresh_drains();
+  request_drain_refresh();
 }
 
 void World::record_sample() {
@@ -469,7 +809,7 @@ void World::record_sample() {
   p.covered = snap.covered_targets;
   p.coverable = snap.coverable_targets;
   p.pending_requests = requests_.size();
-  p.rv_travel_distance = report().rv_travel_distance.value();
+  p.rv_travel_distance = metrics_.rv_travel_distance().value();
   series_.push_back(p);
 }
 

@@ -5,7 +5,22 @@
 //
 // Between events every battery drains at a constant, known power, so the
 // engine integrates energy and metrics analytically and schedules exact
-// threshold/death crossing events — there is no fixed timestep.
+// threshold/death crossing events — there is no fixed timestep. Battery
+// settlement is lazy: each sensor carries (last_settle_time, drain) and is
+// integrated only when its drain changes, it is charged/killed, or a
+// decision point reads its level; run_until() settles everyone at its
+// horizon so public accessors always see current levels.
+//
+// Two engines share this physics core and differ only in how derived state
+// is maintained (see docs/ARCHITECTURE.md, "Event loop"):
+//  - kIncremental: alive/coverable/covered counters, drain dirty-marks and
+//    grid-backed dirty-region discovery keep per-event cost independent of
+//    the network size.
+//  - kReference: full O(N) rescans recover the same derived state from
+//    first principles each time. Identical operation sequences make the two
+//    engines bit-identical, so any divergence in reports, traces or battery
+//    vectors pinpoints a stale counter or missed invalidation
+//    (tests/test_world_equivalence.cpp).
 
 #include <array>
 #include <cstdint>
@@ -29,15 +44,28 @@
 
 namespace wrsn {
 
+enum class WorldEngine {
+  kIncremental,  // counters + dirty marks + grid queries (the default)
+  kReference,    // full-rescan maintenance of the same state (cross-check)
+};
+
+// Engine picked by the default World constructor: kReference when
+// WRSN_REFERENCE_WORLD is set to a non-empty value other than "0" (the
+// WRSN_REFERENCE_PLANNERS pattern), else kIncremental. Read per call so
+// tests can toggle the environment between constructions.
+[[nodiscard]] WorldEngine world_default_engine();
+
 class World {
  public:
   explicit World(const SimConfig& config);
+  World(const SimConfig& config, WorldEngine engine);
 
   // Runs the whole horizon and returns the metrics report.
   MetricsReport run();
 
   // Processes events up to (and including) time t; callable repeatedly with
-  // increasing t. Used by tests and interactive examples.
+  // increasing t. Used by tests and interactive examples. All sensor
+  // batteries are settled to t on return.
   void run_until(Second t);
   [[nodiscard]] MetricsReport report() const;
 
@@ -76,18 +104,38 @@ class World {
   // be revived by an RV). For chaos/what-if experiments and tests.
   void inject_sensor_failure(SensorId s);
 
+  // Test support: pushes a raw event onto the queue without touching any
+  // epoch, so tests can stage epoch-stale events deterministically
+  // (tests/test_events.cpp). Never used by the simulation itself.
+  void push_event_for_test(double t, EventKind kind, std::size_t subject,
+                           std::uint64_t epoch) {
+    queue_.push(t, kind, subject, epoch);
+  }
+
   // --- introspection (tests, examples) ----------------------------------
   [[nodiscard]] Second now() const { return Second{now_}; }
   [[nodiscard]] const SimConfig& config() const { return config_; }
+  [[nodiscard]] WorldEngine engine() const { return engine_; }
   [[nodiscard]] const Network& network() const { return net_; }
   [[nodiscard]] const ClusterSet& clusters() const { return clusters_; }
   [[nodiscard]] const RechargeNodeList& recharge_list() const { return requests_; }
   [[nodiscard]] const std::vector<Rv>& rvs() const { return rvs_; }
   [[nodiscard]] const TrafficModel& traffic() const { return traffic_; }
   [[nodiscard]] StateSnapshot snapshot() const;
+  // Active monitor of target t (kInvalidId when unmonitored; always
+  // kInvalidId under the full-time policy, which has no single monitor).
+  [[nodiscard]] SensorId active_monitor(TargetId t) const {
+    return active_monitor_[t];
+  }
+  // Events handled so far (stale discards excluded). Benchmarks divide wall
+  // time by this for an events/sec figure.
+  [[nodiscard]] std::uint64_t events_processed() const {
+    return events_processed_;
+  }
   // Total energy drained from sensor batteries since t=0 (exact integral of
-  // the piecewise-constant drains). Together with the recharged total this
-  // gives the sensor-side energy-conservation invariant:
+  // the piecewise-constant drains, including fault-injection drains).
+  // Together with the recharged total this gives the sensor-side
+  // energy-conservation invariant:
   //   initial + recharged == current levels + consumed.
   [[nodiscard]] Joule sensor_energy_consumed() const {
     return Joule{sensor_energy_consumed_};
@@ -106,11 +154,45 @@ class World {
   // --- continuous state --------------------------------------------------
   void advance_to(double t);
   [[nodiscard]] Watt sensor_drain(SensorId s) const;
-  void refresh_drains();                  // recompute all, reschedule changed
+  // Integrates sensor s's battery from its last settlement to now_ at the
+  // current drain_[s]; fires on_sensor_alive_changed when the level clamps
+  // to empty. Idempotent within an instant.
+  void settle_sensor(SensorId s);
+  void settle_all_sensors();
+  // Recomputes drain_[s]; on change settles, bumps the epoch and re-predicts
+  // the crossing. Sensors whose death event is still pending are left
+  // untouched so the crossing fires and handle_death runs exactly once.
+  bool update_drain(SensorId s);
+  void refresh_drains();       // update_drain over all sensors (full scan)
+  void flush_drain_marks();    // update_drain over marked sensors only
+  void request_drain_refresh();  // engine dispatch: full scan vs marks
+  void mark_drain_dirty(SensorId s) { drain_marks_.push_back(s); }
   void schedule_crossing(SensorId s);
 
+  // --- derived-state accounting ------------------------------------------
+  // Counters are maintained by both engines at every transition; the
+  // reference engine simply ignores them and rescans, which is what the
+  // equivalence suite exploits to validate them.
+  void on_sensor_alive_changed(SensorId s, bool alive_now);
+  void set_covered(TargetId t, bool v);
+  void set_coverable(TargetId t, bool v);
+  void recompute_covered(TargetId t);
+  void rebuild_counters();  // O(N+M), after a global recluster
+  [[nodiscard]] StateSnapshot snapshot_scan() const;      // full rescan
+  [[nodiscard]] StateSnapshot snapshot_counters() const;  // O(1)
+
   // --- activity management ---------------------------------------------
-  void recluster();
+  void recluster();  // global: construction + teleport motion
+  // Scoped re-clustering for a random-waypoint step: only sensors in range
+  // of the target's old/new position are re-assigned.
+  void recluster_moved_target(TargetId t, Vec2 old_pos);
+  // Re-enters a revived sensor into clustering immediately (it may have
+  // been stranded when its cluster's target walked away while it was dead).
+  void revive_membership(SensorId s);
+  // Splices a RebalanceResult into rotors, monitors/activation, coverage
+  // counters and ERP evaluation for the affected clusters.
+  void apply_rebalance(const RebalanceResult& res, std::vector<TargetId> affected);
+  [[nodiscard]] std::vector<Vec2> current_target_positions() const;
   void set_monitor(TargetId t, SensorId s);  // kInvalidId clears
   void apply_full_time_activation(TargetId t);
   void evaluate_cluster_requests(ClusterId c);
@@ -134,6 +216,7 @@ class World {
   void record_sample();
 
   SimConfig config_;
+  WorldEngine engine_;
   RngStreams streams_;
   Xoshiro256 target_rng_;
   Xoshiro256 sched_rng_;
@@ -162,20 +245,38 @@ class World {
   bool finished_ = false;
 
   std::vector<double> drain_;                    // W, per sensor
+  std::vector<double> last_settle_;              // s, per sensor
   double sensor_energy_consumed_ = 0.0;          // J, cumulative
   std::vector<std::uint64_t> sensor_epoch_;
+  // True once handle_death ran for the current depletion; cleared on
+  // revival. Guards double-processing and keeps drain refreshes from
+  // invalidating a still-pending death crossing.
+  std::vector<bool> death_processed_;
+  std::vector<SensorId> drain_marks_;            // pending update_drain targets
+
+  // Derived-state counters (kIncremental snapshots; validated against the
+  // kReference rescans by the equivalence suite).
+  std::size_t alive_count_ = 0;
+  std::size_t coverable_count_ = 0;
+  std::size_t covered_count_ = 0;                // coverable AND covered
+  std::vector<bool> covered_;                    // per target
+  std::vector<std::size_t> alive_members_;       // per target, alive members
 
   MetricsIntegrator metrics_;
   bool record_series_ = false;
   TimeSeries series_;
   TraceFn tracer_;
   obs::TraceSink* trace_sink_ = nullptr;
+  std::uint64_t events_processed_ = 0;
 
   // Telemetry (optional, never physics-relevant). Counter handles are
-  // resolved once in set_telemetry so the event loop updates them lock-free.
+  // resolved once in set_telemetry so the hot loops update them without
+  // registry lookups.
   obs::TelemetryRegistry* telemetry_ = nullptr;
   std::array<obs::Counter*, kNumEventKinds> pop_counters_{};
   obs::Counter* stale_counter_ = nullptr;
+  obs::Counter* settle_counter_ = nullptr;        // battery settlements
+  obs::Counter* drain_update_counter_ = nullptr;  // drain changes applied
   obs::Gauge* queue_hwm_gauge_ = nullptr;
   std::size_t queue_hwm_ = 0;
 };

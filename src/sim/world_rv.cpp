@@ -20,6 +20,7 @@ std::vector<RechargeItem> World::unclaimed_items() {
   std::vector<RechargeRequest> unclaimed;
   for (const RechargeRequest& r : requests_.requests()) {
     if (claimed_.contains(r.sensor)) continue;
+    settle_sensor(r.sensor);  // decision point: planners see current levels
     requests_.update(r.sensor, net_.sensor(r.sensor).battery.demand(),
                      sensor_critical(r.sensor),
                      net_.sensor(r.sensor).battery.fraction());
@@ -346,6 +347,7 @@ void World::on_rv_arrival(RvId r) {
   rv.pos = net_.sensor(s).pos;
   rv.state = Rv::State::kCharging;
   ++rv.epoch;
+  settle_sensor(s);  // dwell is computed from the node's current level
   // Deliver up to the node's demand, bounded by what the RV can spare and
   // still make it home (constraint (7) + the reserve).
   const Joule spare = rv.battery.level() -
@@ -370,6 +372,7 @@ void World::on_rv_charge_done(RvId r) {
   const SensorId s = rv.service_queue.front();
   rv.service_queue.pop_front();
 
+  settle_sensor(s);  // realize the drain over the dwell before topping up
   Sensor& sensor = net_.sensor(s);
   const bool was_dead = !sensor.alive();
   const Joule spare = rv.battery.level() -
@@ -394,11 +397,23 @@ void World::on_rv_charge_done(RvId r) {
   ++sensor_epoch_[s];
 
   if (was_dead && sensor.alive()) {
-    // Revived node rejoins the relay fabric immediately; it rejoins a
-    // cluster at the next re-clustering.
+    // Revived node rejoins the relay fabric and its cluster immediately (it
+    // may have been stranded when its cluster's target walked away).
+    on_sensor_alive_changed(s, true);
+    death_processed_[s] = false;
+    mark_drain_dirty(s);
     if (net_.rebuild_routing()) traffic_.reroute(net_.routing());
+    revive_membership(s);
+  } else {
+    if (!sensor.alive() && !death_processed_[s]) {
+      // The epoch bump above invalidated the pending death crossing (the
+      // node was depleted but undeliverable); process the death here so it
+      // is never lost.
+      handle_death(s);
+    }
+    mark_drain_dirty(s);
   }
-  refresh_drains();
+  request_drain_refresh();
   schedule_crossing(s);
 
   rv.state = Rv::State::kIdle;

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include "obs/telemetry.hpp"
 #include "sim/events.hpp"
+#include "sim/world.hpp"
 
 namespace wrsn {
 namespace {
@@ -60,6 +62,52 @@ TEST(EventQueue, InterleavedPushPop) {
   EXPECT_DOUBLE_EQ(q.pop().time, 0.5);
   EXPECT_DOUBLE_EQ(q.pop().time, 5.0);
   EXPECT_DOUBLE_EQ(q.pop().time, 10.0);
+}
+
+TEST(EventQueue, EqualTimeMixedKindsPopInInsertionOrder) {
+  // Determinism across the whole loop rests on this: simultaneous events of
+  // DIFFERENT kinds fire in insertion order, not in kind or subject order.
+  EventQueue q;
+  q.push(7.0, EventKind::kRvChargeDone, 1, 4);
+  q.push(7.0, EventKind::kSlotRotation);
+  q.push(7.0, EventKind::kSensorCrossing, 9, 2);
+  q.push(7.0, EventKind::kTargetMove, 0);
+  q.push(7.0, EventKind::kMetricsSample);
+  EXPECT_EQ(q.pop().kind, EventKind::kRvChargeDone);
+  EXPECT_EQ(q.pop().kind, EventKind::kSlotRotation);
+  EXPECT_EQ(q.pop().kind, EventKind::kSensorCrossing);
+  EXPECT_EQ(q.pop().kind, EventKind::kTargetMove);
+  EXPECT_EQ(q.pop().kind, EventKind::kMetricsSample);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StaleEpochEventsAreDiscardedAndCounted) {
+  // All four epoch-guarded kinds (sensor crossing + the three RV events)
+  // must be dropped on pop when their epoch no longer matches the subject's,
+  // counted under events/stale-discarded, and never handled or traced.
+  SimConfig cfg;
+  cfg.num_sensors = 10;
+  cfg.num_targets = 0;  // no monitoring, no target moves
+  cfg.num_rvs = 1;
+  cfg.field_side = meters(50.0);
+  cfg.sim_duration = hours(1.0);
+  cfg.seed = 77;
+  World w(cfg);
+  obs::TelemetryRegistry registry;
+  w.set_telemetry(&registry);
+  std::vector<World::TraceEvent> trace;
+  w.set_tracer([&trace](const World::TraceEvent& ev) { trace.push_back(ev); });
+
+  // Epoch 999 matches no live subject epoch.
+  w.push_event_for_test(1.0, EventKind::kSensorCrossing, 0, 999);
+  w.push_event_for_test(1.0, EventKind::kRvArrival, 0, 999);
+  w.push_event_for_test(1.0, EventKind::kRvChargeDone, 0, 999);
+  w.push_event_for_test(1.0, EventKind::kRvBaseChargeDone, 0, 999);
+  w.run_until(Second{2.0});  // before any genuine event is due
+
+  EXPECT_EQ(registry.counter("events/stale-discarded").value(), 4u);
+  EXPECT_EQ(w.events_processed(), 0u);
+  EXPECT_TRUE(trace.empty());
 }
 
 TEST(EventQueue, LargeVolumeStaysSorted) {
