@@ -1,0 +1,28 @@
+# Runs a command expected to fail gracefully: exit code must be exactly
+# EXPECT_RC (default 1, i.e. a handled error, not a crash/abort) and stderr
+# must match EXPECT_STDERR. Used by the CLI smoke tests to pin down the
+# "one-line diagnostic, nonzero exit" contract of the tools.
+#
+#   cmake -DCMD=/path/to/tool "-DARGS=--config;missing.cfg"
+#         -DEXPECT_STDERR=regex [-DEXPECT_RC=1] -P expect_fail.cmake
+if(NOT DEFINED CMD)
+  message(FATAL_ERROR "expect_fail.cmake: CMD is required")
+endif()
+if(NOT DEFINED EXPECT_RC)
+  set(EXPECT_RC 1)
+endif()
+
+execute_process(
+  COMMAND ${CMD} ${ARGS}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(NOT rc EQUAL ${EXPECT_RC})
+  message(FATAL_ERROR
+    "expected exit code ${EXPECT_RC}, got '${rc}'\nstderr: ${err}")
+endif()
+if(DEFINED EXPECT_STDERR AND NOT err MATCHES "${EXPECT_STDERR}")
+  message(FATAL_ERROR
+    "stderr does not match '${EXPECT_STDERR}':\n${err}")
+endif()

@@ -120,6 +120,49 @@ struct RvModel {
   Watt base_recharge_power = watts(500.0);
 };
 
+// Deterministic fault model (src/fault/). Every fault decision is derived
+// from named RNG sub-streams of the master seed, so a given (seed, config)
+// pair always yields the same fault plan regardless of engine or event
+// interleaving. With `enabled == false` the World never consults the fault
+// layer and output is bit-identical to a build without it.
+struct FaultConfig {
+  bool enabled = false;
+
+  // (a) Request-uplink loss/delay: each attempt to deliver an ERP-triggered
+  // request to the base station is independently dropped or deferred.
+  double request_loss_prob = 0.0;         // P(attempt dropped) in [0,1]
+  double request_delay_prob = 0.0;        // P(attempt deferred) in [0,1]
+  Second request_delay_max = minutes(20.0);   // deferred uplink lands U(0,max] later
+  // Retry/TTL state machine: a dropped request is re-emitted after
+  // timeout * backoff^attempt, up to max_retries attempts, then expires
+  // (the cluster may re-fire at the next ERP evaluation).
+  Second request_retry_timeout = minutes(15.0);
+  double request_retry_backoff = 2.0;     // >= 1
+  std::size_t request_max_retries = 8;
+
+  // (b) RV breakdowns: exponential inter-failure times with the given MTBF
+  // (0 disables), plus an optional pinned breakdown of RV 0 at a fixed time
+  // (for reproducible demos/tests; <= 0 disables). A broken RV is out of
+  // service for repair_duration, then is towed back to base and refilled.
+  double rv_mtbf_hours = 0.0;
+  Second rv_repair_duration = hours(8.0);
+  Second rv_breakdown_at = Second{0.0};
+  // Failover: on breakdown the stranded service queue is re-injected into
+  // the recharge list and replanned across surviving RVs. Disable to get
+  // the no-failover control for ablation.
+  bool rv_failover = true;
+
+  // (c) Transient sensor hardware faults: a live sensor stops monitoring
+  // (sensing hardware down, radio still relaying) for fault_duration.
+  // Poisson arrivals per sensor at the given daily rate (0 disables).
+  double sensor_fault_rate_per_day = 0.0;
+  Second sensor_fault_duration = hours(2.0);
+
+  // (d) Battery self-discharge noise: per-sensor extra constant drain drawn
+  // uniformly in [0, battery_noise_per_day * capacity / day] (0 disables).
+  double battery_noise_per_day = 0.0;
+};
+
 struct SimConfig {
   // --- Table II -----------------------------------------------------------
   std::size_t num_sensors = 500;        // N
@@ -156,6 +199,7 @@ struct SimConfig {
   SensingModel sensing;
   BatteryModel battery;
   RvModel rv;
+  FaultConfig fault;
 
   // --- bookkeeping -----------------------------------------------------------
   std::uint64_t seed = 0x5eed0001ULL;

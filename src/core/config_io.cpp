@@ -253,6 +253,87 @@ const std::vector<KeyHandler>& handlers() {
        [](SimConfig& c, const std::string& v) {
          c.metrics_sample_period = minutes(parse_double("metrics_sample_min", v));
        }},
+      {"fault.enabled",
+       [](const SimConfig& c) { return c.fault.enabled ? "true" : "false"; },
+       [](SimConfig& c, const std::string& v) {
+         c.fault.enabled = parse_bool("fault.enabled", v);
+       }},
+      {"fault.request_loss_prob",
+       [](const SimConfig& c) { return fmt(c.fault.request_loss_prob); },
+       [](SimConfig& c, const std::string& v) {
+         c.fault.request_loss_prob = parse_double("fault.request_loss_prob", v);
+       }},
+      {"fault.request_delay_prob",
+       [](const SimConfig& c) { return fmt(c.fault.request_delay_prob); },
+       [](SimConfig& c, const std::string& v) {
+         c.fault.request_delay_prob = parse_double("fault.request_delay_prob", v);
+       }},
+      {"fault.request_delay_max_min",
+       [](const SimConfig& c) { return fmt(c.fault.request_delay_max.value() / 60.0); },
+       [](SimConfig& c, const std::string& v) {
+         c.fault.request_delay_max =
+             minutes(parse_double("fault.request_delay_max_min", v));
+       }},
+      {"fault.request_retry_timeout_min",
+       [](const SimConfig& c) {
+         return fmt(c.fault.request_retry_timeout.value() / 60.0);
+       },
+       [](SimConfig& c, const std::string& v) {
+         c.fault.request_retry_timeout =
+             minutes(parse_double("fault.request_retry_timeout_min", v));
+       }},
+      {"fault.request_retry_backoff",
+       [](const SimConfig& c) { return fmt(c.fault.request_retry_backoff); },
+       [](SimConfig& c, const std::string& v) {
+         c.fault.request_retry_backoff =
+             parse_double("fault.request_retry_backoff", v);
+       }},
+      {"fault.request_max_retries",
+       [](const SimConfig& c) { return std::to_string(c.fault.request_max_retries); },
+       [](SimConfig& c, const std::string& v) {
+         c.fault.request_max_retries = parse_u64("fault.request_max_retries", v);
+       }},
+      {"fault.rv_mtbf_hours",
+       [](const SimConfig& c) { return fmt(c.fault.rv_mtbf_hours); },
+       [](SimConfig& c, const std::string& v) {
+         c.fault.rv_mtbf_hours = parse_double("fault.rv_mtbf_hours", v);
+       }},
+      {"fault.rv_repair_duration_h",
+       [](const SimConfig& c) { return fmt(c.fault.rv_repair_duration.value() / 3600.0); },
+       [](SimConfig& c, const std::string& v) {
+         c.fault.rv_repair_duration =
+             hours(parse_double("fault.rv_repair_duration_h", v));
+       }},
+      {"fault.rv_breakdown_at_h",
+       [](const SimConfig& c) { return fmt(c.fault.rv_breakdown_at.value() / 3600.0); },
+       [](SimConfig& c, const std::string& v) {
+         c.fault.rv_breakdown_at = hours(parse_double("fault.rv_breakdown_at_h", v));
+       }},
+      {"fault.rv_failover",
+       [](const SimConfig& c) { return c.fault.rv_failover ? "true" : "false"; },
+       [](SimConfig& c, const std::string& v) {
+         c.fault.rv_failover = parse_bool("fault.rv_failover", v);
+       }},
+      {"fault.sensor_fault_rate_per_day",
+       [](const SimConfig& c) { return fmt(c.fault.sensor_fault_rate_per_day); },
+       [](SimConfig& c, const std::string& v) {
+         c.fault.sensor_fault_rate_per_day =
+             parse_double("fault.sensor_fault_rate_per_day", v);
+       }},
+      {"fault.sensor_fault_duration_h",
+       [](const SimConfig& c) {
+         return fmt(c.fault.sensor_fault_duration.value() / 3600.0);
+       },
+       [](SimConfig& c, const std::string& v) {
+         c.fault.sensor_fault_duration =
+             hours(parse_double("fault.sensor_fault_duration_h", v));
+       }},
+      {"fault.battery_noise_per_day",
+       [](const SimConfig& c) { return fmt(c.fault.battery_noise_per_day); },
+       [](SimConfig& c, const std::string& v) {
+         c.fault.battery_noise_per_day =
+             parse_double("fault.battery_noise_per_day", v);
+       }},
       {"seed", [](const SimConfig& c) { return std::to_string(c.seed); },
        [](SimConfig& c, const std::string& v) { c.seed = parse_u64("seed", v); }},
   };
@@ -325,6 +406,30 @@ SimConfig load_config(const std::string& path, const SimConfig& base) {
   std::ostringstream buffer;
   buffer << is.rdbuf();
   return config_from_text(buffer.str(), base);
+}
+
+void apply_fault_arg(SimConfig& config, const std::string& arg) {
+  const std::string spec = trim(arg);
+  WRSN_REQUIRE(!spec.empty(), "--faults needs a file path or key=value spec");
+  if (spec.find('=') == std::string::npos) {
+    config = load_config(spec, config);
+  } else {
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+      const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+      const std::string item = trim(spec.substr(pos, comma - pos));
+      pos = comma + 1;
+      if (item.empty()) continue;
+      const std::size_t eq = item.find('=');
+      WRSN_REQUIRE(eq != std::string::npos,
+                   "--faults item '" + item + "' has no '='");
+      std::string key = trim(item.substr(0, eq));
+      const std::string value = trim(item.substr(eq + 1));
+      if (key.rfind("fault.", 0) != 0) key = "fault." + key;
+      config_set(config, key, value);
+    }
+  }
+  config.fault.enabled = true;
 }
 
 }  // namespace wrsn

@@ -34,4 +34,13 @@ void save_config(const std::string& path, const SimConfig& config);
 [[nodiscard]] SimConfig load_config(const std::string& path,
                                     const SimConfig& base = SimConfig{});
 
+// Applies a `--faults FILE|spec` CLI argument (shared by wrsn_sim,
+// wrsn_sweep and wrsn_trace) and force-enables fault injection. A spec is a
+// comma-separated `key=value` list using the fault.* config keys, with the
+// `fault.` prefix optional:
+//   --faults request_loss_prob=0.2,rv_breakdown_at_h=6
+// An argument without '=' is treated as a config-file path whose keys
+// overlay `config` (typically a file of fault.* lines, but any key works).
+void apply_fault_arg(SimConfig& config, const std::string& arg);
+
 }  // namespace wrsn

@@ -43,3 +43,13 @@ namespace detail {
       ::wrsn::detail::throw_logic_error(#expr, __FILE__, __LINE__, (msg));   \
     }                                                                        \
   } while (false)
+
+// Invariants too hot for release builds (per-event battery/queue checks);
+// compiled out under NDEBUG so the release event loop stays branch-free.
+#ifdef NDEBUG
+#define WRSN_DEBUG_ASSERT(expr, msg) \
+  do {                               \
+  } while (false)
+#else
+#define WRSN_DEBUG_ASSERT(expr, msg) WRSN_ASSERT(expr, msg)
+#endif

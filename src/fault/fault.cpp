@@ -1,0 +1,121 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace wrsn {
+
+namespace {
+
+// Draws ascending non-overlapping [start, start+duration) windows with
+// exponential inter-arrival times at `rate` (per second), clipped to the
+// horizon. The gap is measured from the end of the previous window so a
+// window never starts while the previous one is still open.
+std::vector<FaultWindow> draw_windows(Xoshiro256 rng, double rate_per_s,
+                                      double duration_s, double horizon_s) {
+  std::vector<FaultWindow> windows;
+  if (rate_per_s <= 0.0 || duration_s <= 0.0) return windows;
+  double t = 0.0;
+  for (;;) {
+    t += rng.exponential(rate_per_s);
+    if (t >= horizon_s) break;
+    windows.push_back({t, std::min(t + duration_s, horizon_s)});
+    t += duration_s;
+  }
+  return windows;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(const SimConfig& config)
+    : fault_(config.fault), streams_(config.seed) {
+  const double horizon = config.sim_duration.value();
+
+  rv_windows_.resize(config.num_rvs);
+  const double mtbf_s = fault_.rv_mtbf_hours * 3600.0;
+  for (std::size_t r = 0; r < config.num_rvs; ++r) {
+    rv_windows_[r] =
+        draw_windows(streams_.stream("fault-rv-breakdown", r),
+                     mtbf_s > 0.0 ? 1.0 / mtbf_s : 0.0,
+                     fault_.rv_repair_duration.value(), horizon);
+  }
+  // Pinned demo breakdown of RV 0, merged in unless it would overlap a drawn
+  // window (the handler ignores breakdowns of an already-broken RV anyway;
+  // keeping the plan windows disjoint keeps them easy to reason about).
+  const double pinned = fault_.rv_breakdown_at.value();
+  if (pinned > 0.0 && pinned < horizon && !rv_windows_.empty()) {
+    auto& w0 = rv_windows_[0];
+    const double end = std::min(pinned + fault_.rv_repair_duration.value(), horizon);
+    const bool overlaps =
+        std::any_of(w0.begin(), w0.end(), [&](const FaultWindow& w) {
+          return w.start < end && pinned < w.end;
+        });
+    if (!overlaps) {
+      w0.push_back({pinned, end});
+      std::sort(w0.begin(), w0.end(),
+                [](const FaultWindow& a, const FaultWindow& b) {
+                  return a.start < b.start;
+                });
+    }
+  }
+
+  sensor_windows_.resize(config.num_sensors);
+  const double fault_rate_s = fault_.sensor_fault_rate_per_day / 86400.0;
+  for (std::size_t s = 0; s < config.num_sensors; ++s) {
+    sensor_windows_[s] =
+        draw_windows(streams_.stream("fault-sensor", s), fault_rate_s,
+                     fault_.sensor_fault_duration.value(), horizon);
+  }
+
+  extra_drain_w_.assign(config.num_sensors, 0.0);
+  if (fault_.battery_noise_per_day > 0.0) {
+    const double max_w =
+        fault_.battery_noise_per_day * config.battery.capacity.value() / 86400.0;
+    for (std::size_t s = 0; s < config.num_sensors; ++s) {
+      Xoshiro256 rng = streams_.stream("fault-battery-noise", s);
+      extra_drain_w_[s] = rng.uniform(0.0, max_w);
+    }
+  }
+}
+
+const std::vector<FaultWindow>& FaultPlan::rv_breakdowns(std::size_t rv) const {
+  WRSN_REQUIRE(rv < rv_windows_.size(), "RV id out of range");
+  return rv_windows_[rv];
+}
+
+const std::vector<FaultWindow>& FaultPlan::sensor_faults(SensorId s) const {
+  WRSN_REQUIRE(s < sensor_windows_.size(), "sensor id out of range");
+  return sensor_windows_[s];
+}
+
+UplinkDecision FaultPlan::uplink(SensorId s, std::uint64_t attempt) const {
+  UplinkDecision d;
+  if (fault_.request_loss_prob <= 0.0 && fault_.request_delay_prob <= 0.0) {
+    return d;
+  }
+  // One sub-stream per (sensor, attempt): the verdict is independent of the
+  // order in which the World evaluates requests, which is what keeps the
+  // fast and reference engines in lock-step under faults.
+  Xoshiro256 rng =
+      streams_.stream("fault-uplink", (static_cast<std::uint64_t>(s) << 16) | attempt);
+  const double u = rng.uniform();
+  if (u < fault_.request_loss_prob) {
+    d.outcome = UplinkOutcome::kDrop;
+    return d;
+  }
+  if (u < fault_.request_loss_prob + fault_.request_delay_prob) {
+    d.outcome = UplinkOutcome::kDelay;
+    d.delay_s = rng.uniform(0.0, fault_.request_delay_max.value());
+    return d;
+  }
+  return d;
+}
+
+double FaultPlan::retry_delay_s(std::uint64_t attempt) const {
+  return fault_.request_retry_timeout.value() *
+         std::pow(fault_.request_retry_backoff, static_cast<double>(attempt));
+}
+
+}  // namespace wrsn

@@ -1,0 +1,104 @@
+#pragma once
+// Deterministic fault injection (ISSUE 4).
+//
+// A FaultPlan is a pure function of (SimConfig.seed, SimConfig.fault): every
+// fault the simulation will experience — RV breakdown windows, per-sensor
+// hardware-fault windows, per-sensor battery self-discharge noise, and the
+// drop/delay verdict of every request-uplink attempt — is derived from named
+// RNG sub-streams of the master seed. Nothing depends on event interleaving
+// or engine choice, so the fast and reference World engines observe exactly
+// the same faults and stay bit-identical under a shared plan.
+//
+// The World owns a FaultInjector (absent when faults are disabled) and
+// consults it at event boundaries only:
+//   * add_request -> uplink(sensor, attempt): deliver / drop / delay.
+//     Dropped attempts are retried after retry_delay(attempt) (exponential
+//     backoff) until max_retries, then the request expires (TTL).
+//   * constructor -> rv_breakdowns(rv) / sensor_faults(sensor) are pushed as
+//     kRvBreakdown / kSensorFaultStart / kSensorFaultEnd events.
+//   * update_drain -> extra_drain_w(sensor) adds the self-discharge noise.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/rng.hpp"
+#include "core/units.hpp"
+#include "net/ids.hpp"
+
+namespace wrsn {
+
+// A closed fault interval [start, end) in simulation seconds.
+struct FaultWindow {
+  double start = 0.0;
+  double end = 0.0;
+};
+
+enum class UplinkOutcome : std::uint8_t {
+  kDeliver,  // request reaches the base station now
+  kDrop,     // attempt lost; sensor retries after backoff (or expires)
+  kDelay,    // attempt deferred; lands `delay` seconds later
+};
+
+struct UplinkDecision {
+  UplinkOutcome outcome = UplinkOutcome::kDeliver;
+  double delay_s = 0.0;  // only meaningful for kDelay
+};
+
+class FaultPlan {
+ public:
+  // Precomputes all fault windows for the configured horizon. `config` must
+  // already be validated; `config.fault.enabled` is not consulted here (the
+  // caller decides whether to build a plan at all).
+  explicit FaultPlan(const SimConfig& config);
+
+  [[nodiscard]] const FaultConfig& config() const { return fault_; }
+
+  // Breakdown windows of RV `rv`, ascending and non-overlapping, clipped to
+  // the horizon. The RV goes out of service at `start` and rejoins (towed
+  // back to base, refilled) at `end`.
+  [[nodiscard]] const std::vector<FaultWindow>& rv_breakdowns(std::size_t rv) const;
+
+  // Transient hardware-fault windows of sensor `s` (sensing down, radio
+  // still relaying), ascending and non-overlapping.
+  [[nodiscard]] const std::vector<FaultWindow>& sensor_faults(SensorId s) const;
+
+  // Extra constant battery drain (self-discharge noise) of sensor `s`, in
+  // watts. Zero when battery_noise_per_day is zero.
+  [[nodiscard]] double extra_drain_w(SensorId s) const { return extra_drain_w_[s]; }
+
+  // Verdict for the `attempt`-th uplink attempt (0-based) of sensor `s`'s
+  // current request. Order-independent: each (sensor, attempt) pair draws
+  // from its own sub-stream, so the verdict does not depend on how many
+  // other sensors requested first.
+  [[nodiscard]] UplinkDecision uplink(SensorId s, std::uint64_t attempt) const;
+
+  // Backoff delay before re-emitting after the `attempt`-th drop:
+  // retry_timeout * backoff^attempt, seconds.
+  [[nodiscard]] double retry_delay_s(std::uint64_t attempt) const;
+
+  [[nodiscard]] std::uint64_t max_retries() const { return fault_.request_max_retries; }
+
+ private:
+  FaultConfig fault_;
+  RngStreams streams_;
+  std::vector<std::vector<FaultWindow>> rv_windows_;
+  std::vector<std::vector<FaultWindow>> sensor_windows_;
+  std::vector<double> extra_drain_w_;
+};
+
+// Runtime handle the World holds; currently a thin owner of the plan, kept
+// separate so mutable injection state (e.g. adaptive fault campaigns) can be
+// added later without touching the plan's pure-function contract.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const SimConfig& config) : plan_(config) {}
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const FaultConfig& config() const { return plan_.config(); }
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace wrsn

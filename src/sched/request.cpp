@@ -40,6 +40,18 @@ bool RechargeNodeList::contains(SensorId sensor) const {
   return slot_of(sensor) != 0;
 }
 
+bool RechargeNodeList::consistent() const {
+  std::size_t indexed = 0;
+  for (SensorId s = 0; s < slot_.size(); ++s) {
+    const std::size_t slot = slot_[s];
+    if (slot == 0) continue;
+    if (slot > requests_.size()) return false;
+    if (requests_[slot - 1].sensor != s) return false;
+    ++indexed;
+  }
+  return indexed == requests_.size();
+}
+
 void RechargeNodeList::update(SensorId sensor, Joule demand, bool critical,
                               double fraction) {
   const std::size_t slot = slot_of(sensor);

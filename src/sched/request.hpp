@@ -45,6 +45,11 @@ class RechargeNodeList {
   // dropping while the request waits).
   void update(SensorId sensor, Joule demand, bool critical, double fraction);
 
+  // Structural invariant: every slot_ entry points at the request it indexes
+  // and every request has a slot. O(N); meant for WRSN_DEBUG_ASSERT after
+  // remove/failover re-injection, not for hot paths.
+  [[nodiscard]] bool consistent() const;
+
  private:
   [[nodiscard]] std::size_t slot_of(SensorId sensor) const;
 

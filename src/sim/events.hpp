@@ -21,10 +21,15 @@ enum class EventKind : std::uint8_t {
   kRvChargeDone,    // subject = RV id (epoch-guarded)
   kRvBaseChargeDone,  // subject = RV id (epoch-guarded)
   kMetricsSample,   // time-series sampling tick
+  kRequestUplink,     // subject = sensor id (uplink-epoch-guarded retry tick)
+  kRvBreakdown,       // subject = RV id (unguarded; handler checks state)
+  kRvRepaired,        // subject = RV id (epoch-guarded)
+  kSensorFaultStart,  // subject = sensor id (unguarded; handler checks state)
+  kSensorFaultEnd,    // subject = sensor id (unguarded; handler checks state)
   kSimEnd,
 };
 
-inline constexpr std::size_t kNumEventKinds = 8;
+inline constexpr std::size_t kNumEventKinds = 13;
 
 // Stable human/machine-readable name; these strings are part of the trace
 // schema (obs/trace.hpp) — renaming one is a schema change.
@@ -37,6 +42,11 @@ inline constexpr std::size_t kNumEventKinds = 8;
     case EventKind::kRvChargeDone: return "rv-charge-done";
     case EventKind::kRvBaseChargeDone: return "rv-base-charge-done";
     case EventKind::kMetricsSample: return "metrics-sample";
+    case EventKind::kRequestUplink: return "request-uplink";
+    case EventKind::kRvBreakdown: return "rv-breakdown";
+    case EventKind::kRvRepaired: return "rv-repaired";
+    case EventKind::kSensorFaultStart: return "sensor-fault-start";
+    case EventKind::kSensorFaultEnd: return "sensor-fault-end";
     case EventKind::kSimEnd: return "sim-end";
   }
   return "unknown";

@@ -69,6 +69,10 @@ MetricsReport MetricsIntegrator::finalize(Second duration) const {
     out.max_request_latency = Second{sorted.back()};
     out.p99_max_request_latency = out.max_request_latency;
   }
+  if (failover_recoveries_ > 0) {
+    out.avg_failover_recovery =
+        Second{failover_recovery_sum_ / static_cast<double>(failover_recoveries_)};
+  }
   if (!recharge_counts_.empty()) {
     double sum = 0.0, sum_sq = 0.0;
     for (const auto& [sensor, count] : recharge_counts_) {
@@ -110,6 +114,17 @@ std::string to_json(const MetricsReport& r) {
       .field("max_request_latency_s", r.max_request_latency.value())
       .field("p99_max_request_latency_s", r.p99_max_request_latency.value())
       .field("recharge_fairness_jain", r.recharge_fairness_jain)
+      .field("requests_lost", static_cast<std::uint64_t>(r.requests_lost))
+      .field("requests_delayed", static_cast<std::uint64_t>(r.requests_delayed))
+      .field("requests_retried", static_cast<std::uint64_t>(r.requests_retried))
+      .field("requests_expired", static_cast<std::uint64_t>(r.requests_expired))
+      .field("rv_breakdowns", static_cast<std::uint64_t>(r.rv_breakdowns))
+      .field("rv_repairs", static_cast<std::uint64_t>(r.rv_repairs))
+      .field("failover_reinjected",
+             static_cast<std::uint64_t>(r.failover_reinjected))
+      .field("sensor_hw_faults", static_cast<std::uint64_t>(r.sensor_hw_faults))
+      .field("rv_downtime_s", r.rv_downtime.value())
+      .field("avg_failover_recovery_s", r.avg_failover_recovery.value())
       .end_object();
   return w.str();
 }

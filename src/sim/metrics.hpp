@@ -59,6 +59,21 @@ struct MetricsReport {
   // few nodes. 1 when nothing was served.
   double recharge_fairness_jain = 1.0;
 
+  // --- degraded-mode accounting (src/fault/) ----------------------------
+  // All zero when fault injection is disabled.
+  std::size_t requests_lost = 0;      // uplink attempts dropped
+  std::size_t requests_delayed = 0;   // uplink attempts deferred in flight
+  std::size_t requests_retried = 0;   // re-emissions after a dropped attempt
+  std::size_t requests_expired = 0;   // requests that exhausted max_retries
+  std::size_t rv_breakdowns = 0;
+  std::size_t rv_repairs = 0;
+  std::size_t failover_reinjected = 0;  // stranded queue entries replanned
+  std::size_t sensor_hw_faults = 0;     // transient hardware-fault windows
+  Second rv_downtime{0.0};              // total broken-RV time (RV*s)
+  // Mean breakdown -> recharge-complete latency over sensors stranded by a
+  // failover; 0 when no stranded sensor was recovered.
+  Second avg_failover_recovery{0.0};
+
   // --- derived (Section V metrics) -------------------------------------
   // Objective of expression (2): energy recharged minus traveling energy.
   [[nodiscard]] Joule objective_score() const {
@@ -84,6 +99,25 @@ class MetricsIntegrator {
   void on_sensor_death() { ++report_.sensor_deaths; }
   void on_request() { ++report_.recharge_requests; }
 
+  // --- fault/degraded-mode hooks ----------------------------------------
+  void on_request_lost() { ++report_.requests_lost; }
+  void on_request_delayed() { ++report_.requests_delayed; }
+  void on_request_retried() { ++report_.requests_retried; }
+  void on_request_expired() { ++report_.requests_expired; }
+  void on_rv_breakdown(std::size_t stranded) {
+    ++report_.rv_breakdowns;
+    report_.failover_reinjected += stranded;
+  }
+  void on_rv_repaired(Second downtime) {
+    ++report_.rv_repairs;
+    report_.rv_downtime += downtime;
+  }
+  void on_sensor_hw_fault() { ++report_.sensor_hw_faults; }
+  void on_failover_recovery(Second latency) {
+    failover_recovery_sum_ += latency.value();
+    ++failover_recoveries_;
+  }
+
   // Produces the final report; `duration` is the simulated horizon.
   [[nodiscard]] MetricsReport finalize(Second duration) const;
 
@@ -103,6 +137,8 @@ class MetricsIntegrator {
   double elapsed_ = 0.0;
   double latency_sum_ = 0.0;
   double hop_packet_integral_ = 0.0;  // packets x hops
+  double failover_recovery_sum_ = 0.0;
+  std::size_t failover_recoveries_ = 0;
   std::vector<double> latencies_;
   std::unordered_map<std::size_t, int> recharge_counts_;
 };

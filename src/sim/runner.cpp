@@ -22,6 +22,8 @@ MetricsReport mean_report(const std::vector<MetricsReport>& reports) {
   const double n = static_cast<double>(reports.size());
   double deaths = 0.0, requests = 0.0, recharged = 0.0, tours = 0.0,
          base_recharges = 0.0, latency = 0.0;
+  double lost = 0.0, delayed = 0.0, retried = 0.0, expired = 0.0,
+         breakdowns = 0.0, repairs = 0.0, reinjected = 0.0, hw_faults = 0.0;
   for (const MetricsReport& r : reports) {
     mean.duration += r.duration / n;
     mean.rv_travel_energy += r.rv_travel_energy / n;
@@ -47,6 +49,16 @@ MetricsReport mean_report(const std::vector<MetricsReport>& reports) {
     mean.max_request_latency =
         std::max(mean.max_request_latency, r.max_request_latency);
     mean.recharge_fairness_jain += r.recharge_fairness_jain / n;
+    lost += static_cast<double>(r.requests_lost) / n;
+    delayed += static_cast<double>(r.requests_delayed) / n;
+    retried += static_cast<double>(r.requests_retried) / n;
+    expired += static_cast<double>(r.requests_expired) / n;
+    breakdowns += static_cast<double>(r.rv_breakdowns) / n;
+    repairs += static_cast<double>(r.rv_repairs) / n;
+    reinjected += static_cast<double>(r.failover_reinjected) / n;
+    hw_faults += static_cast<double>(r.sensor_hw_faults) / n;
+    mean.rv_downtime += r.rv_downtime / n;
+    mean.avg_failover_recovery += r.avg_failover_recovery / n;
   }
   // Tail of the worst case: p99 over the per-replica maxima, using the same
   // nearest-rank convention as the per-replica quantiles in metrics.cpp.
@@ -63,6 +75,14 @@ MetricsReport mean_report(const std::vector<MetricsReport>& reports) {
   mean.rv_tours = static_cast<std::size_t>(tours + 0.5);
   mean.rv_base_recharges = static_cast<std::size_t>(base_recharges + 0.5);
   mean.avg_request_latency = Second{latency};
+  mean.requests_lost = static_cast<std::size_t>(lost + 0.5);
+  mean.requests_delayed = static_cast<std::size_t>(delayed + 0.5);
+  mean.requests_retried = static_cast<std::size_t>(retried + 0.5);
+  mean.requests_expired = static_cast<std::size_t>(expired + 0.5);
+  mean.rv_breakdowns = static_cast<std::size_t>(breakdowns + 0.5);
+  mean.rv_repairs = static_cast<std::size_t>(repairs + 0.5);
+  mean.failover_reinjected = static_cast<std::size_t>(reinjected + 0.5);
+  mean.sensor_hw_faults = static_cast<std::size_t>(hw_faults + 0.5);
   return mean;
 }
 

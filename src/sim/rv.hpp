@@ -21,6 +21,7 @@ struct Rv {
     kCharging,      // parked at a sensor, transferring energy
     kReturning,     // en route to base
     kSelfCharging,  // docked, refilling its own battery
+    kBrokenDown,    // out of service until the repair window ends (fault/)
   };
 
   RvId id = kInvalidId;

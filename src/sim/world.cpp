@@ -53,6 +53,15 @@ World::World(const SimConfig& config, WorldEngine engine)
       traffic_(config.num_sensors) {
   end_ = config_.sim_duration.value();
 
+  if (config_.fault.enabled) fault_ = std::make_unique<FaultInjector>(config_);
+  hw_fault_.assign(config_.num_sensors, false);
+  uplink_epoch_.assign(config_.num_sensors, 0);
+  uplink_attempt_.assign(config_.num_sensors, 0);
+  uplink_pending_.assign(config_.num_sensors, UplinkPending::kNone);
+  stranded_since_.assign(config_.num_sensors, -1.0);
+  rv_breakdown_idx_.assign(config_.num_rvs, 0);
+  breakdown_began_.assign(config_.num_rvs, -1.0);
+
   request_time_.assign(config_.num_sensors, -1.0);
   drain_.assign(config_.num_sensors, 0.0);
   last_settle_.assign(config_.num_sensors, 0.0);
@@ -90,6 +99,25 @@ World::World(const SimConfig& config, WorldEngine engine)
     queue_.push(first, EventKind::kTargetMove, t);
   }
   queue_.push(config_.metrics_sample_period.value(), EventKind::kMetricsSample);
+
+  // Fault schedule: the plan's windows are fixed at construction, so the
+  // events are pushed up front (unguarded; handlers check current state).
+  // kRvRepaired is pushed by the breakdown handler instead, carrying the
+  // post-breakdown epoch.
+  if (fault_ != nullptr) {
+    const FaultPlan& plan = fault_->plan();
+    for (RvId r = 0; r < config_.num_rvs; ++r) {
+      for (const FaultWindow& w : plan.rv_breakdowns(r)) {
+        queue_.push(w.start, EventKind::kRvBreakdown, r);
+      }
+    }
+    for (SensorId s = 0; s < config_.num_sensors; ++s) {
+      for (const FaultWindow& w : plan.sensor_faults(s)) {
+        queue_.push(w.start, EventKind::kSensorFaultStart, s);
+        queue_.push(w.end, EventKind::kSensorFaultEnd, s);
+      }
+    }
+  }
 }
 
 MetricsReport World::run() {
@@ -104,6 +132,12 @@ void World::set_telemetry(obs::TelemetryRegistry* registry) {
     stale_counter_ = nullptr;
     settle_counter_ = nullptr;
     drain_update_counter_ = nullptr;
+    fault_lost_counter_ = nullptr;
+    fault_retried_counter_ = nullptr;
+    fault_expired_counter_ = nullptr;
+    fault_breakdown_counter_ = nullptr;
+    fault_failover_counter_ = nullptr;
+    fault_hw_fault_counter_ = nullptr;
     queue_hwm_gauge_ = nullptr;
     return;
   }
@@ -114,6 +148,12 @@ void World::set_telemetry(obs::TelemetryRegistry* registry) {
   stale_counter_ = &registry->counter("events/stale-discarded");
   settle_counter_ = &registry->counter("world/battery-settlements");
   drain_update_counter_ = &registry->counter("world/drain-updates");
+  fault_lost_counter_ = &registry->counter("fault/requests-lost");
+  fault_retried_counter_ = &registry->counter("fault/requests-retried");
+  fault_expired_counter_ = &registry->counter("fault/requests-expired");
+  fault_breakdown_counter_ = &registry->counter("fault/rv-breakdowns");
+  fault_failover_counter_ = &registry->counter("fault/failover-reinjected");
+  fault_hw_fault_counter_ = &registry->counter("fault/sensor-hw-faults");
   queue_hwm_gauge_ = &registry->gauge("events/queue-high-water");
   queue_hwm_gauge_->record_max(static_cast<double>(queue_hwm_));
   // Pre-register the scheduler timing scopes so an export always carries
@@ -142,11 +182,18 @@ void World::run_until(Second t_in) {
       continue;
     }
     if ((ev.kind == EventKind::kRvArrival || ev.kind == EventKind::kRvChargeDone ||
-         ev.kind == EventKind::kRvBaseChargeDone) &&
+         ev.kind == EventKind::kRvBaseChargeDone ||
+         ev.kind == EventKind::kRvRepaired) &&
         ev.epoch != rvs_[ev.subject].epoch) {
       if (stale_counter_ != nullptr) stale_counter_->add();
       continue;
     }
+    if (ev.kind == EventKind::kRequestUplink &&
+        ev.epoch != uplink_epoch_[ev.subject]) {
+      if (stale_counter_ != nullptr) stale_counter_->add();
+      continue;
+    }
+    WRSN_DEBUG_ASSERT(ev.time + 1e-9 >= now_, "popped event older than now");
     advance_to(ev.time);
     handle(ev);
     ++events_processed_;
@@ -202,6 +249,11 @@ void World::handle(const Event& ev) {
       queue_.push(now_ + config_.metrics_sample_period.value(),
                   EventKind::kMetricsSample);
       break;
+    case EventKind::kRequestUplink: on_request_uplink(ev.subject); break;
+    case EventKind::kRvBreakdown: on_rv_breakdown(ev.subject); break;
+    case EventKind::kRvRepaired: on_rv_repaired(ev.subject); break;
+    case EventKind::kSensorFaultStart: on_sensor_fault_start(ev.subject); break;
+    case EventKind::kSensorFaultEnd: on_sensor_fault_end(ev.subject); break;
     case EventKind::kSimEnd: break;
   }
 }
@@ -230,6 +282,9 @@ void World::settle_sensor(SensorId s) {
   const bool was_alive = sensor.alive();
   sensor_energy_consumed_ +=
       sensor.battery.drain(Joule{drain_[s] * dt}).value();
+  WRSN_DEBUG_ASSERT(sensor.battery.level().value() >= 0.0 &&
+                        sensor.battery.level() <= sensor.battery.capacity(),
+                    "battery level escaped [0, capacity]");
   if (settle_counter_ != nullptr) settle_counter_->add();
   if (was_alive && !sensor.alive()) on_sensor_alive_changed(s, false);
 }
@@ -255,10 +310,10 @@ StateSnapshot World::snapshot_scan() const {
     bool covered = false;
     if (config_.activation == ActivationPolicy::kRoundRobin) {
       const SensorId m = active_monitor_[t];
-      covered = m != kInvalidId && net_.sensor(m).alive();
+      covered = m != kInvalidId && operational(m);
     } else {
       for (SensorId s : clusters_.members[t]) {
-        if (net_.sensor(s).alive()) {
+        if (operational(s)) {
           covered = true;
           break;
         }
@@ -287,7 +342,9 @@ Watt World::sensor_drain(SensorId s) const {
                                          : config_.sensing.idle_power;
   const Watt self_discharge{config_.battery.self_discharge_per_day *
                             config_.battery.capacity.value() / 86400.0};
-  return sensing + self_discharge + traffic_.radio_power(s, config_.radio);
+  Watt total = sensing + self_discharge + traffic_.radio_power(s, config_.radio);
+  if (fault_ != nullptr) total += Watt{fault_->plan().extra_drain_w(s)};
+  return total;
 }
 
 bool World::update_drain(SensorId s) {
@@ -362,10 +419,15 @@ void World::on_sensor_alive_changed(SensorId s, bool alive_now) {
   }
   const TargetId t = net_.sensor(s).assigned_target;
   if (t == kInvalidId) return;
-  if (alive_now) {
-    ++alive_members_[t];
-  } else {
-    --alive_members_[t];
+  // alive_members_ counts operational members; a sensor inside a hardware
+  // fault window was already removed at fault start and re-added at fault
+  // end, so its death/revival must not adjust the count again.
+  if (!hw_fault_[s]) {
+    if (alive_now) {
+      ++alive_members_[t];
+    } else {
+      --alive_members_[t];
+    }
   }
   recompute_covered(t);
 }
@@ -397,7 +459,7 @@ void World::recompute_covered(TargetId t) {
   bool cov = false;
   if (config_.activation == ActivationPolicy::kRoundRobin) {
     const SensorId m = active_monitor_[t];
-    cov = m != kInvalidId && net_.sensor(m).alive();
+    cov = m != kInvalidId && operational(m);
   } else {
     cov = alive_members_[t] > 0;
   }
@@ -412,7 +474,7 @@ void World::rebuild_counters() {
   alive_members_.assign(net_.num_targets(), 0);
   for (SensorId s = 0; s < net_.num_sensors(); ++s) {
     const TargetId t = clusters_.assignment[s];
-    if (t != kInvalidId && net_.sensor(s).alive()) ++alive_members_[t];
+    if (t != kInvalidId && operational(s)) ++alive_members_[t];
   }
   coverable_count_ = 0;
   covered_count_ = 0;
@@ -420,7 +482,7 @@ void World::rebuild_counters() {
     if (coverable_[t]) ++coverable_count_;
     if (config_.activation == ActivationPolicy::kRoundRobin) {
       const SensorId m = active_monitor_[t];
-      covered_[t] = m != kInvalidId && net_.sensor(m).alive();
+      covered_[t] = m != kInvalidId && operational(m);
     } else {
       covered_[t] = alive_members_[t] > 0;
     }
@@ -482,7 +544,7 @@ void World::recluster() {
     rotors_[t] = ClusterRotor(clusters_.members[t]);
     if (config_.activation == ActivationPolicy::kRoundRobin) {
       const SensorId first =
-          rotors_[t].select_first([&](SensorId s) { return net_.sensor(s).alive(); });
+          rotors_[t].select_first([&](SensorId s) { return operational(s); });
       if (first != kInvalidId) {
         net_.sensor(first).monitoring = true;
         active_monitor_[t] = first;
@@ -551,13 +613,14 @@ void World::apply_rebalance(const RebalanceResult& res,
     Sensor& sensor = net_.sensor(mv.sensor);
     if (mv.from != kInvalidId) {
       rotors_[mv.from].remove_member(mv.sensor);
-      if (sensor.alive()) --alive_members_[mv.from];
+      if (operational(mv.sensor)) --alive_members_[mv.from];
     }
     if (mv.to != kInvalidId) {
       rotors_[mv.to].add_member(mv.sensor);
-      if (sensor.alive()) ++alive_members_[mv.to];
+      if (operational(mv.sensor)) ++alive_members_[mv.to];
     }
-    if (config_.activation == ActivationPolicy::kFullTime && sensor.alive()) {
+    if (config_.activation == ActivationPolicy::kFullTime &&
+        operational(mv.sensor)) {
       const bool want = mv.to != kInvalidId;
       if (sensor.monitoring != want) {
         sensor.monitoring = want;
@@ -581,7 +644,7 @@ void World::apply_rebalance(const RebalanceResult& res,
     for (const TargetId a : affected) {
       const SensorId m = active_monitor_[a];
       if (m == kInvalidId) continue;
-      if (net_.sensor(m).assigned_target == a && net_.sensor(m).alive()) continue;
+      if (net_.sensor(m).assigned_target == a && operational(m)) continue;
       if (net_.sensor(m).monitoring) {
         net_.sensor(m).monitoring = false;
         if (traffic_.has_source(m)) traffic_.remove_source(m);
@@ -593,7 +656,7 @@ void World::apply_rebalance(const RebalanceResult& res,
     for (const TargetId a : affected) {
       if (active_monitor_[a] != kInvalidId) continue;
       const SensorId next = rotors_[a].select_first(
-          [&](SensorId id) { return net_.sensor(id).alive(); });
+          [&](SensorId id) { return operational(id); });
       if (next != kInvalidId) {
         set_monitor(a, next);
       } else {
@@ -624,7 +687,8 @@ void World::revive_membership(SensorId s) {
   // deactivated at death; put it back on duty.
   Sensor& sensor = net_.sensor(s);
   if (config_.activation == ActivationPolicy::kFullTime &&
-      sensor.assigned_target != kInvalidId && !sensor.monitoring) {
+      sensor.assigned_target != kInvalidId && !sensor.monitoring &&
+      !hw_fault_[s]) {
     sensor.monitoring = true;
     traffic_.add_source(net_.routing(), s, config_.data_rate_pkt_per_min / 60.0);
     mark_drain_dirty(s);
@@ -635,7 +699,7 @@ void World::revive_membership(SensorId s) {
 void World::apply_full_time_activation(TargetId t) {
   const double rate_pps = config_.data_rate_pkt_per_min / 60.0;
   for (SensorId s : clusters_.members[t]) {
-    if (!net_.sensor(s).alive()) continue;
+    if (!operational(s)) continue;
     net_.sensor(s).monitoring = true;
     traffic_.add_source(net_.routing(), s, rate_pps);
   }
@@ -662,7 +726,7 @@ void World::on_slot_rotation() {
   for (TargetId t = 0; t < net_.num_targets(); ++t) {
     if (rotors_[t].empty()) continue;
     const SensorId next =
-        rotors_[t].advance([&](SensorId s) { return net_.sensor(s).alive(); });
+        rotors_[t].advance([&](SensorId s) { return operational(s); });
     set_monitor(t, next);
   }
   request_drain_refresh();
@@ -728,6 +792,22 @@ void World::add_request(SensorId s) {
   Sensor& sensor = net_.sensor(s);
   if (sensor.recharge_requested) return;
   sensor.recharge_requested = true;
+  request_time_[s] = now_;
+  metrics_.on_request();
+  if (fault_ == nullptr) {
+    deliver_request(s);
+    return;
+  }
+  // Fresh uplink cycle: invalidate any stale retry event, then roll the
+  // first attempt's verdict.
+  ++uplink_epoch_[s];
+  uplink_attempt_[s] = 0;
+  uplink_pending_[s] = UplinkPending::kNone;
+  attempt_uplink(s);
+}
+
+void World::deliver_request(SensorId s) {
+  Sensor& sensor = net_.sensor(s);
   RechargeRequest request;
   request.sensor = s;
   request.cluster = sensor.assigned_target;
@@ -736,8 +816,133 @@ void World::add_request(SensorId s) {
   request.critical = sensor_critical(s);
   request.fraction = sensor.battery.fraction();
   requests_.add(std::move(request));
-  request_time_[s] = now_;
-  metrics_.on_request();
+}
+
+bool World::attempt_uplink(SensorId s) {
+  const FaultPlan& plan = fault_->plan();
+  const std::uint64_t attempt = uplink_attempt_[s]++;
+  const UplinkDecision d = plan.uplink(s, attempt);
+  switch (d.outcome) {
+    case UplinkOutcome::kDeliver:
+      deliver_request(s);
+      return true;
+    case UplinkOutcome::kDelay:
+      // The packet is in flight; it lands (and is delivered unconditionally)
+      // when the event fires.
+      metrics_.on_request_delayed();
+      uplink_pending_[s] = UplinkPending::kDeliver;
+      queue_.push(now_ + d.delay_s, EventKind::kRequestUplink, s,
+                  uplink_epoch_[s]);
+      return false;
+    case UplinkOutcome::kDrop:
+      metrics_.on_request_lost();
+      if (fault_lost_counter_ != nullptr) fault_lost_counter_->add();
+      if (attempt >= plan.max_retries()) {
+        expire_request(s);
+        return false;
+      }
+      // TTL/backoff: the sensor notices the missing acknowledgement after
+      // the timeout and re-sends; each drop doubles (by default) the wait.
+      uplink_pending_[s] = UplinkPending::kRetry;
+      queue_.push(now_ + plan.retry_delay_s(attempt), EventKind::kRequestUplink,
+                  s, uplink_epoch_[s]);
+      return false;
+  }
+  return false;
+}
+
+void World::expire_request(SensorId s) {
+  Sensor& sensor = net_.sensor(s);
+  WRSN_ASSERT(sensor.recharge_requested, "expiring a sensor with no request");
+  WRSN_ASSERT(!requests_.contains(s), "expiring a delivered request");
+  sensor.recharge_requested = false;
+  request_time_[s] = -1.0;
+  ++uplink_epoch_[s];
+  uplink_pending_[s] = UplinkPending::kNone;
+  metrics_.on_request_expired();
+  if (fault_expired_counter_ != nullptr) fault_expired_counter_->add();
+  // The cluster may re-fire a fresh request at the next ERP evaluation.
+}
+
+void World::on_request_uplink(SensorId s) {
+  // The epoch guard in run_until discarded events from superseded cycles;
+  // the remaining hazards (request satisfied, delivered) are re-checked
+  // defensively because charge-done bumps the epoch only when fault_ is set.
+  Sensor& sensor = net_.sensor(s);
+  const UplinkPending pending = uplink_pending_[s];
+  uplink_pending_[s] = UplinkPending::kNone;
+  if (!sensor.recharge_requested || requests_.contains(s)) return;
+  if (pending == UplinkPending::kDeliver) {
+    deliver_request(s);
+    dispatch();
+    return;
+  }
+  if (pending == UplinkPending::kNone) return;  // stale safety net
+  metrics_.on_request_retried();
+  if (fault_retried_counter_ != nullptr) fault_retried_counter_->add();
+  if (attempt_uplink(s)) dispatch();
+}
+
+void World::on_sensor_fault_start(SensorId s) {
+  if (hw_fault_[s]) return;  // overlapping windows are filtered in the plan
+  settle_sensor(s);
+  hw_fault_[s] = true;
+  metrics_.on_sensor_hw_fault();
+  if (fault_hw_fault_counter_ != nullptr) fault_hw_fault_counter_->add();
+  Sensor& sensor = net_.sensor(s);
+  if (!sensor.alive()) return;  // fault on a dead node only matters on revive
+
+  const TargetId t = sensor.assigned_target;
+  if (t != kInvalidId) --alive_members_[t];
+  if (sensor.monitoring) {
+    sensor.monitoring = false;
+    if (traffic_.has_source(s)) traffic_.remove_source(s);
+    mark_drain_dirty(s);
+  }
+  if (t != kInvalidId && active_monitor_[t] == s) {
+    // Mirror the death path: hand the slot to the next operational member.
+    const SensorId next =
+        rotors_[t].advance([&](SensorId id) { return operational(id); });
+    active_monitor_[t] = kInvalidId;
+    if (next != kInvalidId) {
+      set_monitor(t, next);  // recomputes covered
+    } else {
+      // Cluster went dark; set_monitor(kInvalid -> kInvalid) would no-op, so
+      // the coverage flag must be refreshed here (no alive transition fires
+      // for a hardware fault, unlike the death path).
+      recompute_covered(t);
+    }
+  } else if (t != kInvalidId) {
+    recompute_covered(t);
+  }
+  request_drain_refresh();
+}
+
+void World::on_sensor_fault_end(SensorId s) {
+  if (!hw_fault_[s]) return;
+  settle_sensor(s);
+  hw_fault_[s] = false;
+  Sensor& sensor = net_.sensor(s);
+  if (!sensor.alive()) return;
+
+  const TargetId t = sensor.assigned_target;
+  if (t != kInvalidId) ++alive_members_[t];
+  if (t != kInvalidId && config_.activation == ActivationPolicy::kFullTime &&
+      !sensor.monitoring) {
+    sensor.monitoring = true;
+    traffic_.add_source(net_.routing(), s, config_.data_rate_pkt_per_min / 60.0);
+    mark_drain_dirty(s);
+  }
+  if (t != kInvalidId && config_.activation == ActivationPolicy::kRoundRobin &&
+      active_monitor_[t] == kInvalidId) {
+    // The cluster went dark while this sensor was down; put it on duty now
+    // instead of waiting for the next rotation tick.
+    const SensorId next =
+        rotors_[t].select_first([&](SensorId id) { return operational(id); });
+    if (next != kInvalidId) set_monitor(t, next);
+  }
+  if (t != kInvalidId) recompute_covered(t);
+  request_drain_refresh();
 }
 
 void World::on_sensor_crossing(SensorId s) {
@@ -782,7 +987,7 @@ void World::handle_death(SensorId s) {
   const TargetId t = sensor.assigned_target;
   if (t != kInvalidId && active_monitor_[t] == s) {
     const SensorId next =
-        rotors_[t].advance([&](SensorId id) { return net_.sensor(id).alive(); });
+        rotors_[t].advance([&](SensorId id) { return operational(id); });
     active_monitor_[t] = kInvalidId;  // force set_monitor to register anew
     set_monitor(t, next);
   } else if (t != kInvalidId) {

@@ -25,6 +25,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
@@ -32,6 +33,7 @@
 #include "activity/clustering.hpp"
 #include "core/config.hpp"
 #include "core/rng.hpp"
+#include "fault/fault.hpp"
 #include "net/network.hpp"
 #include "net/traffic.hpp"
 #include "obs/telemetry.hpp"
@@ -150,6 +152,11 @@ class World {
   void on_rv_arrival(RvId r);
   void on_rv_charge_done(RvId r);
   void on_rv_base_charge_done(RvId r);
+  void on_rv_breakdown(RvId r);
+  void on_rv_repaired(RvId r);
+  void on_request_uplink(SensorId s);
+  void on_sensor_fault_start(SensorId s);
+  void on_sensor_fault_end(SensorId s);
 
   // --- continuous state --------------------------------------------------
   void advance_to(double t);
@@ -199,6 +206,22 @@ class World {
   void add_request(SensorId s);
   void handle_death(SensorId s);
 
+  // --- fault model (src/fault/; all no-ops when fault_ is null) ---------
+  // A sensor is eligible to monitor when it is alive AND its sensing
+  // hardware is not in a transient fault window. With faults disabled
+  // hw_fault_ is all-false and this degenerates to alive().
+  [[nodiscard]] bool operational(SensorId s) const {
+    return net_.sensor(s).alive() && !hw_fault_[s];
+  }
+  // Appends the sensor's request to the recharge node list (the uplink
+  // reached the base station).
+  void deliver_request(SensorId s);
+  // Rolls the fault plan's verdict for the next uplink attempt: delivers,
+  // schedules a delayed delivery, schedules a backoff retry, or expires the
+  // request after max_retries. Returns whether the request was delivered.
+  bool attempt_uplink(SensorId s);
+  void expire_request(SensorId s);
+
   // --- RV control -----------------------------------------------------------
   void dispatch();
   void assign_plan(Rv& rv, const std::vector<RechargeItem>& items,
@@ -234,6 +257,24 @@ class World {
   std::unordered_set<SensorId> claimed_;
 
   std::vector<Rv> rvs_;
+
+  // --- fault-injection state (null / all-false when faults are disabled) --
+  std::unique_ptr<FaultInjector> fault_;
+  std::vector<bool> hw_fault_;                   // per sensor: sensing down
+  // Uplink retry/TTL state machine: epoch guards pending kRequestUplink
+  // events, attempt counts the uplink tries of the current request, pending
+  // records what the in-flight event means (delayed delivery vs retry).
+  enum class UplinkPending : std::uint8_t { kNone, kDeliver, kRetry };
+  std::vector<std::uint64_t> uplink_epoch_;
+  std::vector<std::uint64_t> uplink_attempt_;
+  std::vector<UplinkPending> uplink_pending_;
+  // Failover bookkeeping: when a breakdown strands a service queue, each
+  // stranded sensor is stamped so its eventual recharge yields a
+  // time-to-recovery sample. Per RV: index of the next plan window and the
+  // start of the current breakdown.
+  std::vector<double> stranded_since_;           // per sensor, -1 when none
+  std::vector<std::size_t> rv_breakdown_idx_;
+  std::vector<double> breakdown_began_;          // per RV, -1 when healthy
 
   // Random-waypoint motion state (kRandomWaypoint only).
   std::vector<Vec2> target_waypoint_;
@@ -277,6 +318,12 @@ class World {
   obs::Counter* stale_counter_ = nullptr;
   obs::Counter* settle_counter_ = nullptr;        // battery settlements
   obs::Counter* drain_update_counter_ = nullptr;  // drain changes applied
+  obs::Counter* fault_lost_counter_ = nullptr;
+  obs::Counter* fault_retried_counter_ = nullptr;
+  obs::Counter* fault_expired_counter_ = nullptr;
+  obs::Counter* fault_breakdown_counter_ = nullptr;
+  obs::Counter* fault_failover_counter_ = nullptr;
+  obs::Counter* fault_hw_fault_counter_ = nullptr;
   obs::Gauge* queue_hwm_gauge_ = nullptr;
   std::size_t queue_hwm_ = 0;
 };

@@ -395,6 +395,17 @@ void World::on_rv_charge_done(RvId r) {
   claimed_.erase(s);
   request_time_[s] = -1.0;
   ++sensor_epoch_[s];
+  WRSN_DEBUG_ASSERT(requests_.consistent(),
+                    "recharge list inconsistent after remove");
+  if (fault_ != nullptr) {
+    ++uplink_epoch_[s];  // cancel any pending retry for the satisfied request
+    uplink_pending_[s] = UplinkPending::kNone;
+    if (stranded_since_[s] >= 0.0) {
+      // Time-to-recovery: breakdown that stranded this sensor -> recharged.
+      metrics_.on_failover_recovery(Second{now_ - stranded_since_[s]});
+      stranded_since_[s] = -1.0;
+    }
+  }
 
   if (was_dead && sensor.alive()) {
     // Revived node rejoins the relay fabric and its cluster immediately (it
@@ -433,6 +444,75 @@ void World::on_rv_base_charge_done(RvId r) {
   metrics_.on_rv_base_recharge(drawn);
   rv.state = Rv::State::kIdle;
   dispatch();
+}
+
+// ---------------------------------------------------------------------------
+// Fault model: breakdowns and failover (src/fault/)
+// ---------------------------------------------------------------------------
+
+void World::on_rv_breakdown(RvId r) {
+  Rv& rv = rvs_[r];
+  // Consume this plan window whether or not it takes effect, so the index
+  // stays aligned with the construction-time event pushes.
+  const FaultWindow& w = fault_->plan().rv_breakdowns(r)[rv_breakdown_idx_[r]++];
+  if (rv.state == Rv::State::kBrokenDown) return;  // abutting windows collapse
+
+  // The vehicle halts where it is: any in-flight arrival/charge-done/base-
+  // charge event becomes stale. A leg in progress keeps its departure-time
+  // position and energy accounting (the RV is towed from there).
+  ++rv.epoch;
+  rv.state = Rv::State::kBrokenDown;
+  breakdown_began_[r] = now_;
+
+  std::size_t stranded = 0;
+  if (config_.fault.rv_failover) {
+    // Health-watchdog failover: un-claim the stranded service queue so the
+    // requests (still in the recharge node list) are replanned across the
+    // surviving RVs by the next dispatch.
+    for (SensorId s : rv.service_queue) {
+      claimed_.erase(s);
+      if (stranded_since_[s] < 0.0) stranded_since_[s] = now_;
+      ++stranded;
+    }
+    rv.service_queue.clear();
+    WRSN_DEBUG_ASSERT(requests_.consistent(),
+                      "recharge list inconsistent after failover re-injection");
+  }
+  metrics_.on_rv_breakdown(stranded);
+  if (fault_breakdown_counter_ != nullptr) fault_breakdown_counter_->add();
+  if (fault_failover_counter_ != nullptr && stranded > 0) {
+    fault_failover_counter_->add(stranded);
+  }
+
+  queue_.push(w.end, EventKind::kRvRepaired, r, rv.epoch);
+  if (stranded > 0) dispatch();
+}
+
+void World::on_rv_repaired(RvId r) {
+  Rv& rv = rvs_[r];
+  WRSN_ASSERT(rv.state == Rv::State::kBrokenDown,
+              "repair in unexpected state");
+  metrics_.on_rv_repaired(Second{now_ - breakdown_began_[r]});
+  breakdown_began_[r] = -1.0;
+  ++rv.epoch;
+
+  if (config_.fault.rv_failover || rv.service_queue.empty()) {
+    // Towed back to base and refilled by the repair crew.
+    rv.pos = net_.base_station();
+    rv.in_field = false;
+    const Joule drawn = rv.battery.demand();
+    if (drawn.value() > 0.0) {
+      rv.battery.refill();
+      metrics_.on_rv_base_recharge(drawn);
+    }
+    rv.state = Rv::State::kIdle;
+    dispatch();
+    return;
+  }
+  // No-failover control: repaired in the field, resumes the interrupted tour
+  // (its claims were never released, so nobody else served them).
+  rv.state = Rv::State::kIdle;
+  start_next_leg(rv);
 }
 
 }  // namespace wrsn

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "core/config.hpp"
 #include "core/error.hpp"
 
@@ -93,6 +96,102 @@ TEST(Config, ValidationCatchesBadValues) {
     c.field_side = Meter{-5.0};
     EXPECT_THROW(c.validate(), InvalidArgument);
   }
+}
+
+// Table-driven validation hardening: every mutation below must be rejected
+// with a clear InvalidArgument, never accepted silently or crash later.
+TEST(Config, ValidationRejectsNonFiniteAndOutOfRange) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  struct Case {
+    const char* name;
+    void (*mutate)(SimConfig&, double);
+    double value;
+  };
+  const Case cases[] = {
+      {"field_side NaN", [](SimConfig& c, double v) { c.field_side = Meter{v}; },
+       nan},
+      {"sim_duration inf",
+       [](SimConfig& c, double v) { c.sim_duration = Second{v}; }, inf},
+      {"comm_range NaN", [](SimConfig& c, double v) { c.comm_range = Meter{v}; },
+       nan},
+      {"battery capacity -inf",
+       [](SimConfig& c, double v) { c.battery.capacity = Joule{v}; }, -inf},
+      {"battery capacity negative",
+       [](SimConfig& c, double v) { c.battery.capacity = Joule{v}; }, -1.0},
+      {"listen duty cycle NaN",
+       [](SimConfig& c, double v) { c.radio.listen_duty_cycle = v; }, nan},
+      {"listen duty cycle above one",
+       [](SimConfig& c, double v) { c.radio.listen_duty_cycle = v; }, 1.5},
+      {"rv move cost NaN",
+       [](SimConfig& c, double v) { c.rv.move_cost = JoulePerMeter{v}; }, nan},
+      {"target speed inf",
+       [](SimConfig& c, double v) { c.target_speed = MeterPerSecond{v}; }, inf},
+      {"data rate NaN",
+       [](SimConfig& c, double v) { c.data_rate_pkt_per_min = v; }, nan},
+      {"erp NaN",
+       [](SimConfig& c, double v) { c.energy_request_percentage = v; }, nan},
+      {"fault loss prob negative",
+       [](SimConfig& c, double v) { c.fault.request_loss_prob = v; }, -0.1},
+      {"fault loss prob above one",
+       [](SimConfig& c, double v) { c.fault.request_loss_prob = v; }, 1.1},
+      {"fault loss prob NaN",
+       [](SimConfig& c, double v) { c.fault.request_loss_prob = v; }, nan},
+      {"fault delay prob above one",
+       [](SimConfig& c, double v) { c.fault.request_delay_prob = v; }, 2.0},
+      {"fault delay max negative",
+       [](SimConfig& c, double v) { c.fault.request_delay_max = Second{v}; },
+       -1.0},
+      {"fault retry timeout zero",
+       [](SimConfig& c, double v) { c.fault.request_retry_timeout = Second{v}; },
+       0.0},
+      {"fault backoff below one",
+       [](SimConfig& c, double v) { c.fault.request_retry_backoff = v; }, 0.5},
+      {"fault backoff NaN",
+       [](SimConfig& c, double v) { c.fault.request_retry_backoff = v; }, nan},
+      {"fault mtbf negative",
+       [](SimConfig& c, double v) { c.fault.rv_mtbf_hours = v; }, -2.0},
+      {"fault mtbf inf", [](SimConfig& c, double v) { c.fault.rv_mtbf_hours = v; },
+       inf},
+      {"fault repair duration zero",
+       [](SimConfig& c, double v) { c.fault.rv_repair_duration = Second{v}; },
+       0.0},
+      {"fault sensor rate negative",
+       [](SimConfig& c, double v) { c.fault.sensor_fault_rate_per_day = v; },
+       -1.0},
+      {"fault sensor duration zero",
+       [](SimConfig& c, double v) { c.fault.sensor_fault_duration = Second{v}; },
+       0.0},
+      {"fault battery noise NaN",
+       [](SimConfig& c, double v) { c.fault.battery_noise_per_day = v; }, nan},
+      {"fault battery noise at one",
+       [](SimConfig& c, double v) { c.fault.battery_noise_per_day = v; }, 1.0},
+  };
+  for (const Case& tc : cases) {
+    SimConfig cfg;
+    tc.mutate(cfg, tc.value);
+    EXPECT_THROW(cfg.validate(), InvalidArgument) << tc.name;
+  }
+}
+
+// The error message must point at the problem, not just say "bad config".
+TEST(Config, ValidationErrorsNameTheProblem) {
+  SimConfig cfg;
+  cfg.fault.request_retry_backoff = std::numeric_limits<double>::quiet_NaN();
+  try {
+    cfg.validate();
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("finite"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Config, FaultDefaultsValidateAndStayDisabled) {
+  SimConfig cfg;
+  EXPECT_FALSE(cfg.fault.enabled);
+  cfg.fault.enabled = true;  // defaults must be a valid enabled block too
+  EXPECT_NO_THROW(cfg.validate());
 }
 
 TEST(Config, EnumNames) {

@@ -1,0 +1,257 @@
+// FaultPlan contract tests: determinism, order-independence of uplink
+// verdicts, window generation, retry backoff, and the World-level fault
+// behaviors (retry/TTL, hardware-fault coverage loss, battery noise).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "fault/fault.hpp"
+#include "sim/world.hpp"
+
+namespace wrsn {
+namespace {
+
+SimConfig small_config() {
+  SimConfig cfg;
+  cfg.num_sensors = 30;
+  cfg.num_targets = 3;
+  cfg.num_rvs = 2;
+  cfg.field_side = meters(80.0);
+  cfg.sim_duration = hours(12.0);
+  cfg.seed = 0xfa17;
+  cfg.battery.capacity = Joule{200.0};
+  cfg.radio.listen_duty_cycle = 0.2;
+  cfg.fault.enabled = true;
+  return cfg;
+}
+
+TEST(FaultPlan, SameConfigYieldsIdenticalPlan) {
+  SimConfig cfg = small_config();
+  cfg.fault.rv_mtbf_hours = 4.0;
+  cfg.fault.rv_repair_duration = hours(1.0);
+  cfg.fault.sensor_fault_rate_per_day = 6.0;
+  cfg.fault.sensor_fault_duration = minutes(30.0);
+  cfg.fault.battery_noise_per_day = 0.05;
+  cfg.fault.request_loss_prob = 0.3;
+  cfg.fault.request_delay_prob = 0.3;
+
+  const FaultPlan a(cfg);
+  const FaultPlan b(cfg);
+  for (std::size_t r = 0; r < cfg.num_rvs; ++r) {
+    ASSERT_EQ(a.rv_breakdowns(r).size(), b.rv_breakdowns(r).size());
+    for (std::size_t i = 0; i < a.rv_breakdowns(r).size(); ++i) {
+      EXPECT_EQ(a.rv_breakdowns(r)[i].start, b.rv_breakdowns(r)[i].start);
+      EXPECT_EQ(a.rv_breakdowns(r)[i].end, b.rv_breakdowns(r)[i].end);
+    }
+  }
+  for (SensorId s = 0; s < cfg.num_sensors; ++s) {
+    ASSERT_EQ(a.sensor_faults(s).size(), b.sensor_faults(s).size());
+    EXPECT_EQ(a.extra_drain_w(s), b.extra_drain_w(s));
+    for (std::uint64_t attempt = 0; attempt < 4; ++attempt) {
+      const UplinkDecision da = a.uplink(s, attempt);
+      const UplinkDecision db = b.uplink(s, attempt);
+      EXPECT_EQ(da.outcome, db.outcome);
+      EXPECT_EQ(da.delay_s, db.delay_s);
+    }
+  }
+}
+
+TEST(FaultPlan, UplinkVerdictIndependentOfQueryOrder) {
+  SimConfig cfg = small_config();
+  cfg.fault.request_loss_prob = 0.4;
+  cfg.fault.request_delay_prob = 0.4;
+  const FaultPlan plan(cfg);
+
+  // Query forward then backward: each (sensor, attempt) draws from its own
+  // sub-stream, so the interleaving must not matter.
+  std::vector<UplinkDecision> forward, backward;
+  for (SensorId s = 0; s < cfg.num_sensors; ++s) {
+    for (std::uint64_t a = 0; a < 3; ++a) forward.push_back(plan.uplink(s, a));
+  }
+  for (SensorId s = cfg.num_sensors; s-- > 0;) {
+    for (std::uint64_t a = 3; a-- > 0;) backward.push_back(plan.uplink(s, a));
+  }
+  std::reverse(backward.begin(), backward.end());
+  ASSERT_EQ(forward.size(), backward.size());
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    EXPECT_EQ(forward[i].outcome, backward[i].outcome) << i;
+    EXPECT_EQ(forward[i].delay_s, backward[i].delay_s) << i;
+  }
+}
+
+TEST(FaultPlan, ZeroRatesYieldNoWindowsAndAlwaysDeliver) {
+  const SimConfig cfg = small_config();  // all fault rates default to 0
+  const FaultPlan plan(cfg);
+  for (std::size_t r = 0; r < cfg.num_rvs; ++r) {
+    EXPECT_TRUE(plan.rv_breakdowns(r).empty());
+  }
+  for (SensorId s = 0; s < cfg.num_sensors; ++s) {
+    EXPECT_TRUE(plan.sensor_faults(s).empty());
+    EXPECT_EQ(plan.extra_drain_w(s), 0.0);
+    EXPECT_EQ(plan.uplink(s, 0).outcome, UplinkOutcome::kDeliver);
+  }
+}
+
+TEST(FaultPlan, PinnedBreakdownLandsOnRvZero) {
+  SimConfig cfg = small_config();
+  cfg.fault.rv_breakdown_at = hours(3.0);
+  cfg.fault.rv_repair_duration = hours(2.0);
+  const FaultPlan plan(cfg);
+  ASSERT_EQ(plan.rv_breakdowns(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.rv_breakdowns(0)[0].start, hours(3.0).value());
+  EXPECT_DOUBLE_EQ(plan.rv_breakdowns(0)[0].end, hours(5.0).value());
+  EXPECT_TRUE(plan.rv_breakdowns(1).empty());
+}
+
+TEST(FaultPlan, WindowsAreSortedDisjointAndClipped) {
+  SimConfig cfg = small_config();
+  cfg.sim_duration = days(4.0);
+  cfg.fault.rv_mtbf_hours = 6.0;  // several breakdowns per RV expected
+  cfg.fault.rv_repair_duration = hours(2.0);
+  cfg.fault.sensor_fault_rate_per_day = 8.0;
+  cfg.fault.sensor_fault_duration = hours(1.0);
+  const FaultPlan plan(cfg);
+
+  const double horizon = cfg.sim_duration.value();
+  std::size_t total_windows = 0;
+  auto check = [&](const std::vector<FaultWindow>& ws) {
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      EXPECT_LT(ws[i].start, ws[i].end);
+      EXPECT_GE(ws[i].start, 0.0);
+      EXPECT_LE(ws[i].end, horizon);
+      if (i > 0) {
+        EXPECT_GE(ws[i].start, ws[i - 1].end);
+      }
+      ++total_windows;
+    }
+  };
+  for (std::size_t r = 0; r < cfg.num_rvs; ++r) check(plan.rv_breakdowns(r));
+  for (SensorId s = 0; s < cfg.num_sensors; ++s) check(plan.sensor_faults(s));
+  EXPECT_GT(total_windows, 0u);
+}
+
+TEST(FaultPlan, RetryDelayGrowsExponentially) {
+  SimConfig cfg = small_config();
+  cfg.fault.request_retry_timeout = minutes(10.0);
+  cfg.fault.request_retry_backoff = 2.0;
+  const FaultPlan plan(cfg);
+  EXPECT_DOUBLE_EQ(plan.retry_delay_s(0), 600.0);
+  EXPECT_DOUBLE_EQ(plan.retry_delay_s(1), 1200.0);
+  EXPECT_DOUBLE_EQ(plan.retry_delay_s(3), 4800.0);
+}
+
+TEST(FaultPlan, ExtremeLossAndDelayProbabilities) {
+  SimConfig cfg = small_config();
+  cfg.fault.request_loss_prob = 1.0;
+  for (SensorId s = 0; s < 10; ++s) {
+    EXPECT_EQ(FaultPlan(cfg).uplink(s, 0).outcome, UplinkOutcome::kDrop);
+  }
+  cfg.fault.request_loss_prob = 0.0;
+  cfg.fault.request_delay_prob = 1.0;
+  cfg.fault.request_delay_max = minutes(20.0);
+  const FaultPlan plan(cfg);
+  for (SensorId s = 0; s < 10; ++s) {
+    const UplinkDecision d = plan.uplink(s, 0);
+    EXPECT_EQ(d.outcome, UplinkOutcome::kDelay);
+    EXPECT_GE(d.delay_s, 0.0);
+    EXPECT_LE(d.delay_s, minutes(20.0).value());
+  }
+}
+
+TEST(FaultPlan, BatteryNoiseBoundedByConfiguredRate) {
+  SimConfig cfg = small_config();
+  cfg.fault.battery_noise_per_day = 0.1;
+  const FaultPlan plan(cfg);
+  const double max_w = 0.1 * cfg.battery.capacity.value() / 86400.0;
+  bool any_positive = false;
+  for (SensorId s = 0; s < cfg.num_sensors; ++s) {
+    EXPECT_GE(plan.extra_drain_w(s), 0.0);
+    EXPECT_LE(plan.extra_drain_w(s), max_w);
+    any_positive = any_positive || plan.extra_drain_w(s) > 0.0;
+  }
+  EXPECT_TRUE(any_positive);
+}
+
+// --- World-level behaviors ------------------------------------------------
+
+TEST(FaultWorld, TotalLossExpiresRequestsAfterMaxRetries) {
+  SimConfig cfg = small_config();
+  cfg.fault.request_loss_prob = 1.0;  // every attempt drops
+  cfg.fault.request_max_retries = 2;
+  cfg.fault.request_retry_timeout = minutes(5.0);
+  World w(cfg);
+  const MetricsReport r = w.run();
+  // No request ever reaches the base station, so nothing is recharged and
+  // every request eventually expires after 1 + max_retries drops.
+  EXPECT_EQ(r.sensors_recharged, 0u);
+  EXPECT_GT(r.requests_lost, 0u);
+  EXPECT_GT(r.requests_expired, 0u);
+  EXPECT_EQ(r.requests_lost, 3 * r.requests_expired);
+  EXPECT_TRUE(w.recharge_list().empty());
+}
+
+TEST(FaultWorld, RetriesRecoverLostRequests) {
+  SimConfig cfg = small_config();
+  cfg.fault.request_loss_prob = 0.5;
+  cfg.fault.request_retry_timeout = minutes(2.0);
+  World w(cfg);
+  const MetricsReport done = w.run();
+  EXPECT_GT(done.requests_lost, 0u);
+  EXPECT_GT(done.requests_retried, 0u);
+  // With retries enabled most requests still get through eventually.
+  EXPECT_GT(done.sensors_recharged, 0u);
+}
+
+TEST(FaultWorld, HardwareFaultsReduceCoverage) {
+  SimConfig cfg = small_config();
+  cfg.battery.capacity = Joule{5000.0};  // keep everyone alive; isolate faults
+  SimConfig faulty = cfg;
+  faulty.fault.sensor_fault_rate_per_day = 20.0;
+  faulty.fault.sensor_fault_duration = hours(2.0);
+
+  World base(cfg), with_faults(faulty);
+  const MetricsReport rb = base.run();
+  const MetricsReport rf = with_faults.run();
+  EXPECT_EQ(rb.sensor_hw_faults, 0u);
+  EXPECT_GT(rf.sensor_hw_faults, 0u);
+  // Faulted sensors stop monitoring, so time-averaged coverage drops.
+  EXPECT_LT(rf.coverage_ratio, rb.coverage_ratio);
+  // Hardware faults do not kill sensors.
+  EXPECT_EQ(rf.sensor_deaths, rb.sensor_deaths);
+}
+
+TEST(FaultWorld, BatteryNoiseDrainsFasterThanBaseline) {
+  SimConfig cfg = small_config();
+  SimConfig noisy = cfg;
+  noisy.fault.battery_noise_per_day = 0.2;
+  World base(cfg), with_noise(noisy);
+  base.run();
+  with_noise.run();
+  EXPECT_GT(with_noise.sensor_energy_consumed().value(),
+            base.sensor_energy_consumed().value());
+}
+
+TEST(FaultWorld, DisabledFaultsMatchNoFaultBlockBitForBit) {
+  SimConfig cfg = small_config();
+  cfg.fault.enabled = false;
+  // A config with a populated-but-disabled fault block must be bit-identical
+  // to one that never mentions faults.
+  SimConfig loud = cfg;
+  loud.fault.request_loss_prob = 0.9;
+  loud.fault.rv_mtbf_hours = 1.0;
+  loud.fault.sensor_fault_rate_per_day = 50.0;
+  loud.fault.battery_noise_per_day = 0.5;
+
+  World a(cfg), b(loud);
+  const MetricsReport ra = a.run();
+  const MetricsReport rb = b.run();
+  EXPECT_EQ(to_json(ra), to_json(rb));
+  for (SensorId s = 0; s < cfg.num_sensors; ++s) {
+    ASSERT_EQ(a.network().sensor(s).battery.level().value(),
+              b.network().sensor(s).battery.level().value());
+  }
+}
+
+}  // namespace
+}  // namespace wrsn

@@ -1,0 +1,198 @@
+// Recovery-path tests: RV breakdown/repair lifecycle, failover of stranded
+// service queues, the retry+failover margin on the checked-in demo scenario,
+// stale-epoch edge cases after forced replans, and the travel-reserve
+// invariant under randomized fault plans.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/config_io.hpp"
+#include "geom/vec2.hpp"
+#include "obs/telemetry.hpp"
+#include "sim/world.hpp"
+
+namespace wrsn {
+namespace {
+
+SimConfig demo_config() {
+  return load_config(std::string(WRSN_SOURCE_DIR) + "/configs/faulty_field.cfg",
+                     SimConfig::paper_defaults());
+}
+
+TEST(FaultRecovery, BreakdownRepairLifecycle) {
+  SimConfig cfg;
+  cfg.num_sensors = 40;
+  cfg.num_targets = 4;
+  cfg.num_rvs = 2;
+  cfg.field_side = meters(100.0);
+  cfg.sim_duration = hours(12.0);
+  cfg.battery.capacity = Joule{300.0};
+  cfg.radio.listen_duty_cycle = 0.2;
+  cfg.fault.enabled = true;
+  cfg.fault.rv_breakdown_at = hours(2.0);
+  cfg.fault.rv_repair_duration = hours(3.0);
+
+  World w(cfg);
+  // Mid-window: RV 0 is out of service, never dispatched.
+  w.run_until(hours(3.0));
+  EXPECT_EQ(w.rvs()[0].state, Rv::State::kBrokenDown);
+
+  const MetricsReport r = w.run();
+  EXPECT_EQ(r.rv_breakdowns, 1u);
+  EXPECT_EQ(r.rv_repairs, 1u);
+  EXPECT_DOUBLE_EQ(r.rv_downtime.value(), hours(3.0).value());
+  // Repaired vehicle is back in service (towed to base, refilled).
+  EXPECT_NE(w.rvs()[0].state, Rv::State::kBrokenDown);
+}
+
+TEST(FaultRecovery, DemoScenarioFailoverReinjectsStrandedQueue) {
+  const SimConfig cfg = demo_config();
+  ASSERT_TRUE(cfg.fault.enabled);
+  ASSERT_TRUE(cfg.fault.rv_failover);
+
+  World w(cfg);
+  const MetricsReport r = w.run();
+  EXPECT_EQ(r.rv_breakdowns, 1u);
+  // The breakdown catches a busy queue: its requests are re-injected and
+  // later served by the surviving vehicle, with recovery latency tracked.
+  EXPECT_GT(r.failover_reinjected, 0u);
+  EXPECT_GT(r.avg_failover_recovery.value(), 0.0);
+}
+
+// The headline robustness claim: on the demo scenario, retry+failover beats
+// the no-retry/no-failover control on both dead sensors and coverage.
+TEST(FaultRecovery, RecoveryBeatsControlOnDemoScenario) {
+  const SimConfig recovery = demo_config();
+  SimConfig control = recovery;
+  control.fault.request_max_retries = 0;
+  control.fault.rv_failover = false;
+
+  World wr(recovery), wc(control);
+  const MetricsReport rr = wr.run();
+  const MetricsReport rc = wc.run();
+
+  EXPECT_GT(rr.requests_retried, 0u);
+  EXPECT_EQ(rc.requests_retried, 0u);
+  EXPECT_GT(rc.requests_expired, 0u);  // control drops requests on first loss
+  EXPECT_LT(rr.sensor_deaths, rc.sensor_deaths);
+  EXPECT_GT(rr.coverage_ratio, rc.coverage_ratio);
+}
+
+TEST(FaultRecovery, WithoutFailoverBrokenRvKeepsItsQueue) {
+  SimConfig cfg = demo_config();
+  cfg.fault.rv_failover = false;
+  World w(cfg);
+  const MetricsReport r = w.run();
+  EXPECT_EQ(r.rv_breakdowns, 1u);
+  EXPECT_EQ(r.failover_reinjected, 0u);
+  EXPECT_DOUBLE_EQ(r.avg_failover_recovery.value(), 0.0);
+}
+
+TEST(FaultRecovery, FaultTelemetryCountersMatchReport) {
+  SimConfig cfg = demo_config();
+  obs::TelemetryRegistry registry;
+  World w(cfg);
+  w.set_telemetry(&registry);
+  const MetricsReport r = w.run();
+  EXPECT_EQ(registry.counter("fault/requests-lost").value(), r.requests_lost);
+  EXPECT_EQ(registry.counter("fault/requests-retried").value(),
+            r.requests_retried);
+  EXPECT_EQ(registry.counter("fault/requests-expired").value(),
+            r.requests_expired);
+  EXPECT_EQ(registry.counter("fault/rv-breakdowns").value(), r.rv_breakdowns);
+  EXPECT_EQ(registry.counter("fault/failover-reinjected").value(),
+            r.failover_reinjected);
+  EXPECT_EQ(registry.counter("fault/sensor-hw-faults").value(),
+            r.sensor_hw_faults);
+}
+
+// Stale events staged against the new fault event kinds must be discarded by
+// the epoch guards, not handled: a forced replan (breakdown) bumps the RV
+// epoch, and delivery/expiry bumps the uplink epoch.
+TEST(FaultRecovery, StaleFaultEventsAreDiscarded) {
+  SimConfig cfg;
+  cfg.num_sensors = 30;
+  cfg.num_targets = 3;
+  cfg.num_rvs = 2;
+  cfg.field_side = meters(80.0);
+  cfg.sim_duration = hours(2.0);
+  cfg.fault.enabled = true;
+  cfg.fault.request_loss_prob = 0.2;
+
+  obs::TelemetryRegistry registry;
+  World w(cfg);
+  w.set_telemetry(&registry);
+  w.run_until(hours(1.0));
+  const std::uint64_t before = registry.counter("events/stale-discarded").value();
+
+  const double t = w.now().value() + 60.0;
+  w.push_event_for_test(t, EventKind::kRvRepaired, 0, 999);
+  w.push_event_for_test(t, EventKind::kRvArrival, 1, 999);
+  w.push_event_for_test(t, EventKind::kRequestUplink, 0, 999);
+  w.run_until(hours(2.0));
+
+  EXPECT_EQ(registry.counter("events/stale-discarded").value(), before + 3);
+  // The stale repair event must not have revived a healthy vehicle into a
+  // broken state or vice versa: both RVs are in a normal operating state.
+  for (const Rv& rv : w.rvs()) {
+    EXPECT_NE(rv.state, Rv::State::kBrokenDown);
+  }
+}
+
+// A breakdown mid-leg leaves an in-flight arrival event behind; the epoch
+// bump makes it stale. The run must complete with the vehicle towed back
+// and no double-handling (ctest runs this under debug asserts).
+TEST(FaultRecovery, BreakdownMidLegDiscardsInFlightArrival) {
+  SimConfig cfg = demo_config();
+  cfg.sim_duration = hours(48.0);  // past the 36 h breakdown + repair start
+  obs::TelemetryRegistry registry;
+  World w(cfg);
+  w.set_telemetry(&registry);
+  w.run();
+  EXPECT_EQ(registry.counter("events/popped/rv-breakdown").value(), 1u);
+  EXPECT_EQ(registry.counter("events/popped/rv-repaired").value(), 1u);
+}
+
+// Travel-reserve invariant, as a randomized property: whenever an RV arrival
+// fires — including under request loss, breakdowns and hardware faults — the
+// vehicle can still afford the trip home plus the configured reserve.
+TEST(FaultRecovery, TravelReserveInvariantHoldsUnderRandomFaults) {
+  for (std::uint64_t trial = 0; trial < 8; ++trial) {
+    SimConfig cfg;
+    cfg.num_sensors = 30 + (trial % 3) * 10;
+    cfg.num_targets = 3;
+    cfg.num_rvs = 2;
+    cfg.field_side = meters(90.0);
+    cfg.sim_duration = hours(8.0);
+    cfg.seed = 0xbeef + trial * 131;
+    cfg.battery.capacity = Joule{150.0 + 25.0 * static_cast<double>(trial)};
+    cfg.radio.listen_duty_cycle = 0.2;
+    cfg.fault.enabled = true;
+    cfg.fault.request_loss_prob = 0.1 * static_cast<double>(trial % 4);
+    cfg.fault.request_retry_timeout = minutes(5.0);
+    cfg.fault.rv_mtbf_hours = trial % 2 == 0 ? 6.0 : 0.0;
+    cfg.fault.rv_repair_duration = hours(1.0);
+    cfg.fault.sensor_fault_rate_per_day = trial % 3 == 0 ? 6.0 : 0.0;
+    cfg.fault.sensor_fault_duration = minutes(30.0);
+
+    World w(cfg);
+    const Vec2 base = w.network().base_station();
+    const Joule reserve = cfg.rv.capacity * cfg.rv.reserve_fraction;
+    std::size_t arrivals = 0;
+    w.set_tracer([&](const World::TraceEvent& ev) {
+      if (ev.kind != EventKind::kRvArrival) return;
+      const Rv& rv = w.rvs()[ev.subject];
+      const Joule home_cost =
+          cfg.rv.move_cost * Meter{distance(rv.pos, base)};
+      EXPECT_GE(rv.battery.level().value() + 1e-6,
+                home_cost.value() + reserve.value())
+          << "trial " << trial << " rv " << ev.subject << " at t=" << ev.time;
+      ++arrivals;
+    });
+    w.run();
+    EXPECT_GT(arrivals, 0u) << "trial " << trial << " exercised no RV legs";
+  }
+}
+
+}  // namespace
+}  // namespace wrsn

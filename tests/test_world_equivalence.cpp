@@ -132,6 +132,56 @@ TEST(WorldEquivalence, RandomizedInstancesMatchBitForBit) {
   }
 }
 
+// The fault subsystem layered on top: same plan, both engines, still
+// bit-identical. Covers uplink loss/delay/retry, a pinned breakdown with
+// failover, random breakdowns, transient hardware faults and battery noise
+// all at once — divergence here means a fault handler updated incremental
+// state without the matching reference-path effect (or vice versa).
+SimConfig fault_eq_config(const Scenario& sc) {
+  SimConfig cfg = eq_config(sc);
+  cfg.fault.enabled = true;
+  cfg.fault.request_loss_prob = 0.25;
+  cfg.fault.request_delay_prob = 0.2;
+  cfg.fault.request_delay_max = minutes(10.0);
+  cfg.fault.request_retry_timeout = minutes(5.0);
+  cfg.fault.rv_breakdown_at = hours(2.0);
+  cfg.fault.rv_repair_duration = hours(1.0);
+  cfg.fault.rv_mtbf_hours = 8.0;
+  cfg.fault.sensor_fault_rate_per_day = 6.0;
+  cfg.fault.sensor_fault_duration = minutes(40.0);
+  cfg.fault.battery_noise_per_day = 0.05;
+  return cfg;
+}
+
+TEST(WorldEquivalence, FaultEnabledInstancesMatchBitForBit) {
+  const ActivationPolicy activations[] = {ActivationPolicy::kRoundRobin,
+                                          ActivationPolicy::kFullTime};
+  const SchedulerKind schedulers[] = {SchedulerKind::kCombined,
+                                      SchedulerKind::kGreedy};
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    for (const ActivationPolicy activation : activations) {
+      for (const SchedulerKind scheduler : schedulers) {
+        Scenario sc{seed, TargetMotion::kRandomWaypoint, activation, scheduler};
+        expect_identical(fault_eq_config(sc), "faults on, " + describe(sc));
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+// Same config, same engine, run twice: the fault plan and every downstream
+// decision must reproduce exactly (no hidden global state).
+TEST(WorldEquivalence, FaultRunsAreReproducible) {
+  Scenario sc;
+  sc.seed = 3;
+  const SimConfig cfg = fault_eq_config(sc);
+  const RunResult a = run_engine(cfg, WorldEngine::kIncremental);
+  const RunResult b = run_engine(cfg, WorldEngine::kIncremental);
+  EXPECT_EQ(a.report_json, b.report_json);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.battery_levels, b.battery_levels);
+}
+
 // Fault injection must behave identically under both engines, including the
 // hardest case: killing an active monitor mid-run, which forces a rotor
 // advance, a monitor handover and a routing-tree rebuild.

@@ -42,6 +42,9 @@ using namespace wrsn;
       "  --days N             shorthand for --set sim_days=N\n"
       "  --seed N             shorthand for --set seed=N\n"
       "  --scheduler NAME     greedy | partition | combined | nearest-first | fcfs\n"
+      "  --faults FILE|SPEC   enable fault injection: a config file of\n"
+      "                       fault.* keys, or a comma list such as\n"
+      "                       request_loss_prob=0.2,rv_breakdown_at_h=6\n"
       "  --seeds N            replicas to run (mean +/- 95% CI reported)\n"
       "  --csv FILE           append one CSV row per replica\n"
       "  --json FILE          write all replica reports as a JSON array\n"
@@ -152,6 +155,8 @@ int main(int argc, char** argv) try {
       config_set(cfg, "seed", need_value(i));
     } else if (a == "--scheduler") {
       config_set(cfg, "scheduler", need_value(i));
+    } else if (a == "--faults") {
+      apply_fault_arg(cfg, need_value(i));
     } else if (a == "--seeds") {
       seeds = static_cast<std::size_t>(std::stoul(need_value(i)));
       WRSN_REQUIRE(seeds > 0, "--seeds must be positive");
@@ -246,5 +251,8 @@ int main(int argc, char** argv) try {
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "wrsn_sim: " << e.what() << '\n';
+  return 1;
+} catch (...) {
+  std::cerr << "wrsn_sim: unknown error\n";
   return 1;
 }

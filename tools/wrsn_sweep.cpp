@@ -7,7 +7,7 @@
 //
 //   wrsn_sweep --sweep KEY=V1,V2,... [--sweep KEY=...]...
 //              [--config FILE] [--set KEY=VALUE]... [--days N] [--seeds N]
-//              [--csv FILE] [--telemetry FILE]
+//              [--faults FILE|SPEC] [--csv FILE] [--telemetry FILE]
 //
 // --telemetry FILE aggregates telemetry (event-loop counters, scheduler
 // timing histograms) over every replica of every grid point and writes it
@@ -109,6 +109,8 @@ int main(int argc, char** argv) try {
       config_set(base, kv.substr(0, eq), kv.substr(eq + 1));
     } else if (a == "--days") {
       config_set(base, "sim_days", need_value(i));
+    } else if (a == "--faults") {
+      apply_fault_arg(base, need_value(i));
     } else if (a == "--seeds") {
       seeds = static_cast<std::size_t>(std::stoul(need_value(i)));
     } else if (a == "--csv") {
@@ -234,5 +236,8 @@ int main(int argc, char** argv) try {
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "wrsn_sweep: " << e.what() << '\n';
+  return 1;
+} catch (...) {
+  std::cerr << "wrsn_sweep: unknown error\n";
   return 1;
 }

@@ -2,8 +2,8 @@
 // per processed event), for debugging schedules and for teaching material.
 // Use short horizons: a 120-day run emits hundreds of thousands of events.
 //
-//   wrsn_trace [--days N] [--set KEY=VALUE]... [--out FILE]
-//              [--format csv|jsonl] [--telemetry FILE]
+//   wrsn_trace [--days N] [--set KEY=VALUE]... [--faults FILE|SPEC]
+//              [--out FILE] [--format csv|jsonl] [--telemetry FILE]
 //
 // Formats (both carry the same fields; see obs/trace.hpp):
 //   csv    t_seconds,t_hours,event,subject,epoch,queue_size   (default)
@@ -38,12 +38,14 @@ int main(int argc, char** argv) try {
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a == "--help" || a == "-h") {
-      std::cout << "wrsn_trace [--days N] [--set KEY=VALUE]... [--out FILE]\n"
-                   "           [--format csv|jsonl] [--telemetry FILE]\n";
+      std::cout << "wrsn_trace [--days N] [--set KEY=VALUE]... [--faults FILE|SPEC]\n"
+                   "           [--out FILE] [--format csv|jsonl] [--telemetry FILE]\n";
       return 0;
     }
     if (a == "--days") {
       config_set(cfg, "sim_days", need_value(i));
+    } else if (a == "--faults") {
+      apply_fault_arg(cfg, need_value(i));
     } else if (a == "--set") {
       const std::string& kv = need_value(i);
       const auto eq = kv.find('=');
@@ -97,5 +99,8 @@ int main(int argc, char** argv) try {
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "wrsn_trace: " << e.what() << '\n';
+  return 1;
+} catch (...) {
+  std::cerr << "wrsn_trace: unknown error\n";
   return 1;
 }
