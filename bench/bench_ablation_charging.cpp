@@ -42,12 +42,12 @@ int main() {
     t.set_precision(3);
     for (auto profile :
          {ChargeProfileKind::kConstantPower, ChargeProfileKind::kTaperedCcCv}) {
-      for (auto sched : {SchedulerKind::kGreedy, SchedulerKind::kCombined}) {
+      for (const std::string sched : {"greedy", "combined"}) {
         SimConfig cfg = bench::bench_config();
         cfg.scheduler = sched;
         cfg.rv.charge_profile = profile;
         const MetricsReport r = bench::run_point(cfg);
-        t.add_row({to_string(profile), to_string(sched),
+        t.add_row({to_string(profile), sched,
                    r.avg_request_latency.value() / 60.0, r.nonfunctional_pct,
                    r.rv_travel_energy.value() / 1e6,
                    r.objective_score().value() / 1e6});

@@ -17,7 +17,8 @@ int main() {
            "recharged (MJ)", "objective (MJ)", "latency (min)"});
   t.set_precision(3);
 
-  auto run_case = [&](SchedulerKind sched, bool two_opt, const std::string& label) {
+  auto run_case = [&](const std::string& sched, bool two_opt,
+                      const std::string& label) {
     SimConfig cfg = bench::bench_config();
     cfg.scheduler = sched;
     cfg.two_opt_tours = two_opt;
@@ -28,13 +29,13 @@ int main() {
                r.avg_request_latency.value() / 60.0});
   };
 
-  run_case(SchedulerKind::kGreedy, false, "greedy (Alg. 2)");
-  run_case(SchedulerKind::kPartition, false, "partition (IV-D-1)");
-  run_case(SchedulerKind::kCombined, false, "combined (IV-D-2)");
-  run_case(SchedulerKind::kCombined, true, "combined + 2-opt");
-  run_case(SchedulerKind::kNearestFirst, false, "nearest-first (ext)");
-  run_case(SchedulerKind::kFcfs, false, "fcfs (ext)");
-  run_case(SchedulerKind::kEdf, false, "edf (ext)");
+  run_case("greedy", false, "greedy (Alg. 2)");
+  run_case("partition", false, "partition (IV-D-1)");
+  run_case("combined", false, "combined (IV-D-2)");
+  run_case("combined", true, "combined + 2-opt");
+  run_case("nearest-first", false, "nearest-first (ext)");
+  run_case("fcfs", false, "fcfs (ext)");
+  run_case("edf", false, "edf (ext)");
 
   t.print(std::cout);
   std::cout << "\nnotes: nearest-first ignores demand (pure geometry); fcfs\n"

@@ -29,8 +29,7 @@ int main() {
       {"With ERC - With RR", true, ActivationPolicy::kRoundRobin},
   };
 
-  for (auto sched : {SchedulerKind::kGreedy, SchedulerKind::kPartition,
-                     SchedulerKind::kCombined}) {
+  for (const std::string sched : {"greedy", "partition", "combined"}) {
     double worst = 0.0, best = 0.0;
     for (const Case& c : cases) {
       SimConfig cfg = bench::bench_config();
@@ -41,10 +40,10 @@ int main() {
       const double mj = r.rv_travel_energy.value() / 1e6;
       if (std::string(c.name) == "No ERC - Full time") worst = mj;
       if (std::string(c.name) == "With ERC - With RR") best = mj;
-      t.add_row({to_string(sched), std::string(c.name), mj,
+      t.add_row({sched, std::string(c.name), mj,
                  100.0 * r.coverage_ratio});
     }
-    std::cout << to_string(sched) << ": activity management saves "
+    std::cout << sched << ": activity management saves "
               << (worst > 0 ? 100.0 * (worst - best) / worst : 0.0)
               << "% traveling energy (paper: ~16%)\n";
   }

@@ -18,7 +18,7 @@ int main() {
 
   for (double erp : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
     SimConfig cfg = bench::bench_config();
-    cfg.scheduler = SchedulerKind::kGreedy;
+    cfg.scheduler = "greedy";
     cfg.energy_request_percentage = erp;
     const MetricsReport r = bench::run_point(cfg);
     t.add_row({erp, r.rv_travel_energy.value() / 1e6, 100.0 * r.missing_rate,

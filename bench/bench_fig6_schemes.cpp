@@ -25,14 +25,13 @@ int main() {
   Avg avgs[3];
   int scheme_idx = 0;
 
-  for (auto sched : {SchedulerKind::kGreedy, SchedulerKind::kPartition,
-                     SchedulerKind::kCombined}) {
+  for (const std::string sched : {"greedy", "partition", "combined"}) {
     for (double erp : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
       SimConfig cfg = bench::bench_config();
       cfg.scheduler = sched;
       cfg.energy_request_percentage = erp;
       const MetricsReport r = bench::run_point(cfg);
-      t.add_row({to_string(sched), erp, r.rv_travel_energy.value() / 1e6,
+      t.add_row({sched, erp, r.rv_travel_energy.value() / 1e6,
                  100.0 * r.coverage_ratio, r.nonfunctional_pct,
                  r.recharging_cost_m_per_sensor()});
       avgs[scheme_idx].travel += r.rv_travel_energy.value() / 1e6;

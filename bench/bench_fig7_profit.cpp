@@ -17,15 +17,14 @@ int main() {
 
   double rech[3] = {0, 0, 0}, obj[3] = {0, 0, 0};
   int n = 0, idx = 0;
-  for (auto sched : {SchedulerKind::kGreedy, SchedulerKind::kPartition,
-                     SchedulerKind::kCombined}) {
+  for (const std::string sched : {"greedy", "partition", "combined"}) {
     n = 0;
     for (double erp : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
       SimConfig cfg = bench::bench_config();
       cfg.scheduler = sched;
       cfg.energy_request_percentage = erp;
       const MetricsReport r = bench::run_point(cfg);
-      t.add_row({to_string(sched), erp, r.energy_recharged.value() / 1e6,
+      t.add_row({sched, erp, r.energy_recharged.value() / 1e6,
                  r.rv_travel_energy.value() / 1e6,
                  r.objective_score().value() / 1e6});
       rech[idx] += r.energy_recharged.value() / 1e6;

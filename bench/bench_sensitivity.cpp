@@ -22,7 +22,7 @@ int main() {
     for (std::size_t m : {5u, 8u, 10u, 15u, 20u}) {
       SimConfig base = bench::bench_config();
       base.num_targets = m;
-      base.scheduler = SchedulerKind::kCombined;
+      base.scheduler = "combined";
 
       SimConfig worst = base;
       worst.energy_request_control = false;

@@ -36,16 +36,15 @@ int main(int argc, char** argv) {
   };
   std::vector<Pick> picks;
 
-  for (auto sched : {SchedulerKind::kGreedy, SchedulerKind::kPartition,
-                     SchedulerKind::kCombined}) {
-    Pick pick{to_string(sched), 0, 0.0};
+  for (const std::string sched : {"greedy", "partition", "combined"}) {
+    Pick pick{sched, 0, 0.0};
     for (std::size_t m = 1; m <= 5; ++m) {
       SimConfig cfg = SimConfig::paper_defaults();
       cfg.sim_duration = days(horizon_days);
       cfg.scheduler = sched;
       cfg.num_rvs = m;
       const MetricsReport r = run_mean(cfg, 2, &pool);
-      t.add_row({to_string(sched), static_cast<long long>(m),
+      t.add_row({sched, static_cast<long long>(m),
                  100.0 * r.coverage_ratio, r.nonfunctional_pct,
                  r.avg_request_latency.value() / 60.0,
                  r.rv_travel_distance.value() / 1e3,

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   // 1. Configure — SimConfig defaults reproduce Table II of the paper.
   SimConfig cfg = SimConfig::paper_defaults();
   cfg.sim_duration = days(argc > 1 ? std::atof(argv[1]) : 10.0);
-  cfg.scheduler = SchedulerKind::kCombined;          // Section IV-D-2
+  cfg.scheduler = "combined";                        // Section IV-D-2
   cfg.activation = ActivationPolicy::kRoundRobin;    // Section III-C
   cfg.energy_request_percentage = 0.6;               // the ERP knob (K)
 
@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
             << cfg.num_targets << " targets, " << cfg.num_rvs
             << " recharging vehicles, "
             << cfg.sim_duration.value() / 86400.0 << " simulated days\n\n"
-            << "scheduler:             " << to_string(cfg.scheduler) << '\n'
+            << "scheduler:             " << cfg.scheduler << '\n'
             << "activation policy:     " << to_string(cfg.activation) << '\n'
             << "energy request pct:    " << cfg.energy_request_percentage << "\n\n"
             << "RV traveling distance: " << r.rv_travel_distance.value() / 1e3

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   cfg.target_motion = TargetMotion::kRandomWaypoint;  // animals walk, not jump
   cfg.target_speed = MeterPerSecond{0.3};
   cfg.sim_duration = days(argc > 1 ? std::atof(argv[1]) : 20.0);
-  cfg.scheduler = SchedulerKind::kPartition;  // reserve is large: confine RVs
+  cfg.scheduler = "partition";  // reserve is large: confine RVs
   cfg.activation = ActivationPolicy::kRoundRobin;
   cfg.energy_request_percentage = 0.5;
   cfg.metrics_sample_period = days(1.0);
@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
             << cfg.num_sensors << " sensors over "
             << cfg.field_side.value() << " m x " << cfg.field_side.value()
             << " m, " << cfg.num_rvs << " RVs ("
-            << to_string(cfg.scheduler) << " scheduling)\n\n";
+            << cfg.scheduler << " scheduling)\n\n";
 
   Table t({"day", "alive sensors", "animals covered", "coverable",
            "pending requests", "RV km so far"});

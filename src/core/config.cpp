@@ -6,18 +6,6 @@
 
 namespace wrsn {
 
-std::string to_string(SchedulerKind kind) {
-  switch (kind) {
-    case SchedulerKind::kGreedy: return "greedy";
-    case SchedulerKind::kPartition: return "partition";
-    case SchedulerKind::kCombined: return "combined";
-    case SchedulerKind::kNearestFirst: return "nearest-first";
-    case SchedulerKind::kFcfs: return "fcfs";
-    case SchedulerKind::kEdf: return "edf";
-  }
-  return "unknown";
-}
-
 std::string to_string(ActivationPolicy policy) {
   switch (policy) {
     case ActivationPolicy::kFullTime: return "full-time";
@@ -40,6 +28,21 @@ std::string to_string(TargetMotion motion) {
     case TargetMotion::kRandomWaypoint: return "random-waypoint";
   }
   return "unknown";
+}
+
+std::vector<std::string> activation_policy_names() {
+  return {to_string(ActivationPolicy::kFullTime),
+          to_string(ActivationPolicy::kRoundRobin)};
+}
+
+std::vector<std::string> charge_profile_names() {
+  return {to_string(ChargeProfileKind::kConstantPower),
+          to_string(ChargeProfileKind::kTaperedCcCv)};
+}
+
+std::vector<std::string> target_motion_names() {
+  return {to_string(TargetMotion::kTeleport),
+          to_string(TargetMotion::kRandomWaypoint)};
 }
 
 void SimConfig::validate() const {
@@ -67,6 +70,9 @@ void SimConfig::validate() const {
   for (const double v : finite_checks) {
     WRSN_REQUIRE(std::isfinite(v), "configuration values must be finite");
   }
+  // Registry membership is checked where the name is resolved (config_io
+  // parsing and World construction); core only rejects the trivially bad.
+  WRSN_REQUIRE(!scheduler.empty(), "scheduler name must be non-empty");
   WRSN_REQUIRE(num_sensors > 0, "need at least one sensor");
   WRSN_REQUIRE(num_rvs > 0, "need at least one RV");
   WRSN_REQUIRE(field_side.value() > 0.0, "field side must be positive");

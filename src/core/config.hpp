@@ -7,22 +7,19 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/units.hpp"
 
 namespace wrsn {
 
-// Which recharge-route scheduler drives the RVs. The first three are the
-// paper's (Section IV); the last two are extra baselines this library adds
-// for ablation (documented in DESIGN.md).
-enum class SchedulerKind {
-  kGreedy,       // Algorithm 2: max recharge profit per step (baseline)
-  kPartition,    // K-means partition + Algorithm 3 per group
-  kCombined,     // Algorithm 3 sequentially over the global recharge list
-  kNearestFirst, // extension: always serve the geographically nearest batch
-  kFcfs,         // extension: serve batches in request-arrival order
-  kEdf,          // extension: earliest estimated depletion deadline first
-};
+// Which recharge-route scheduler drives the RVs is an open, string-keyed
+// choice: SimConfig::scheduler names a policy registered with the
+// SchedulerRegistry (sched/policy.hpp). Built-ins cover the paper's three
+// schemes (greedy, partition, combined) plus the library's ablation
+// baselines (nearest-first, fcfs, edf); wrsn::scheduler_names() enumerates
+// whatever is registered. Names are validated when parsed (core/config_io)
+// and again when the World instantiates the policy.
 
 // How sensors inside a cluster are activated (Section III-C).
 enum class ActivationPolicy {
@@ -44,10 +41,16 @@ enum class ChargeProfileKind {
   kTaperedCcCv,    // Ni-MH CC then linearly tapering acceptance power
 };
 
-[[nodiscard]] std::string to_string(SchedulerKind kind);
 [[nodiscard]] std::string to_string(ActivationPolicy policy);
 [[nodiscard]] std::string to_string(ChargeProfileKind profile);
 [[nodiscard]] std::string to_string(TargetMotion motion);
+
+// Every accepted name for the closed enum knobs, in declaration order.
+// Parse errors quote these; `wrsn_sim --list` prints them (the open-ended
+// scheduler list comes from wrsn::scheduler_names() instead).
+[[nodiscard]] std::vector<std::string> activation_policy_names();
+[[nodiscard]] std::vector<std::string> charge_profile_names();
+[[nodiscard]] std::vector<std::string> target_motion_names();
 
 struct RadioModel {
   // CC2480 (TI datasheet [25]): 27 mA @ 3 V while transmitting or receiving,
@@ -180,7 +183,9 @@ struct SimConfig {
   MeterPerSecond target_speed = MeterPerSecond{0.3};
 
   // --- framework knobs ------------------------------------------------------
-  SchedulerKind scheduler = SchedulerKind::kCombined;
+  // Name of a registered SchedulerPolicy (see sched/policy.hpp). Validated
+  // against the registry at parse time and at World construction.
+  std::string scheduler = "combined";
   ActivationPolicy activation = ActivationPolicy::kRoundRobin;
   // Post-optimize each RV's flattened visiting order with 2-opt before
   // departure (library extension; off by default to match the paper's

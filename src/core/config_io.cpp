@@ -6,10 +6,20 @@
 #include <sstream>
 
 #include "core/error.hpp"
+#include "sched/policy.hpp"
 
 namespace wrsn {
 
 namespace {
+
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
 
 struct KeyHandler {
   std::string name;
@@ -59,20 +69,20 @@ std::string fmt(double v) {
   return os.str();
 }
 
-SchedulerKind parse_scheduler(const std::string& v) {
-  for (auto k : {SchedulerKind::kGreedy, SchedulerKind::kPartition,
-                 SchedulerKind::kCombined, SchedulerKind::kNearestFirst,
-                 SchedulerKind::kFcfs, SchedulerKind::kEdf}) {
-    if (to_string(k) == v) return k;
+std::string parse_scheduler(const std::string& v) {
+  if (!SchedulerRegistry::instance().contains(v)) {
+    throw InvalidArgument("unknown scheduler '" + v +
+                          "' (valid: " + join_names(scheduler_names()) + ")");
   }
-  throw InvalidArgument("unknown scheduler '" + v + "'");
+  return v;
 }
 
 ActivationPolicy parse_activation(const std::string& v) {
   for (auto p : {ActivationPolicy::kFullTime, ActivationPolicy::kRoundRobin}) {
     if (to_string(p) == v) return p;
   }
-  throw InvalidArgument("unknown activation policy '" + v + "'");
+  throw InvalidArgument("unknown activation policy '" + v + "' (valid: " +
+                        join_names(activation_policy_names()) + ")");
 }
 
 const std::vector<KeyHandler>& handlers() {
@@ -128,7 +138,8 @@ const std::vector<KeyHandler>& handlers() {
          } else if (t == to_string(TargetMotion::kRandomWaypoint)) {
            c.target_motion = TargetMotion::kRandomWaypoint;
          } else {
-           throw InvalidArgument("unknown target motion '" + t + "'");
+           throw InvalidArgument("unknown target motion '" + t + "' (valid: " +
+                                 join_names(target_motion_names()) + ")");
          }
        }},
       {"target_speed_m_per_s",
@@ -136,7 +147,7 @@ const std::vector<KeyHandler>& handlers() {
        [](SimConfig& c, const std::string& v) {
          c.target_speed = MeterPerSecond{parse_double("target_speed_m_per_s", v)};
        }},
-      {"scheduler", [](const SimConfig& c) { return to_string(c.scheduler); },
+      {"scheduler", [](const SimConfig& c) { return c.scheduler; },
        [](SimConfig& c, const std::string& v) { c.scheduler = parse_scheduler(trim(v)); }},
       {"activation", [](const SimConfig& c) { return to_string(c.activation); },
        [](SimConfig& c, const std::string& v) {
@@ -217,7 +228,8 @@ const std::vector<KeyHandler>& handlers() {
          } else if (t == to_string(ChargeProfileKind::kTaperedCcCv)) {
            c.rv.charge_profile = ChargeProfileKind::kTaperedCcCv;
          } else {
-           throw InvalidArgument("unknown charge profile '" + t + "'");
+           throw InvalidArgument("unknown charge profile '" + t + "' (valid: " +
+                                 join_names(charge_profile_names()) + ")");
          }
        }},
       {"rv.charge_knee_soc",

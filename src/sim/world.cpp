@@ -85,6 +85,8 @@ World::World(const SimConfig& config, WorldEngine engine)
     rvs_[r].pos = net_.base_station();
     rvs_[r].battery = Battery(config_.rv.capacity);
   }
+  // Throws with the registered names when config_.scheduler is unknown.
+  policy_ = SchedulerRegistry::instance().create(config_.scheduler);
 
   recluster();
 

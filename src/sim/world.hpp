@@ -39,6 +39,7 @@
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "sched/planner.hpp"
+#include "sched/policy.hpp"
 #include "sched/request.hpp"
 #include "sim/events.hpp"
 #include "sim/metrics.hpp"
@@ -229,6 +230,10 @@ class World {
   void start_next_leg(Rv& rv);
   void return_to_base(Rv& rv);
   void begin_self_charge(Rv& rv);
+  // The one shared refill fallback: an RV with nothing (affordable) to do
+  // heads home, or tops up at the dock if already there. Every policy
+  // outcome that ends a round without a plan funnels through here.
+  void head_home_and_refill(Rv& rv);
   void abandon_plan(Rv& rv);
   [[nodiscard]] Joule rv_reserve() const;
   [[nodiscard]] std::vector<RechargeItem> unclaimed_items();
@@ -257,6 +262,9 @@ class World {
   std::unordered_set<SensorId> claimed_;
 
   std::vector<Rv> rvs_;
+  // The scheduling scheme, instantiated from the registry by name
+  // (config_.scheduler) at construction.
+  std::unique_ptr<SchedulerPolicy> policy_;
 
   // --- fault-injection state (null / all-false when faults are disabled) --
   std::unique_ptr<FaultInjector> fault_;

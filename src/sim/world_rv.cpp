@@ -4,7 +4,6 @@
 
 #include "core/error.hpp"
 #include "energy/charge_profile.hpp"
-#include "sched/plan_context.hpp"
 #include "sched/tsp.hpp"
 #include "sim/world.hpp"
 
@@ -40,11 +39,7 @@ void World::dispatch() {
 
     // Low battery: head home and refill before taking new work.
     if (rv.battery.fraction() < config_.rv.self_recharge_fraction) {
-      if (rv.in_field) {
-        return_to_base(rv);
-      } else if (rv.battery.level() < rv.battery.capacity()) {
-        begin_self_charge(rv);
-      }
+      head_home_and_refill(rv);
       continue;
     }
 
@@ -54,179 +49,48 @@ void World::dispatch() {
       continue;
     }
 
+    // Assemble the read-only facade the policy plans against. The snapshots
+    // are pure reads; building them for every scheme keeps the physics
+    // identical across policies.
     const RvPlanState state{rv.pos, rv.battery.level() - rv_reserve()};
-    std::vector<std::size_t> seq;
-    std::vector<bool> taken(items.size(), false);
-
-    switch (config_.scheduler) {
-      case SchedulerKind::kGreedy: {
-        // The baseline of Algorithm 2 predates the cluster aggregation of
-        // Section IV-C: it scores raw nodes and drives to one node at a
-        // time, which is exactly the inefficiency the paper calls out.
-        std::vector<RechargeItem> singles;
-        for (const RechargeItem& item : items) {
-          for (SensorId s : item.sensors) {
-            RechargeItem one;
-            one.pos = net_.sensor(s).pos;
-            one.demand = net_.sensor(s).battery.demand();
-            one.critical = sensor_critical(s);
-            one.sensors = {s};
-            singles.push_back(std::move(one));
-          }
-        }
-        std::vector<bool> staken(singles.size(), false);
-        if (const auto next = greedy_next(state, singles, staken, params)) {
-          assign_plan(rv, singles, {*next});
-        } else if (rv.in_field) {
-          return_to_base(rv);
-        } else if (rv.battery.level() < rv.battery.capacity()) {
-          begin_self_charge(rv);
-        }
-        continue;
-      }
-      case SchedulerKind::kCombined: {
-        // Grid-pruned hot path (bit-identical to the reference scan).
-        const PlanContext ctx(items, params);
-        seq = ctx.insertion_sequence(state, taken);
-        break;
-      }
-      case SchedulerKind::kNearestFirst: {
-        const PlanContext ctx(items, params);
-        if (const auto next = ctx.nearest_next(state, taken)) {
-          seq.push_back(*next);
-        }
-        break;
-      }
-      case SchedulerKind::kEdf: {
-        if (const auto next = edf_next(state, items, taken, params)) {
-          seq.push_back(*next);
-        }
-        break;
-      }
-      case SchedulerKind::kFcfs: {
-        // Oldest unclaimed request decides which batch goes next; the
-        // recharge node list preserves arrival order.
-        SensorId oldest = kInvalidId;
-        for (const RechargeRequest& req : requests_.requests()) {
-          if (!claimed_.contains(req.sensor)) {
-            oldest = req.sensor;
-            break;
-          }
-        }
-        for (std::size_t i = 0; oldest != kInvalidId && i < items.size(); ++i) {
-          const auto& sensors = items[i].sensors;
-          if (std::find(sensors.begin(), sensors.end(), oldest) == sensors.end()) {
-            continue;
-          }
-          const Joule need =
-              params.em * Meter{distance(rv.pos, items[i].pos) +
-                                distance(items[i].pos, params.base)} +
-              items[i].demand;
-          if (need <= state.available) seq.push_back(i);
-          break;
-        }
-        break;
-      }
-      case SchedulerKind::kPartition: {
-        // K-means over the full list into m groups (Section IV-D-1). Groups
-        // are matched to ALL RVs (busy ones included) so each vehicle keeps
-        // a stable geographic responsibility; this RV plans only within the
-        // group matched to it.
-        const auto groups = partition_items(items, config_.num_rvs, sched_rng_);
-        std::vector<Vec2> centroids;
-        std::vector<const std::vector<std::size_t>*> live_groups;
-        for (const auto& group : groups) {
-          if (group.empty()) continue;
-          Vec2 centroid{};
-          for (std::size_t i : group) centroid += items[i].pos;
-          centroids.push_back(centroid / static_cast<double>(group.size()));
-          live_groups.push_back(&group);
-        }
-        const std::vector<std::size_t>* best_group = nullptr;
-        if (!live_groups.empty()) {
-          std::vector<Vec2> rv_positions;
-          rv_positions.reserve(rvs_.size());
-          for (const Rv& other : rvs_) rv_positions.push_back(other.pos);
-          const auto rv_of_group = match_groups_to_rvs(centroids, rv_positions);
-          for (std::size_t g = 0; g < live_groups.size(); ++g) {
-            if (rv_of_group[g] == rv.id) {
-              best_group = live_groups[g];
-              break;
-            }
-          }
-        }
-        if (best_group == nullptr) {
-          // No group in this RV's designated area: it stays put rather than
-          // poaching another region — the confinement the scheme is about.
-          if (rv.in_field) return_to_base(rv);
-          continue;
-        }
-        std::vector<RechargeItem> group_items;
-        group_items.reserve(best_group->size());
-        for (std::size_t i : *best_group) group_items.push_back(items[i]);
-        std::vector<bool> group_taken(group_items.size(), false);
-        const PlanContext group_ctx(group_items, params);
-        const auto group_seq = group_ctx.insertion_sequence(state, group_taken);
-        if (group_seq.empty()) {
-          // Unaffordable as aggregates: serve the best raw node within the
-          // group, or refill first.
-          std::vector<RechargeItem> singles;
-          for (const RechargeItem& item : group_items) {
-            for (SensorId s : item.sensors) {
-              RechargeItem one;
-              one.pos = net_.sensor(s).pos;
-              one.demand = net_.sensor(s).battery.demand();
-              one.critical = sensor_critical(s);
-              one.sensors = {s};
-              singles.push_back(std::move(one));
-            }
-          }
-          std::vector<bool> staken(singles.size(), false);
-          if (const auto next = greedy_next(state, singles, staken, params)) {
-            assign_plan(rv, singles, {*next});
-          } else if (rv.in_field) {
-            return_to_base(rv);
-          } else if (rv.battery.level() < rv.battery.capacity()) {
-            begin_self_charge(rv);
-          }
-          continue;
-        }
-        // Map back to the global item indexing.
-        seq.reserve(group_seq.size());
-        for (std::size_t gi : group_seq) seq.push_back((*best_group)[gi]);
-        break;
-      }
+    std::vector<Vec2> fleet;
+    fleet.reserve(rvs_.size());
+    for (const Rv& other : rvs_) fleet.push_back(other.pos);
+    std::vector<SensorId> arrival;
+    arrival.reserve(requests_.requests().size());
+    for (const RechargeRequest& req : requests_.requests()) {
+      if (!claimed_.contains(req.sensor)) arrival.push_back(req.sensor);
     }
+    const DispatchContext ctx(
+        items, state, params, rv.id, fleet, config_.num_rvs, sched_rng_,
+        arrival, [this](SensorId s) {
+          return SensorView{net_.sensor(s).pos,
+                            net_.sensor(s).battery.demand(),
+                            sensor_critical(s)};
+        });
 
-    if (seq.empty()) {
-      // Aggregated items may exceed what this RV can afford in one tour;
-      // fall back to the single most profitable raw request.
-      std::vector<RechargeItem> singles;
-      for (const RechargeItem& item : items) {
-        for (SensorId s : item.sensors) {
-          RechargeItem one;
-          one.pos = net_.sensor(s).pos;
-          one.demand = net_.sensor(s).battery.demand();
-          one.critical = item.critical;
-          one.sensors = {s};
-          singles.push_back(std::move(one));
-        }
-      }
-      std::vector<bool> staken(singles.size(), false);
-      if (const auto next = greedy_next(state, singles, staken, params)) {
-        assign_plan(rv, singles, {*next});
-        continue;
-      }
-      // Nothing affordable: top up at base, or come home.
-      if (rv.in_field) {
-        return_to_base(rv);
-      } else if (rv.battery.level() < rv.battery.capacity()) {
-        begin_self_charge(rv);
-      }
-      continue;
+    const DispatchDecision decision = policy_->decide(ctx);
+    switch (decision.kind) {
+      case DispatchDecision::Kind::kPlan:
+        assign_plan(rv, decision.items, decision.sequence);
+        break;
+      case DispatchDecision::Kind::kReturnToBase:
+        if (rv.in_field) return_to_base(rv);
+        break;
+      case DispatchDecision::Kind::kSelfCharge:
+        head_home_and_refill(rv);
+        break;
+      case DispatchDecision::Kind::kHold:
+        break;
     }
+  }
+}
 
-    assign_plan(rv, items, seq);
+void World::head_home_and_refill(Rv& rv) {
+  if (rv.in_field) {
+    return_to_base(rv);
+  } else if (rv.battery.level() < rv.battery.capacity()) {
+    begin_self_charge(rv);
   }
 }
 

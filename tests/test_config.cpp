@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/error.hpp"
@@ -195,11 +196,25 @@ TEST(Config, FaultDefaultsValidateAndStayDisabled) {
 }
 
 TEST(Config, EnumNames) {
-  EXPECT_EQ(to_string(SchedulerKind::kGreedy), "greedy");
-  EXPECT_EQ(to_string(SchedulerKind::kPartition), "partition");
-  EXPECT_EQ(to_string(SchedulerKind::kCombined), "combined");
   EXPECT_EQ(to_string(ActivationPolicy::kFullTime), "full-time");
   EXPECT_EQ(to_string(ActivationPolicy::kRoundRobin), "round-robin");
+  EXPECT_EQ(to_string(TargetMotion::kTeleport), "teleport");
+  EXPECT_EQ(to_string(ChargeProfileKind::kConstantPower), "constant-power");
+}
+
+TEST(Config, EnumNameListsMatchToString) {
+  EXPECT_EQ(activation_policy_names(),
+            (std::vector<std::string>{"full-time", "round-robin"}));
+  EXPECT_EQ(charge_profile_names(),
+            (std::vector<std::string>{"constant-power", "tapered-cc-cv"}));
+  EXPECT_EQ(target_motion_names(),
+            (std::vector<std::string>{"teleport", "random-waypoint"}));
+}
+
+TEST(Config, EmptySchedulerNameRejected) {
+  SimConfig cfg;
+  cfg.scheduler.clear();
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
 }
 
 }  // namespace

@@ -32,9 +32,9 @@ TEST(ConfigIo, SetParsesEveryKind) {
   config_set(cfg, "field_side_m", "150.5");
   EXPECT_DOUBLE_EQ(cfg.field_side.value(), 150.5);
   config_set(cfg, "scheduler", "partition");
-  EXPECT_EQ(cfg.scheduler, SchedulerKind::kPartition);
+  EXPECT_EQ(cfg.scheduler, "partition");
   config_set(cfg, "scheduler", "fcfs");
-  EXPECT_EQ(cfg.scheduler, SchedulerKind::kFcfs);
+  EXPECT_EQ(cfg.scheduler, "fcfs");
   config_set(cfg, "activation", "full-time");
   EXPECT_EQ(cfg.activation, ActivationPolicy::kFullTime);
   config_set(cfg, "energy_request_control", "off");
@@ -59,16 +59,45 @@ TEST(ConfigIo, RejectsBadInput) {
   EXPECT_THROW((void)config_get(cfg, "no_such_key"), InvalidArgument);
 }
 
+TEST(ConfigIo, UnknownEnumValueErrorsListValidNames) {
+  // A typo in any enum-like knob must name every accepted value, so the fix
+  // is readable straight off the error message.
+  const auto error_for = [](const std::string& key, const std::string& value) {
+    SimConfig cfg;
+    try {
+      config_set(cfg, key, value);
+    } catch (const InvalidArgument& e) {
+      return std::string(e.what());
+    }
+    ADD_FAILURE() << key << " accepted '" << value << "'";
+    return std::string();
+  };
+  const std::string sched = error_for("scheduler", "quantum");
+  for (const char* name : {"greedy", "partition", "combined", "nearest-first",
+                           "fcfs", "edf"}) {
+    EXPECT_NE(sched.find(name), std::string::npos) << sched;
+  }
+  const std::string act = error_for("activation", "psychic");
+  EXPECT_NE(act.find("full-time"), std::string::npos) << act;
+  EXPECT_NE(act.find("round-robin"), std::string::npos) << act;
+  const std::string motion = error_for("target_motion", "warp");
+  EXPECT_NE(motion.find("teleport"), std::string::npos) << motion;
+  EXPECT_NE(motion.find("random-waypoint"), std::string::npos) << motion;
+  const std::string profile = error_for("rv.charge_profile", "fusion");
+  EXPECT_NE(profile.find("constant-power"), std::string::npos) << profile;
+  EXPECT_NE(profile.find("tapered-cc-cv"), std::string::npos) << profile;
+}
+
 TEST(ConfigIo, TextRoundTrip) {
   SimConfig cfg;
   cfg.num_sensors = 321;
-  cfg.scheduler = SchedulerKind::kNearestFirst;
+  cfg.scheduler = "nearest-first";
   cfg.energy_request_percentage = 0.35;
   cfg.rv.charge_power = watts(2.5);
   const std::string text = config_to_text(cfg);
   const SimConfig back = config_from_text(text);
   EXPECT_EQ(back.num_sensors, 321u);
-  EXPECT_EQ(back.scheduler, SchedulerKind::kNearestFirst);
+  EXPECT_EQ(back.scheduler, "nearest-first");
   EXPECT_DOUBLE_EQ(back.energy_request_percentage, 0.35);
   EXPECT_DOUBLE_EQ(back.rv.charge_power.value(), 2.5);
 }
@@ -81,7 +110,7 @@ TEST(ConfigIo, ParsingSkipsCommentsAndBlanks) {
       "  scheduler =  greedy  \n";
   const SimConfig cfg = config_from_text(text);
   EXPECT_EQ(cfg.num_sensors, 42u);
-  EXPECT_EQ(cfg.scheduler, SchedulerKind::kGreedy);
+  EXPECT_EQ(cfg.scheduler, "greedy");
 }
 
 TEST(ConfigIo, ParsingOverlaysBase) {

@@ -71,14 +71,13 @@ TEST(Integration, HigherErpLowersTravelAndRaisesRisk) {
 }
 
 TEST(Integration, AllSchedulersKeepNetworkAlive) {
-  for (auto sched : {SchedulerKind::kGreedy, SchedulerKind::kPartition,
-                     SchedulerKind::kCombined}) {
+  for (const std::string sched : {"greedy", "partition", "combined"}) {
     SimConfig cfg = integration_config();
     cfg.scheduler = sched;
     const auto r = run_replica(cfg);
-    EXPECT_GT(r.coverage_ratio, 0.8) << to_string(sched);
-    EXPECT_LT(r.nonfunctional_pct, 40.0) << to_string(sched);
-    EXPECT_GT(r.sensors_recharged, 0u) << to_string(sched);
+    EXPECT_GT(r.coverage_ratio, 0.8) << sched;
+    EXPECT_LT(r.nonfunctional_pct, 40.0) << sched;
+    EXPECT_GT(r.sensors_recharged, 0u) << sched;
   }
 }
 

@@ -21,9 +21,7 @@ SimConfig random_config(std::uint64_t seed) {
   cfg.activation = rng.bernoulli(0.5) ? ActivationPolicy::kRoundRobin
                                       : ActivationPolicy::kFullTime;
   const int sched = static_cast<int>(rng.uniform_int(3));
-  cfg.scheduler = sched == 0   ? SchedulerKind::kGreedy
-                  : sched == 1 ? SchedulerKind::kPartition
-                               : SchedulerKind::kCombined;
+  cfg.scheduler = sched == 0 ? "greedy" : sched == 1 ? "partition" : "combined";
   cfg.radio.listen_duty_cycle = rng.uniform(0.0, 0.4);
   cfg.seed = seed * 7919 + 13;
   return cfg;

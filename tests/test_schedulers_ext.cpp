@@ -81,7 +81,7 @@ TEST(EdfNext, RespectsBudget) {
   EXPECT_FALSE(edf_next(broke, items, taken, params()).has_value());
 }
 
-SimConfig ext_config(SchedulerKind sched) {
+SimConfig ext_config(const std::string& sched) {
   SimConfig cfg;
   cfg.num_sensors = 150;
   cfg.num_targets = 6;
@@ -95,19 +95,19 @@ SimConfig ext_config(SchedulerKind sched) {
 }
 
 TEST(ExtensionSchedulers, NearestFirstRunsAndServes) {
-  const auto r = run_replica(ext_config(SchedulerKind::kNearestFirst));
+  const auto r = run_replica(ext_config("nearest-first"));
   EXPECT_GT(r.sensors_recharged, 10u);
   EXPECT_GT(r.coverage_ratio, 0.8);
 }
 
 TEST(ExtensionSchedulers, FcfsRunsAndServes) {
-  const auto r = run_replica(ext_config(SchedulerKind::kFcfs));
+  const auto r = run_replica(ext_config("fcfs"));
   EXPECT_GT(r.sensors_recharged, 10u);
   EXPECT_GT(r.coverage_ratio, 0.8);
 }
 
 TEST(ExtensionSchedulers, EdfRunsAndServes) {
-  const auto r = run_replica(ext_config(SchedulerKind::kEdf));
+  const auto r = run_replica(ext_config("edf"));
   EXPECT_GT(r.sensors_recharged, 10u);
   EXPECT_GT(r.coverage_ratio, 0.8);
   // EDF chases the most-depleted nodes, so fairness across served sensors
@@ -117,14 +117,14 @@ TEST(ExtensionSchedulers, EdfRunsAndServes) {
 
 TEST(ExtensionSchedulers, FcfsHasBoundedLatencySpread) {
   // FCFS trades distance for fairness: it must still clear the queue.
-  const auto fcfs = run_replica(ext_config(SchedulerKind::kFcfs));
-  const auto nearest = run_replica(ext_config(SchedulerKind::kNearestFirst));
+  const auto fcfs = run_replica(ext_config("fcfs"));
+  const auto nearest = run_replica(ext_config("nearest-first"));
   EXPECT_GT(fcfs.rv_travel_distance.value(), nearest.rv_travel_distance.value());
 }
 
 TEST(TwoOptTours, NeverIncreasesTravelMaterially) {
-  SimConfig off = ext_config(SchedulerKind::kCombined);
-  SimConfig on = ext_config(SchedulerKind::kCombined);
+  SimConfig off = ext_config("combined");
+  SimConfig on = ext_config("combined");
   on.two_opt_tours = true;
   const auto r_off = run_replica(off);
   const auto r_on = run_replica(on);
@@ -135,17 +135,17 @@ TEST(TwoOptTours, NeverIncreasesTravelMaterially) {
   EXPECT_GT(r_on.sensors_recharged, 10u);
 }
 
-TEST(ExtensionSchedulers, AllFiveSchedulersDeterministic) {
-  for (auto sched : {SchedulerKind::kGreedy, SchedulerKind::kPartition,
-                     SchedulerKind::kCombined, SchedulerKind::kNearestFirst,
-                     SchedulerKind::kFcfs, SchedulerKind::kEdf}) {
+TEST(ExtensionSchedulers, AllRegisteredSchedulersDeterministic) {
+  // Driven off the registry, so a newly registered policy is covered
+  // automatically.
+  for (const std::string& sched : scheduler_names()) {
     SimConfig cfg = ext_config(sched);
     cfg.sim_duration = days(4.0);
     World a(cfg), b(cfg);
     const auto ra = a.run();
     const auto rb = b.run();
     EXPECT_DOUBLE_EQ(ra.rv_travel_distance.value(), rb.rv_travel_distance.value())
-        << to_string(sched);
+        << sched;
   }
 }
 

@@ -236,9 +236,9 @@ TEST(World, SchedulerChoiceChangesBehaviour) {
   SimConfig cfg = small_config();
   cfg.radio.listen_duty_cycle = 0.5;
   cfg.sim_duration = days(3.0);
-  cfg.scheduler = SchedulerKind::kGreedy;
+  cfg.scheduler = "greedy";
   World g(cfg);
-  cfg.scheduler = SchedulerKind::kPartition;
+  cfg.scheduler = "partition";
   World p(cfg);
   const auto rg = g.run();
   const auto rp = p.run();

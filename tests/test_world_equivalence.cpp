@@ -21,7 +21,7 @@ struct Scenario {
   std::uint64_t seed = 0;
   TargetMotion motion = TargetMotion::kRandomWaypoint;
   ActivationPolicy activation = ActivationPolicy::kRoundRobin;
-  SchedulerKind scheduler = SchedulerKind::kCombined;
+  std::string scheduler = "combined";
 };
 
 std::string describe(const Scenario& sc) {
@@ -30,8 +30,7 @@ std::string describe(const Scenario& sc) {
      << " motion=" << (sc.motion == TargetMotion::kTeleport ? "teleport" : "waypoint")
      << " activation="
      << (sc.activation == ActivationPolicy::kRoundRobin ? "rr" : "full-time")
-     << " scheduler="
-     << (sc.scheduler == SchedulerKind::kCombined ? "combined" : "greedy");
+     << " scheduler=" << sc.scheduler;
   return os.str();
 }
 
@@ -117,12 +116,11 @@ TEST(WorldEquivalence, RandomizedInstancesMatchBitForBit) {
                                   TargetMotion::kTeleport};
   const ActivationPolicy activations[] = {ActivationPolicy::kRoundRobin,
                                           ActivationPolicy::kFullTime};
-  const SchedulerKind schedulers[] = {SchedulerKind::kCombined,
-                                      SchedulerKind::kGreedy};
+  const std::string schedulers[] = {"combined", "greedy"};
   for (std::uint64_t seed = 0; seed < 25; ++seed) {
     for (const TargetMotion motion : motions) {
       for (const ActivationPolicy activation : activations) {
-        for (const SchedulerKind scheduler : schedulers) {
+        for (const std::string& scheduler : schedulers) {
           const Scenario sc{seed, motion, activation, scheduler};
           expect_identical(eq_config(sc), describe(sc));
           if (::testing::Test::HasFatalFailure()) return;
@@ -156,13 +154,31 @@ SimConfig fault_eq_config(const Scenario& sc) {
 TEST(WorldEquivalence, FaultEnabledInstancesMatchBitForBit) {
   const ActivationPolicy activations[] = {ActivationPolicy::kRoundRobin,
                                           ActivationPolicy::kFullTime};
-  const SchedulerKind schedulers[] = {SchedulerKind::kCombined,
-                                      SchedulerKind::kGreedy};
+  const std::string schedulers[] = {"combined", "greedy"};
   for (std::uint64_t seed = 0; seed < 10; ++seed) {
     for (const ActivationPolicy activation : activations) {
-      for (const SchedulerKind scheduler : schedulers) {
+      for (const std::string& scheduler : schedulers) {
         Scenario sc{seed, TargetMotion::kRandomWaypoint, activation, scheduler};
         expect_identical(fault_eq_config(sc), "faults on, " + describe(sc));
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+// Every registered policy, both engines, faults off and on: the policy
+// extraction must leave each scheme's trace bit-identical regardless of the
+// engine maintaining derived state. New registry entries are swept
+// automatically.
+TEST(WorldEquivalence, AllRegisteredPoliciesMatchBitForBit) {
+  for (const std::string& scheduler : scheduler_names()) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      for (const bool faults : {false, true}) {
+        Scenario sc{seed, TargetMotion::kRandomWaypoint,
+                    ActivationPolicy::kRoundRobin, scheduler};
+        const SimConfig cfg = faults ? fault_eq_config(sc) : eq_config(sc);
+        expect_identical(cfg, (faults ? "faults on, " : "faults off, ") +
+                                  describe(sc));
         if (::testing::Test::HasFatalFailure()) return;
       }
     }

@@ -168,7 +168,7 @@ TEST(WorldRv, PerRvOdometersSumToTotal) {
 
 TEST(WorldRv, PartitionUsesBothRvs) {
   SimConfig cfg = rv_config();
-  cfg.scheduler = SchedulerKind::kPartition;
+  cfg.scheduler = "partition";
   cfg.sim_duration = days(8.0);
   World w(cfg);
   w.run();

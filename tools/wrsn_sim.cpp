@@ -13,8 +13,12 @@
 //     --svg FILE           render the first replica's final state as SVG
 //     --print-config       print the effective configuration and exit
 //     --list-keys          list every recognized config key and exit
+//     --list-schedulers    list registered scheduler policies and exit
+//     --list               list every enum-like knob with its values and exit
 //     --help               this text
+#include <algorithm>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -25,6 +29,7 @@
 #include "core/table.hpp"
 #include "core/thread_pool.hpp"
 #include "obs/telemetry.hpp"
+#include "sched/policy.hpp"
 #include "sim/runner.hpp"
 #include "sim/svg.hpp"
 #include "sim/world.hpp"
@@ -41,7 +46,7 @@ using namespace wrsn;
       "  --set KEY=VALUE      override one config key (repeatable)\n"
       "  --days N             shorthand for --set sim_days=N\n"
       "  --seed N             shorthand for --set seed=N\n"
-      "  --scheduler NAME     greedy | partition | combined | nearest-first | fcfs\n"
+      "  --scheduler NAME     a registered policy (see --list-schedulers)\n"
       "  --faults FILE|SPEC   enable fault injection: a config file of\n"
       "                       fault.* keys, or a comma list such as\n"
       "                       request_loss_prob=0.2,rv_breakdown_at_h=6\n"
@@ -55,8 +60,41 @@ using namespace wrsn;
       "  --svg FILE           final state of the first replica as SVG\n"
       "  --print-config       print the effective configuration and exit\n"
       "  --list-keys          list recognized config keys and exit\n"
+      "  --list-schedulers    list registered scheduler policies and exit\n"
+      "  --list               list every enum-like knob and its accepted\n"
+      "                       values (one sweepable knob=v1,v2,... per line)\n"
       "  --help               this text\n";
   std::exit(code);
+}
+
+void print_schedulers() {
+  const SchedulerRegistry& registry = SchedulerRegistry::instance();
+  std::size_t width = 0;
+  for (const std::string& name : registry.names()) {
+    width = std::max(width, name.size());
+  }
+  for (const std::string& name : registry.names()) {
+    std::cout << std::left << std::setw(static_cast<int>(width) + 2) << name
+              << registry.summary(name) << '\n';
+  }
+}
+
+void print_list(std::ostream& os, const std::string& knob,
+                const std::vector<std::string>& values) {
+  os << knob << '=';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    os << (i ? "," : "") << values[i];
+  }
+  os << '\n';
+}
+
+// Every enum-like knob with its accepted values, in `key=v1,v2,...` form so
+// a shell loop can split a line straight into `--set key=value` sweeps.
+void print_knob_lists() {
+  print_list(std::cout, "scheduler", scheduler_names());
+  print_list(std::cout, "activation", activation_policy_names());
+  print_list(std::cout, "target_motion", target_motion_names());
+  print_list(std::cout, "rv.charge_profile", charge_profile_names());
 }
 
 struct MetricRow {
@@ -104,7 +142,7 @@ void write_csv(const std::string& path, const SimConfig& cfg,
     os << '\n';
   }
   for (std::size_t i = 0; i < reports.size(); ++i) {
-    os << cfg.seed + i << ',' << to_string(cfg.scheduler) << ','
+    os << cfg.seed + i << ',' << cfg.scheduler << ','
        << to_string(cfg.activation) << ',' << cfg.energy_request_percentage;
     for (const MetricRow& m : kMetrics) os << ',' << m.get(reports[i]);
     os << '\n';
@@ -140,6 +178,14 @@ int main(int argc, char** argv) try {
     if (a == "--help" || a == "-h") usage(0);
     if (a == "--list-keys") {
       for (const std::string& k : config_keys()) std::cout << k << '\n';
+      return 0;
+    }
+    if (a == "--list-schedulers") {
+      print_schedulers();
+      return 0;
+    }
+    if (a == "--list") {
+      print_knob_lists();
       return 0;
     }
     if (a == "--config") {
@@ -206,7 +252,7 @@ int main(int argc, char** argv) try {
     reports.insert(reports.end(), more.begin(), more.end());
   }
 
-  std::cout << "wrsn_sim: " << to_string(cfg.scheduler) << " / "
+  std::cout << "wrsn_sim: " << cfg.scheduler << " / "
             << to_string(cfg.activation)
             << ", ERP=" << cfg.energy_request_percentage << ", "
             << cfg.sim_duration.value() / 86400.0 << " days x " << seeds

@@ -88,7 +88,9 @@ int main(int argc, char** argv) try {
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a == "--help" || a == "-h") {
-      std::cout << "see the header of tools/wrsn_sweep.cpp for usage\n";
+      std::cout << "see the header of tools/wrsn_sweep.cpp for usage\n"
+                   "`wrsn_sim --list` prints every enum-like knob as a\n"
+                   "ready-made --sweep KEY=V1,V2,... line\n";
       return 0;
     }
     if (a == "--sweep") {
