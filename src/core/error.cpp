@@ -1,6 +1,19 @@
 #include "core/error.hpp"
 
+#include <atomic>
 #include <sstream>
+
+namespace wrsn {
+
+namespace {
+std::atomic<FailureHook> g_failure_hook{nullptr};
+}  // namespace
+
+FailureHook set_failure_hook(FailureHook hook) {
+  return g_failure_hook.exchange(hook);
+}
+
+}  // namespace wrsn
 
 namespace wrsn::detail {
 
@@ -20,7 +33,9 @@ void throw_invalid_argument(const char* expr, const char* file, int line,
 
 void throw_logic_error(const char* expr, const char* file, int line,
                        const std::string& msg) {
-  throw LogicError(format("invariant violated", expr, file, line, msg));
+  const std::string what = format("invariant violated", expr, file, line, msg);
+  if (const FailureHook hook = g_failure_hook.load()) hook(what.c_str());
+  throw LogicError(what);
 }
 
 }  // namespace wrsn::detail

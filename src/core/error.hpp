@@ -21,6 +21,16 @@ class LogicError : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
+// Invoked (with the formatted message) just before an invariant failure
+// throws LogicError — the flight recorder (obs/flight.hpp) registers itself
+// here so the last-N event ring is dumped while the state that tripped the
+// assert is still live. Argument-validation failures (WRSN_REQUIRE) do not
+// fire the hook: bad user input is not a post-mortem. Returns the previous
+// hook; pass nullptr to clear. Not thread-safe against concurrent set calls
+// (install once at startup).
+using FailureHook = void (*)(const char* message);
+FailureHook set_failure_hook(FailureHook hook);
+
 namespace detail {
 [[noreturn]] void throw_invalid_argument(const char* expr, const char* file, int line,
                                          const std::string& msg);

@@ -1,0 +1,144 @@
+#include "obs/flight.hpp"
+
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+
+#include "core/error.hpp"
+
+namespace wrsn::obs {
+
+namespace {
+
+// Registry of live recorders. The mutex guards both the vector and the dump
+// path; dump_all holds it across the whole dump so a recorder cannot be
+// destroyed mid-dump.
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<FlightRecorder*>& registry() {
+  static std::vector<FlightRecorder*> recorders;
+  return recorders;
+}
+
+std::string& dump_path() {
+  static std::string path;
+  return path;
+}
+
+void locked_dump_all(const char* reason) {
+  if (registry().empty()) return;
+  std::ofstream file;
+  if (!dump_path().empty()) {
+    file.open(dump_path(), std::ios::app);
+  }
+  std::ostream& out = file.is_open() ? static_cast<std::ostream&>(file)
+                                     : std::cerr;
+  for (const FlightRecorder* rec : registry()) {
+    rec->dump(out, reason);
+  }
+  out.flush();
+}
+
+extern "C" void flight_sigint_handler(int sig) {
+  // Best-effort post-mortem (see header): mutex + iostreams are not
+  // async-signal-safe, but a Ctrl-C during an interactive run is single
+  // threaded in practice and a garbled dump beats none.
+  FlightRecorder::dump_all("SIGINT");
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void flight_failure_hook(const char* message) {
+  std::lock_guard lock(registry_mutex());
+  if (registry().empty()) return;
+  std::ofstream file;
+  if (!dump_path().empty()) file.open(dump_path(), std::ios::app);
+  std::ostream& out = file.is_open() ? static_cast<std::ostream&>(file)
+                                     : std::cerr;
+  out << "flight-recorder: invariant failure imminent: " << message << '\n';
+  for (const FlightRecorder* rec : registry()) {
+    rec->dump(out, "assert-failure");
+  }
+  out.flush();
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity) : capacity_(capacity) {
+  WRSN_REQUIRE(capacity > 0, "flight recorder capacity must be positive");
+  ring_.reserve(capacity);
+  std::lock_guard lock(registry_mutex());
+  registry().push_back(this);
+}
+
+FlightRecorder::~FlightRecorder() {
+  std::lock_guard lock(registry_mutex());
+  auto& recorders = registry();
+  for (auto it = recorders.begin(); it != recorders.end(); ++it) {
+    if (*it == this) {
+      recorders.erase(it);
+      break;
+    }
+  }
+}
+
+void FlightRecorder::record(const TraceRecord& rec) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(rec);
+  } else {
+    ring_[next_] = rec;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++seen_;
+}
+
+void FlightRecorder::set_context_provider(std::function<std::string()> provider) {
+  context_ = std::move(provider);
+}
+
+void FlightRecorder::set_label(std::string label) { label_ = std::move(label); }
+
+void FlightRecorder::dump(std::ostream& out, const char* reason) const {
+  out << "=== flight recorder dump";
+  if (!label_.empty()) out << " [" << label_ << ']';
+  out << " (reason: " << reason << ", last " << ring_.size() << " of " << seen_
+      << " events) ===\n";
+  // Oldest first: once the ring has wrapped, next_ points at the oldest slot.
+  const std::size_t n = ring_.size();
+  const std::size_t start = n < capacity_ ? 0 : next_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceRecord& rec = ring_[(start + i) % n];
+    out << "  t=" << rec.t << "s " << rec.kind << " subject=" << rec.subject
+        << " epoch=" << rec.epoch << " queue=" << rec.queue_size << '\n';
+  }
+  if (context_) {
+    try {
+      out << "--- context snapshot ---\n" << context_() << '\n';
+    } catch (...) {
+      out << "--- context snapshot unavailable (provider threw) ---\n";
+    }
+  }
+  out << "=== end flight recorder dump ===\n";
+}
+
+void FlightRecorder::dump_all(const char* reason) {
+  std::lock_guard lock(registry_mutex());
+  locked_dump_all(reason);
+}
+
+void FlightRecorder::set_dump_path(const std::string& path) {
+  std::lock_guard lock(registry_mutex());
+  dump_path() = path;
+}
+
+void FlightRecorder::arm_failure_hook() { set_failure_hook(&flight_failure_hook); }
+
+void FlightRecorder::arm_signal_handlers() {
+  std::signal(SIGINT, &flight_sigint_handler);
+}
+
+}  // namespace wrsn::obs

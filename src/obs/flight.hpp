@@ -1,0 +1,86 @@
+#pragma once
+// Bounded in-memory flight recorder: a ring buffer of the last N
+// TraceRecords plus an optional caller-supplied context snapshot (typically
+// serialized metrics), dumped on demand — and automatically on invariant
+// failure (via the core failure hook), graceful-failure exits in the CLI
+// catch blocks, or SIGINT. Turns a fault-matrix crash into a post-mortem:
+// the dump shows what the event loop was doing right before the assert,
+// without re-running under a full trace.
+//
+// Recording is allocation-free after construction (fixed ring, static kind
+// strings), so a recorder can stay attached to hot runs. Heisenberg rule
+// applies: recording never changes simulated physics (pinned by
+// tests/test_spans.cpp).
+//
+// Every live recorder self-registers in a process-wide registry so the
+// static dump paths (dump_all / failure hook / signal handler) can reach
+// recorders owned deep inside a run without plumbing. The signal handler is
+// best-effort, not strictly async-signal-safe (it takes a mutex and writes
+// through iostreams); acceptable for a Ctrl-C post-mortem, documented here
+// so nobody mistakes it for hardened signal code.
+
+#include <cstddef>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace wrsn::obs {
+
+class FlightRecorder : public TraceSink {
+ public:
+  // `capacity` = number of most-recent records retained (>= 1).
+  explicit FlightRecorder(std::size_t capacity);
+  ~FlightRecorder() override;
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // TraceSink interface, so a recorder can sit anywhere a trace sink can.
+  void on_event(const TraceRecord& rec) override { record(rec); }
+
+  void record(const TraceRecord& rec);
+
+  // Called at dump time (guarded by try/catch) to append a state snapshot —
+  // e.g. the current MetricsReport as JSON. Keep it cheap and exception-safe.
+  void set_context_provider(std::function<std::string()> provider);
+
+  // Human-readable label prefixed to this recorder's dump section.
+  void set_label(std::string label);
+
+  // Writes the ring (oldest first) + context snapshot to `out`.
+  void dump(std::ostream& out, const char* reason) const;
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.capacity(); }
+  [[nodiscard]] std::uint64_t events_seen() const { return seen_; }
+
+  // --- process-wide dump plumbing -----------------------------------------
+
+  // Dumps every live recorder to the configured destination (stderr by
+  // default, or the file named via set_dump_path). Safe to call with no
+  // recorders alive (no-op).
+  static void dump_all(const char* reason);
+
+  // Redirect dump_all output to a file (appended); empty = back to stderr.
+  static void set_dump_path(const std::string& path);
+
+  // Installs wrsn::set_failure_hook so WRSN_ASSERT / WRSN_DEBUG_ASSERT
+  // failures dump every live recorder before the exception propagates.
+  static void arm_failure_hook();
+
+  // Installs a SIGINT handler that dumps every live recorder, restores the
+  // default disposition, and re-raises so the exit status stays canonical.
+  static void arm_signal_handlers();
+
+ private:
+  std::vector<TraceRecord> ring_;  // size() grows to capacity, then wraps
+  std::size_t capacity_ = 0;
+  std::size_t next_ = 0;     // ring slot for the next record
+  std::uint64_t seen_ = 0;   // total records observed (>= ring size)
+  std::function<std::string()> context_;
+  std::string label_;
+};
+
+}  // namespace wrsn::obs

@@ -1,0 +1,253 @@
+#include "obs/spans.hpp"
+
+#include <string>
+
+#include "core/error.hpp"
+#include "core/json.hpp"
+
+namespace wrsn::obs {
+
+namespace {
+
+// One span record as a JSONL line. Field order is part of the frozen
+// wrsn.spans v2 schema — keep in sync with the meta record below and the
+// table in docs/ARCHITECTURE.md.
+std::string span_line(const SpanRecord& rec) {
+  JsonWriter w;
+  w.begin_object()
+      .field("record", "span")
+      .field("id", rec.id)
+      .field("parent", rec.parent)
+      .field("root", rec.root)
+      .field("track", rec.track)
+      .field("subject", rec.subject)
+      .field("name", rec.name)
+      .field("t0_s", rec.t0)
+      .field("t1_s", rec.t1)
+      .field("outcome", rec.outcome)
+      .field("value", rec.value)
+      .field("mark", rec.mark)
+      .end_object();
+  return w.str();
+}
+
+}  // namespace
+
+JsonlSpanSink::JsonlSpanSink(std::ostream& out) : out_(out) {
+  JsonWriter w;
+  w.begin_object()
+      .field("record", "meta")
+      .field("schema", "wrsn.spans")
+      .field("version", std::int64_t{kSpanSchemaVersion});
+  w.key("fields").begin_array();
+  for (const char* f : {"id", "parent", "root", "track", "subject", "name",
+                        "t0_s", "t1_s", "outcome", "value", "mark"}) {
+    w.value(f);
+  }
+  w.end_array().end_object();
+  out_ << w.str() << '\n';
+}
+
+void JsonlSpanSink::on_span(const SpanRecord& rec) {
+  out_ << span_line(rec) << '\n';
+  ++spans_;
+}
+
+void JsonlSpanSink::finish() { out_.flush(); }
+
+ChromeTraceSink::ChromeTraceSink(std::ostream& out) : out_(out) {
+  out_ << "{\"traceEvents\":[";
+}
+
+void ChromeTraceSink::emit(const std::string& json) {
+  if (!first_) out_ << ",\n";
+  first_ = false;
+  out_ << json;
+}
+
+void ChromeTraceSink::ensure_thread(std::uint64_t tid, const std::string& name) {
+  for (std::uint64_t seen : named_tids_) {
+    if (seen == tid) return;
+  }
+  named_tids_.push_back(tid);
+  JsonWriter w;
+  w.begin_object()
+      .field("ph", "M")
+      .field("name", "thread_name")
+      .field("pid", std::int64_t{1})
+      .field("tid", tid);
+  w.key("args").begin_object().field("name", name).end_object();
+  w.end_object();
+  emit(w.str());
+}
+
+void ChromeTraceSink::on_span(const SpanRecord& rec) {
+  WRSN_ASSERT(!finished_, "span after ChromeTraceSink::finish");
+  // Simulated seconds -> trace microseconds.
+  const double ts = rec.t0 * 1e6;
+  const double dur = (rec.t1 - rec.t0) * 1e6;
+  const std::string track(rec.track);
+  if (track == "rv") {
+    // One thread per vehicle so legs stack as nested complete events.
+    const std::uint64_t tid = 10 + rec.subject;
+    ensure_thread(tid, "RV " + std::to_string(rec.subject));
+    JsonWriter w;
+    w.begin_object()
+        .field("ph", rec.mark ? "i" : "X")
+        .field("name", rec.name)
+        .field("cat", "rv")
+        .field("pid", std::int64_t{1})
+        .field("tid", tid)
+        .field("ts", ts);
+    if (rec.mark) {
+      w.field("s", "t");  // thread-scoped instant
+    } else {
+      w.field("dur", dur);
+    }
+    w.key("args")
+        .begin_object()
+        .field("outcome", rec.outcome)
+        .field("value", rec.value)
+        .field("span_id", rec.id)
+        .end_object();
+    w.end_object();
+    emit(w.str());
+    return;
+  }
+  // Requests render as async events keyed by lifecycle root: the root span
+  // opens/closes the row, nested phases and marks add "n" instants inside
+  // it. Spans arrive complete (at end time), so the root's b/e pair is
+  // emitted together; viewers order by ts.
+  const std::string id = std::to_string(rec.root);
+  const bool is_root = rec.id == rec.root && !rec.mark;
+  if (is_root) {
+    for (const char* ph : {"b", "e"}) {
+      JsonWriter w;
+      w.begin_object()
+          .field("ph", ph)
+          .field("name", rec.name)
+          .field("cat", "request")
+          .field("id", id)
+          .field("pid", std::int64_t{1})
+          .field("tid", std::int64_t{1})
+          .field("ts", ph[0] == 'b' ? ts : rec.t1 * 1e6);
+      w.key("args").begin_object();
+      if (ph[0] == 'e') {
+        w.field("outcome", rec.outcome).field("value", rec.value);
+      }
+      w.field("subject", rec.subject).end_object();
+      w.end_object();
+      emit(w.str());
+    }
+    return;
+  }
+  JsonWriter w;
+  w.begin_object()
+      .field("ph", "n")
+      .field("name", rec.name)
+      .field("cat", "request")
+      .field("id", id)
+      .field("pid", std::int64_t{1})
+      .field("tid", std::int64_t{1})
+      .field("ts", rec.mark ? ts : rec.t1 * 1e6);
+  w.key("args")
+      .begin_object()
+      .field("outcome", rec.outcome)
+      .field("value", rec.value)
+      .field("subject", rec.subject)
+      .end_object();
+  w.end_object();
+  emit(w.str());
+}
+
+void ChromeTraceSink::finish() {
+  if (finished_) return;
+  finished_ = true;
+  out_ << "]}\n";
+  out_.flush();
+}
+
+std::uint64_t SpanLog::begin(const char* track, std::uint64_t subject,
+                             const char* name, double t, std::uint64_t parent) {
+  const std::uint64_t id = next_id_++;
+  OpenSpan span;
+  span.parent = parent;
+  span.track = track;
+  span.subject = subject;
+  span.name = name;
+  span.t0 = t;
+  if (parent == 0) {
+    span.root = id;
+  } else {
+    const auto it = open_.find(parent);
+    // A child of an already-closed parent still gets a self-root rather than
+    // a dangling link.
+    span.root = it != open_.end() ? it->second.root : id;
+  }
+  open_.emplace(id, span);
+  return id;
+}
+
+void SpanLog::end(std::uint64_t id, double t, const char* outcome,
+                  double value) {
+  const auto it = open_.find(id);
+  if (it == open_.end()) return;
+  const OpenSpan& span = it->second;
+  SpanRecord rec;
+  rec.id = id;
+  rec.parent = span.parent;
+  rec.root = span.root;
+  rec.track = span.track;
+  rec.subject = span.subject;
+  rec.name = span.name;
+  rec.t0 = span.t0;
+  rec.t1 = t >= span.t0 ? t : span.t0;
+  rec.outcome = outcome;
+  rec.value = value;
+  rec.mark = false;
+  open_.erase(it);
+  emit(rec);
+}
+
+void SpanLog::mark(std::uint64_t parent, const char* name, double t,
+                   const char* outcome, double value) {
+  SpanRecord rec;
+  rec.id = next_id_++;
+  rec.parent = parent;
+  rec.root = rec.id;
+  rec.name = name;
+  rec.t0 = t;
+  rec.t1 = t;
+  rec.outcome = outcome;
+  rec.value = value;
+  rec.mark = true;
+  if (parent != 0) {
+    const auto it = open_.find(parent);
+    if (it != open_.end()) {
+      rec.root = it->second.root;
+      rec.track = it->second.track;
+      rec.subject = it->second.subject;
+    }
+  }
+  emit(rec);
+}
+
+void SpanLog::finish(double t, const char* outcome) {
+  // Reverse begin order closes children before their parents (a child is
+  // always begun after its parent), keeping nesting well-formed.
+  while (!open_.empty()) {
+    const std::uint64_t id = open_.rbegin()->first;
+    end(id, t, outcome);
+  }
+  if (sink_ != nullptr) sink_->finish();
+  if (second_ != nullptr) second_->finish();
+}
+
+void SpanLog::emit(const SpanRecord& rec) {
+  WRSN_DEBUG_ASSERT(rec.t1 >= rec.t0, "span ends before it starts");
+  ++emitted_;
+  if (sink_ != nullptr) sink_->on_span(rec);
+  if (second_ != nullptr) second_->on_span(rec);
+}
+
+}  // namespace wrsn::obs

@@ -1,0 +1,150 @@
+#pragma once
+// Causally-linked lifecycle spans. Where trace.hpp reports the raw
+// discrete-event stream (one record per pop), spans tell the *story* of a
+// subject: one span per phase of a recharge request's life (born, queued,
+// traveling, charging, served/expired) and per RV tour segment (travel,
+// charge, return, breakdown), linked parent -> child so a trace viewer can
+// nest them.
+//
+// Spans are emitted as COMPLETE records at end time: a SpanRecord carries
+// both endpoints plus its causal links, so sinks never have to pair begins
+// with ends and per-record validation (t1 >= t0) is local. Zero-length
+// annotations ("uplink-drop", "stranded", ...) are the same record with
+// mark = true.
+//
+// The JSONL sink is the canonical machine-readable format ("wrsn.spans",
+// version 2 — version 1 is the flat event trace of trace.hpp): line 1 is a
+// meta record naming the schema, every following line one span record. The
+// field list is frozen per version and pinned by tests/test_spans.cpp.
+// ChromeTraceSink renders the same stream as a Chrome trace-event JSON
+// document loadable in Perfetto / chrome://tracing: RV spans become one
+// track (thread) per vehicle, request spans become async event rows.
+//
+// Like trace.hpp this layer knows nothing about sim/ types — names and
+// tracks arrive as strings, so obs/ stays next to core/ in the dependency
+// order. Attaching spans never changes simulated physics; the Heisenberg
+// suite (tests/test_spans.cpp) pins that.
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <vector>
+
+namespace wrsn::obs {
+
+inline constexpr int kSpanSchemaVersion = 2;
+
+// One completed span (or zero-length mark) of a subject's lifecycle.
+struct SpanRecord {
+  std::uint64_t id = 0;       // unique within one SpanLog, 1-based
+  std::uint64_t parent = 0;   // enclosing span id; 0 = lifecycle root
+  std::uint64_t root = 0;     // id of the lifecycle root (== id for roots)
+  const char* track = "";     // "request" | "rv" (viewer row grouping)
+  std::uint64_t subject = 0;  // sensor id / RV id, track-dependent
+  const char* name = "";      // phase name ("request", "travel", "charge", ...)
+  double t0 = 0.0;            // simulated seconds, span begin
+  double t1 = 0.0;            // simulated seconds, span end (>= t0)
+  const char* outcome = "";   // terminal state / annotation ("" when none)
+  double value = 0.0;         // name-dependent payload (joules, metres, ...)
+  bool mark = false;          // zero-length annotation (t1 == t0)
+};
+
+class SpanSink {
+ public:
+  virtual ~SpanSink() = default;
+  virtual void on_span(const SpanRecord& rec) = 0;
+  // Called once after the last span; flushes buffered output.
+  virtual void finish() {}
+};
+
+// JSON-lines sink. Emits the meta record on construction:
+//   {"record":"meta","schema":"wrsn.spans","version":2,"fields":[...]}
+// then one span record per on_span.
+class JsonlSpanSink final : public SpanSink {
+ public:
+  explicit JsonlSpanSink(std::ostream& out);
+  void on_span(const SpanRecord& rec) override;
+  void finish() override;
+
+  [[nodiscard]] std::uint64_t spans_written() const { return spans_; }
+
+ private:
+  std::ostream& out_;
+  std::uint64_t spans_ = 0;
+};
+
+// Chrome trace-event JSON exporter ({"traceEvents":[...]}, timestamps in
+// microseconds). RV spans map to per-vehicle threads as "X" complete events;
+// request spans map to async "b"/"e" pairs keyed by their lifecycle root, so
+// each request renders as one collapsible row. Marks become instant events.
+// Load the file in https://ui.perfetto.dev or chrome://tracing.
+class ChromeTraceSink final : public SpanSink {
+ public:
+  explicit ChromeTraceSink(std::ostream& out);
+  void on_span(const SpanRecord& rec) override;
+  void finish() override;  // closes the traceEvents array; call exactly once
+
+ private:
+  void emit(const std::string& json);
+  void ensure_thread(std::uint64_t tid, const std::string& name);
+
+  std::ostream& out_;
+  bool first_ = true;
+  bool finished_ = false;
+  std::vector<std::uint64_t> named_tids_;
+};
+
+// Span bookkeeping: allocates ids, tracks open spans (so children can link
+// to their lifecycle root), and emits completed SpanRecords to one or two
+// sinks (JSONL + Chrome, typically). Times are simulated seconds supplied by
+// the caller — the log never consults a clock.
+class SpanLog {
+ public:
+  explicit SpanLog(SpanSink* sink, SpanSink* second = nullptr)
+      : sink_(sink), second_(second) {}
+
+  // Opens a span; returns its id (never 0). `parent` of 0 starts a new
+  // lifecycle root; otherwise the child inherits the parent's root.
+  std::uint64_t begin(const char* track, std::uint64_t subject, const char* name,
+                      double t, std::uint64_t parent = 0);
+
+  // Closes an open span, emitting its record. Unknown ids (0 included) are
+  // ignored so callers can hold "no span" as 0 without branching.
+  void end(std::uint64_t id, double t, const char* outcome = "",
+           double value = 0.0);
+
+  // Emits a zero-length annotation attached to `parent` (0 = free-standing;
+  // the mark then forms its own root). Track/subject are inherited from the
+  // parent when attached.
+  void mark(std::uint64_t parent, const char* name, double t,
+            const char* outcome = "", double value = 0.0);
+
+  // Closes every still-open span (deepest first, in reverse begin order) with
+  // the given outcome, then flushes the sinks. Idempotent.
+  void finish(double t, const char* outcome = "open");
+
+  [[nodiscard]] std::uint64_t spans_emitted() const { return emitted_; }
+  [[nodiscard]] std::size_t open_spans() const { return open_.size(); }
+
+ private:
+  struct OpenSpan {
+    std::uint64_t parent = 0;
+    std::uint64_t root = 0;
+    const char* track = "";
+    std::uint64_t subject = 0;
+    const char* name = "";
+    double t0 = 0.0;
+  };
+
+  void emit(const SpanRecord& rec);
+
+  SpanSink* sink_;
+  SpanSink* second_;
+  // Ordered by id (== begin order) so finish() closes spans in a
+  // deterministic order and output files are byte-stable across runs.
+  std::map<std::uint64_t, OpenSpan> open_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace wrsn::obs

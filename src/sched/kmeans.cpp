@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "core/error.hpp"
@@ -43,6 +44,46 @@ std::vector<Vec2> kmeanspp_init(const std::vector<Vec2>& points, std::size_t k,
     }
     if (total <= 0.0) {
       // All remaining points coincide with a centroid; duplicate one.
+      centroids.push_back(points[rng.uniform_int(points.size())]);
+      continue;
+    }
+    double pick = rng.uniform() * total;
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      pick -= d2[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+// Same draws, same centroids, O(n*k) instead of O(n*k^2): the reference
+// recomputes every point's distance to every centroid each round, but the
+// min over centroids 0..m-1 equals min(previous min, distance to the newest
+// centroid) exactly — min of doubles is associative, no rounding is involved
+// — so maintaining d2 incrementally reproduces the reference's d2 array (and
+// therefore its weights, totals and RNG consumption) bit for bit.
+std::vector<Vec2> kmeanspp_init_incremental(const std::vector<Vec2>& points,
+                                            std::size_t k, Xoshiro256& rng) {
+  std::vector<Vec2> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng.uniform_int(points.size())]);
+  std::vector<double> d2(points.size(), kInf);
+  while (centroids.size() < k) {
+    const Vec2 latest = centroids.back();
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      d2[i] = std::min(d2[i], squared_distance(points[i], latest));
+      total += d2[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with a centroid; duplicate one. The
+      // duplicate is an exact copy, so folding it into d2 next round leaves
+      // every minimum unchanged, matching the reference.
       centroids.push_back(points[rng.uniform_int(points.size())]);
       continue;
     }
@@ -182,7 +223,7 @@ KMeansResult kmeans(const std::vector<Vec2>& points, std::size_t k,
     return result;
   }
 
-  result.centroids = kmeanspp_init(points, k, rng);
+  result.centroids = kmeanspp_init_incremental(points, k, rng);
   result.assignment.assign(points.size(), 0);
 
   const std::size_t n = points.size();
@@ -193,11 +234,28 @@ KMeansResult kmeans(const std::vector<Vec2>& points, std::size_t k,
   //   u[i] >= d(point i, its center)
   //   l[i] <= min over c != assignment[i] of d(point i, center c)
   // both maintained within a few hundred ulps (<< kMargin).
+  //
+  // Bounds are drifted LAZILY: instead of an O(n) pass after every update
+  // step adding each center's drift to u and subtracting the largest drift
+  // from l (two stores plus a gather per point per iteration — the memory
+  // traffic that made this path slower than the plain scan at n ~ 2000), we
+  // keep per-center cumulative drifts and a cumulative max drift, stamp each
+  // point with the update count at which its bounds were exact, and
+  // reconstruct the drifted bounds inside the skip test from the prefix-sum
+  // difference. The reconstructed u is identical to the eagerly-maintained
+  // sum up to association of additions; any such u remains a sound upper
+  // bound, and soundness is all a skip needs — the full argmin is only ever
+  // bypassed when the bounds PROVE it would return the current assignment,
+  // so the output stays bit-identical to the reference regardless of which
+  // points happen to be certified.
   std::vector<double> u(n, kInf);
   std::vector<double> l(n, 0.0);
   std::vector<double> s(k, 0.0);  // half the distance to the closest other center
+  std::vector<std::uint32_t> stamp(n, 0);  // update count when u/l were exact
+  const std::size_t kStride = max_iterations + 1;
+  std::vector<double> cum(k * kStride, 0.0);  // cum[c*kStride+t]: drift of c over t updates
+  std::vector<double> cum_max(kStride, 0.0);  // cumulative max-over-centers drift
   std::vector<Vec2> old_centroids(k);
-  std::vector<double> delta(k, 0.0);
   std::vector<std::size_t> reseeded;
 
   // Full reference argmin for one point; refreshes its bounds exactly.
@@ -222,6 +280,8 @@ KMeansResult kmeans(const std::vector<Vec2>& points, std::size_t k,
 
   for (result.iterations = 1; result.iterations <= max_iterations;
        ++result.iterations) {
+    // Updates applied so far; index into the cumulative-drift tables.
+    const std::uint32_t now = static_cast<std::uint32_t>(result.iterations - 1);
     bool changed = false;
     if (result.iterations == 1) {
       // First pass: full scans, exactly the reference, seeding the bounds.
@@ -242,23 +302,33 @@ KMeansResult kmeans(const std::vector<Vec2>& points, std::size_t k,
         }
         s[c] = 0.5 * nearest;
       }
+      const double cum_max_now = cum_max[now];
       for (std::size_t i = 0; i < n; ++i) {
         const std::size_t a = result.assignment[i];
+        const std::uint32_t ti = stamp[i];
+        // Reconstruct the drifted bounds from the prefix sums: u grew by the
+        // own center's drift since the stamp, l shrank by the accumulated
+        // max drift (l may go negative; max with s keeps the test sound).
+        const double u_eff = u[i] + (cum[a * kStride + now] - cum[a * kStride + ti]);
+        const double l_eff = l[i] - (cum_max_now - cum_max[ti]);
         // Skip when either bound proves strict dominance: any other center
         // c has d(i,c) >= max(2*s[a] - u[i], l[i]) > u[i] >= d(i,a), so the
         // full argmin — ties to the lowest index included — would return
         // the current assignment.
-        const double m = std::max(s[a], l[i]);
-        if (u[i] + kMargin < m) continue;
-        // Tighten u to the exact distance and retry before paying for the
-        // full scan (the cheap test fails mostly because u has drifted).
+        const double m = std::max(s[a], l_eff);
+        if (u_eff + kMargin < m) continue;
+        // Tighten u to the exact distance, re-stamp, and retry before paying
+        // for the full scan (the cheap test fails mostly because u drifted).
         u[i] = std::sqrt(squared_distance(points[i], result.centroids[a]));
+        l[i] = l_eff;
+        stamp[i] = now;
         if (u[i] + kMargin < m) continue;
         const std::size_t best_c = assign_full(i);
         if (result.assignment[i] != best_c) {
           result.assignment[i] = best_c;
           changed = true;
         }
+        stamp[i] = now;
       }
     }
 
@@ -270,30 +340,22 @@ KMeansResult kmeans(const std::vector<Vec2>& points, std::size_t k,
       changed = true;
     }
 
-    // Drift the bounds by how far each center moved: u grows by the own
-    // center's drift, l shrinks by the largest drift among the others.
-    double d1 = 0.0, d2 = 0.0;  // two largest drifts
-    std::size_t c1 = 0;         // center with the largest drift
+    // Extend the cumulative drift tables by this update's movement. No O(n)
+    // pass: points pick the drift up lazily from their stamps.
+    double d_max = 0.0;
     for (std::size_t c = 0; c < k; ++c) {
-      delta[c] = distance(old_centroids[c], result.centroids[c]);
-      if (delta[c] > d1) {
-        d2 = d1;
-        d1 = delta[c];
-        c1 = c;
-      } else {
-        d2 = std::max(d2, delta[c]);
-      }
+      const double d = distance(old_centroids[c], result.centroids[c]);
+      cum[c * kStride + now + 1] = cum[c * kStride + now] + d;
+      d_max = std::max(d_max, d);
     }
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t a = result.assignment[i];
-      u[i] += delta[a];
-      l[i] = std::max(0.0, l[i] - (a == c1 ? d2 : d1));
-    }
-    // A re-seeded point sits exactly on its new center, but its second-best
-    // bound is unknown; force a full scan next iteration.
+    cum_max[now + 1] = cum_max[now] + d_max;
+    // A re-seeded point sits exactly on its new center (u = 0 is exact), but
+    // its second-best bound is unknown; l = 0 only lets it skip when the
+    // s-bound alone proves dominance.
     for (std::size_t i : reseeded) {
       u[i] = 0.0;
       l[i] = 0.0;
+      stamp[i] = now + 1;
     }
 
     if (!changed) {

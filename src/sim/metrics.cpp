@@ -34,6 +34,13 @@ void MetricsIntegrator::on_recharge(std::size_t sensor, Joule delivered,
   ++recharge_counts_[sensor];
 }
 
+void MetricsIntegrator::on_recharge_breakdown(Second wait, Second travel,
+                                              Second service) {
+  waits_.push_back(wait.value());
+  travels_.push_back(travel.value());
+  services_.push_back(service.value());
+}
+
 void MetricsIntegrator::on_rv_base_recharge(Joule drawn) {
   report_.rv_base_energy_drawn += drawn;
   ++report_.rv_base_recharges;
@@ -69,6 +76,30 @@ MetricsReport MetricsIntegrator::finalize(Second duration) const {
     out.max_request_latency = Second{sorted.back()};
     out.p99_max_request_latency = out.max_request_latency;
   }
+  // Same nearest-rank convention for the wait/travel/service decomposition.
+  auto summarize = [](const std::vector<double>& samples, Second& avg,
+                      Second& p50, Second& p95, Second& p99) {
+    if (samples.empty()) return;
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0.0;
+    for (const double v : sorted) sum += v;
+    avg = Second{sum / static_cast<double>(sorted.size())};
+    auto quantile = [&](double q) {
+      const auto idx = static_cast<std::size_t>(
+          q * static_cast<double>(sorted.size() - 1) + 0.5);
+      return sorted[std::min(idx, sorted.size() - 1)];
+    };
+    p50 = Second{quantile(0.50)};
+    p95 = Second{quantile(0.95)};
+    p99 = Second{quantile(0.99)};
+  };
+  summarize(waits_, out.avg_request_wait, out.p50_request_wait,
+            out.p95_request_wait, out.p99_request_wait);
+  summarize(travels_, out.avg_request_travel, out.p50_request_travel,
+            out.p95_request_travel, out.p99_request_travel);
+  summarize(services_, out.avg_request_service, out.p50_request_service,
+            out.p95_request_service, out.p99_request_service);
   if (failover_recoveries_ > 0) {
     out.avg_failover_recovery =
         Second{failover_recovery_sum_ / static_cast<double>(failover_recoveries_)};
@@ -113,6 +144,18 @@ std::string to_json(const MetricsReport& r) {
       .field("p99_request_latency_s", r.p99_request_latency.value())
       .field("max_request_latency_s", r.max_request_latency.value())
       .field("p99_max_request_latency_s", r.p99_max_request_latency.value())
+      .field("avg_request_wait_s", r.avg_request_wait.value())
+      .field("p50_request_wait_s", r.p50_request_wait.value())
+      .field("p95_request_wait_s", r.p95_request_wait.value())
+      .field("p99_request_wait_s", r.p99_request_wait.value())
+      .field("avg_request_travel_s", r.avg_request_travel.value())
+      .field("p50_request_travel_s", r.p50_request_travel.value())
+      .field("p95_request_travel_s", r.p95_request_travel.value())
+      .field("p99_request_travel_s", r.p99_request_travel.value())
+      .field("avg_request_service_s", r.avg_request_service.value())
+      .field("p50_request_service_s", r.p50_request_service.value())
+      .field("p95_request_service_s", r.p95_request_service.value())
+      .field("p99_request_service_s", r.p99_request_service.value())
       .field("recharge_fairness_jain", r.recharge_fairness_jain)
       .field("requests_lost", static_cast<std::uint64_t>(r.requests_lost))
       .field("requests_delayed", static_cast<std::uint64_t>(r.requests_delayed))

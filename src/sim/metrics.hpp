@@ -54,6 +54,23 @@ struct MetricsReport {
   // For a single replica this equals max_request_latency; mean_report
   // replaces it with the cross-replica quantile.
   Second p99_max_request_latency{0.0};
+  // Latency breakdown per served request: wait + travel + service == the
+  // end-to-end request latency. Service is the final charging dwell, travel
+  // the RV's approach legs toward the sensor (summed over legs resumed after
+  // breakdowns), wait the remainder — base-station queueing plus time
+  // stranded behind breakdowns. All zero when nothing was served.
+  Second avg_request_wait{0.0};
+  Second p50_request_wait{0.0};
+  Second p95_request_wait{0.0};
+  Second p99_request_wait{0.0};
+  Second avg_request_travel{0.0};
+  Second p50_request_travel{0.0};
+  Second p95_request_travel{0.0};
+  Second p99_request_travel{0.0};
+  Second avg_request_service{0.0};
+  Second p50_request_service{0.0};
+  Second p95_request_service{0.0};
+  Second p99_request_service{0.0};
   // Jain fairness index of recharge counts over the sensors that were served
   // at least once: 1 = perfectly even service, ->0 = service concentrated on
   // few nodes. 1 when nothing was served.
@@ -94,6 +111,10 @@ class MetricsIntegrator {
   // --- event counters, called by the world ------------------------------
   void on_rv_leg(Meter dist, Joule traction);
   void on_recharge(std::size_t sensor, Joule delivered, Second request_latency);
+  // Companion to on_recharge: the same served request's latency decomposed
+  // into wait/travel/service (one call per on_recharge, zeros when the
+  // recharge had no pending request).
+  void on_recharge_breakdown(Second wait, Second travel, Second service);
   void on_rv_tour_started() { ++report_.rv_tours; }
   void on_rv_base_recharge(Joule drawn);
   void on_sensor_death() { ++report_.sensor_deaths; }
@@ -140,6 +161,9 @@ class MetricsIntegrator {
   double failover_recovery_sum_ = 0.0;
   std::size_t failover_recoveries_ = 0;
   std::vector<double> latencies_;
+  std::vector<double> waits_;
+  std::vector<double> travels_;
+  std::vector<double> services_;
   std::unordered_map<std::size_t, int> recharge_counts_;
 };
 

@@ -15,6 +15,16 @@ MetricsReport run_replica(const SimConfig& config,
   return world.run();
 }
 
+MetricsReport run_replica(const SimConfig& config,
+                          const ReplicaInstruments& instruments) {
+  World world(config);
+  world.set_telemetry(instruments.telemetry);
+  world.set_trace_sink(instruments.trace);
+  world.set_span_log(instruments.spans);
+  world.set_flight_recorder(instruments.flight);
+  return world.run();
+}
+
 MetricsReport mean_report(const std::vector<MetricsReport>& reports) {
   WRSN_REQUIRE(!reports.empty(), "cannot average zero reports");
   MetricsReport mean;
@@ -48,6 +58,18 @@ MetricsReport mean_report(const std::vector<MetricsReport>& reports) {
     mean.p99_request_latency += r.p99_request_latency / n;
     mean.max_request_latency =
         std::max(mean.max_request_latency, r.max_request_latency);
+    mean.avg_request_wait += r.avg_request_wait / n;
+    mean.p50_request_wait += r.p50_request_wait / n;
+    mean.p95_request_wait += r.p95_request_wait / n;
+    mean.p99_request_wait += r.p99_request_wait / n;
+    mean.avg_request_travel += r.avg_request_travel / n;
+    mean.p50_request_travel += r.p50_request_travel / n;
+    mean.p95_request_travel += r.p95_request_travel / n;
+    mean.p99_request_travel += r.p99_request_travel / n;
+    mean.avg_request_service += r.avg_request_service / n;
+    mean.p50_request_service += r.p50_request_service / n;
+    mean.p95_request_service += r.p95_request_service / n;
+    mean.p99_request_service += r.p99_request_service / n;
     mean.recharge_fairness_jain += r.recharge_fairness_jain / n;
     lost += static_cast<double>(r.requests_lost) / n;
     delayed += static_cast<double>(r.requests_delayed) / n;

@@ -63,6 +63,13 @@ World::World(const SimConfig& config, WorldEngine engine)
   breakdown_began_.assign(config_.num_rvs, -1.0);
 
   request_time_.assign(config_.num_sensors, -1.0);
+  request_span_.assign(config_.num_sensors, 0);
+  req_travel_accum_.assign(config_.num_sensors, 0.0);
+  rv_tour_span_.assign(config_.num_rvs, 0);
+  rv_leg_span_.assign(config_.num_rvs, 0);
+  rv_breakdown_span_.assign(config_.num_rvs, 0);
+  leg_began_.assign(config_.num_rvs, 0.0);
+  charge_began_.assign(config_.num_rvs, 0.0);
   drain_.assign(config_.num_sensors, 0.0);
   last_settle_.assign(config_.num_sensors, 0.0);
   sensor_epoch_.assign(config_.num_sensors, 0);
@@ -203,14 +210,15 @@ void World::run_until(Second t_in) {
       pop_counters_[static_cast<std::size_t>(ev.kind)]->add();
     }
     if (tracer_) tracer_({ev.time, ev.kind, ev.subject, ev.epoch, queue_.size()});
-    if (trace_sink_ != nullptr) {
+    if (trace_sink_ != nullptr || flight_ != nullptr) {
       obs::TraceRecord rec;
       rec.t = ev.time;
       rec.kind = kind_name(ev.kind);
       rec.subject = ev.subject;
       rec.epoch = ev.epoch;
       rec.queue_size = queue_.size();
-      trace_sink_->on_event(rec);
+      if (trace_sink_ != nullptr) trace_sink_->on_event(rec);
+      if (flight_ != nullptr) flight_->record(rec);
     }
   }
   if (queue_hwm_gauge_ != nullptr) {
@@ -220,7 +228,36 @@ void World::run_until(Second t_in) {
   // Public horizon: realize every battery at t so levels, alive counts and
   // the energy-conservation invariant are current for callers.
   settle_all_sensors();
-  if (t >= end_) finished_ = true;
+  if (t >= end_) {
+    finished_ = true;
+    if (spans_ != nullptr && !spans_closed_) close_spans();
+  }
+}
+
+void World::close_spans() {
+  spans_closed_ = true;
+  // Deterministic close order (sensors ascending, then per-RV leg/breakdown/
+  // tour) keeps span files byte-stable across runs.
+  for (SensorId s = 0; s < request_span_.size(); ++s) {
+    if (request_span_[s] == 0) continue;
+    const char* outcome = net_.sensor(s).alive() ? "unserved" : "died-waiting";
+    spans_->end(request_span_[s], now_, outcome);
+    request_span_[s] = 0;
+  }
+  for (RvId r = 0; r < rvs_.size(); ++r) {
+    if (rv_leg_span_[r] != 0) {
+      spans_->end(rv_leg_span_[r], now_, "sim-end");
+      rv_leg_span_[r] = 0;
+    }
+    if (rv_breakdown_span_[r] != 0) {
+      spans_->end(rv_breakdown_span_[r], now_, "sim-end");
+      rv_breakdown_span_[r] = 0;
+    }
+    if (rv_tour_span_[r] != 0) {
+      spans_->end(rv_tour_span_[r], now_, "sim-end");
+      rv_tour_span_[r] = 0;
+    }
+  }
 }
 
 void World::inject_sensor_failure(SensorId s) {
@@ -795,7 +832,11 @@ void World::add_request(SensorId s) {
   if (sensor.recharge_requested) return;
   sensor.recharge_requested = true;
   request_time_[s] = now_;
+  req_travel_accum_[s] = 0.0;  // fresh lifecycle: restart the breakdown clock
   metrics_.on_request();
+  if (spans_ != nullptr) {
+    request_span_[s] = spans_->begin("request", s, "request", now_);
+  }
   if (fault_ == nullptr) {
     deliver_request(s);
     return;
@@ -818,6 +859,9 @@ void World::deliver_request(SensorId s) {
   request.critical = sensor_critical(s);
   request.fraction = sensor.battery.fraction();
   requests_.add(std::move(request));
+  if (spans_ != nullptr && request_span_[s] != 0) {
+    spans_->mark(request_span_[s], "uplink-delivered", now_);
+  }
 }
 
 bool World::attempt_uplink(SensorId s) {
@@ -832,6 +876,9 @@ bool World::attempt_uplink(SensorId s) {
       // The packet is in flight; it lands (and is delivered unconditionally)
       // when the event fires.
       metrics_.on_request_delayed();
+      if (spans_ != nullptr && request_span_[s] != 0) {
+        spans_->mark(request_span_[s], "uplink-delay", now_, "", d.delay_s);
+      }
       uplink_pending_[s] = UplinkPending::kDeliver;
       queue_.push(now_ + d.delay_s, EventKind::kRequestUplink, s,
                   uplink_epoch_[s]);
@@ -839,6 +886,9 @@ bool World::attempt_uplink(SensorId s) {
     case UplinkOutcome::kDrop:
       metrics_.on_request_lost();
       if (fault_lost_counter_ != nullptr) fault_lost_counter_->add();
+      if (spans_ != nullptr && request_span_[s] != 0) {
+        spans_->mark(request_span_[s], "uplink-drop", now_);
+      }
       if (attempt >= plan.max_retries()) {
         expire_request(s);
         return false;
@@ -863,6 +913,10 @@ void World::expire_request(SensorId s) {
   uplink_pending_[s] = UplinkPending::kNone;
   metrics_.on_request_expired();
   if (fault_expired_counter_ != nullptr) fault_expired_counter_->add();
+  if (spans_ != nullptr && request_span_[s] != 0) {
+    spans_->end(request_span_[s], now_, "expired");
+    request_span_[s] = 0;
+  }
   // The cluster may re-fire a fresh request at the next ERP evaluation.
 }
 
@@ -882,6 +936,9 @@ void World::on_request_uplink(SensorId s) {
   if (pending == UplinkPending::kNone) return;  // stale safety net
   metrics_.on_request_retried();
   if (fault_retried_counter_ != nullptr) fault_retried_counter_->add();
+  if (spans_ != nullptr && request_span_[s] != 0) {
+    spans_->mark(request_span_[s], "uplink-retry", now_);
+  }
   if (attempt_uplink(s)) dispatch();
 }
 
@@ -981,6 +1038,12 @@ void World::handle_death(SensorId s) {
   metrics_.on_sensor_death();
   ++sensor_epoch_[s];
   mark_drain_dirty(s);
+  // Annotation, not a terminal end: an RV can still revive the node, in
+  // which case the span ends "served"; if it never does, close_spans turns
+  // the open span into the "died-waiting" terminal.
+  if (spans_ != nullptr && request_span_[s] != 0) {
+    spans_->mark(request_span_[s], "sensor-died", now_);
+  }
 
   if (sensor.monitoring) {
     sensor.monitoring = false;

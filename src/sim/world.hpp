@@ -36,6 +36,8 @@
 #include "fault/fault.hpp"
 #include "net/network.hpp"
 #include "net/traffic.hpp"
+#include "obs/flight.hpp"
+#include "obs/spans.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "sched/planner.hpp"
@@ -93,6 +95,22 @@ class World {
   // be attached at once. Pass nullptr to detach. The sink must outlive the
   // run; finish() is left to the caller.
   void set_trace_sink(obs::TraceSink* sink) { trace_sink_ = sink; }
+
+  // Span tracing (obs/spans.hpp): the world opens, annotates and closes
+  // lifecycle spans on the log — one root span per recharge request (ending
+  // in exactly one of served / expired / died-waiting / unserved) and one
+  // per RV tour with travel/charge/return legs and breakdown interruptions
+  // nested inside. Pass nullptr to detach. The log must outlive the run;
+  // spans still open at the horizon are closed when run_until reaches end_,
+  // but SpanLog::finish() (sink flush) is left to the owner. Observational
+  // only: attaching spans never changes simulated physics
+  // (tests/test_spans.cpp).
+  void set_span_log(obs::SpanLog* spans) { spans_ = spans; }
+
+  // Flight recorder (obs/flight.hpp): receives the same per-event
+  // TraceRecord stream as the trace sink into its bounded ring, for
+  // post-mortem dumps on assert failures / SIGINT. Pass nullptr to detach.
+  void set_flight_recorder(obs::FlightRecorder* recorder) { flight_ = recorder; }
 
   // Attaches a telemetry registry (obs/telemetry.hpp): the event loop counts
   // pops per EventKind, stale-epoch discards and the queue high-water mark,
@@ -239,6 +257,9 @@ class World {
   [[nodiscard]] std::vector<RechargeItem> unclaimed_items();
 
   // --- misc ------------------------------------------------------------
+  // Ends every span still open at the simulation horizon (open requests
+  // become "unserved" / "died-waiting", RV segments "sim-end"). Runs once.
+  void close_spans();
   [[nodiscard]] double effective_erp() const;
   [[nodiscard]] bool sensor_critical(SensorId s) const;
   void record_sample();
@@ -317,6 +338,23 @@ class World {
   TraceFn tracer_;
   obs::TraceSink* trace_sink_ = nullptr;
   std::uint64_t events_processed_ = 0;
+
+  // Span tracing + flight recorder (optional, never physics-relevant).
+  // Cached span ids play the role the cached Counter* handles play for
+  // telemetry: the hot path updates them without any lookups.
+  obs::SpanLog* spans_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
+  bool spans_closed_ = false;
+  std::vector<std::uint64_t> request_span_;       // per sensor, 0 = none
+  std::vector<std::uint64_t> rv_tour_span_;       // per RV, 0 = not touring
+  std::vector<std::uint64_t> rv_leg_span_;        // per RV: current travel/
+                                                  // charge/return/self-charge
+  std::vector<std::uint64_t> rv_breakdown_span_;  // per RV, 0 = healthy
+  // Latency-breakdown stamps (always on: they feed the wait/travel/service
+  // percentiles in MetricsReport, with or without spans attached).
+  std::vector<double> req_travel_accum_;  // per sensor: approach-leg seconds
+  std::vector<double> leg_began_;         // per RV: departure of current leg
+  std::vector<double> charge_began_;      // per RV: start of current dwell
 
   // Telemetry (optional, never physics-relevant). Counter handles are
   // resolved once in set_telemetry so the hot loops update them without

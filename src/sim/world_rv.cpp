@@ -129,10 +129,17 @@ void World::assign_plan(Rv& rv, const std::vector<RechargeItem>& items,
     WRSN_ASSERT(!claimed_.contains(s), "sensor claimed twice");
     claimed_.insert(s);
     rv.service_queue.push_back(s);
+    if (spans_ != nullptr && request_span_[s] != 0) {
+      spans_->mark(request_span_[s], "claimed", now_, "",
+                   static_cast<double>(rv.id));
+    }
   }
   if (!rv.in_field) {
     rv.in_field = true;
     metrics_.on_rv_tour_started();
+    if (spans_ != nullptr) {
+      rv_tour_span_[rv.id] = spans_->begin("rv", rv.id, "tour", now_);
+    }
   }
   start_next_leg(rv);
 }
@@ -157,6 +164,11 @@ void World::start_next_leg(Rv& rv) {
   rv.distance_traveled += leg.value();
   const double arrive = now_ + (leg / config_.rv.speed).value();
   queue_.push(arrive, EventKind::kRvArrival, rv.id, rv.epoch);
+  leg_began_[rv.id] = now_;
+  if (spans_ != nullptr) {
+    rv_leg_span_[rv.id] =
+        spans_->begin("rv", rv.id, "travel", now_, rv_tour_span_[rv.id]);
+  }
 }
 
 void World::return_to_base(Rv& rv) {
@@ -164,6 +176,10 @@ void World::return_to_base(Rv& rv) {
   if (leg.value() <= 1e-9) {
     rv.pos = net_.base_station();
     rv.in_field = false;
+    if (spans_ != nullptr && rv_tour_span_[rv.id] != 0) {
+      spans_->end(rv_tour_span_[rv.id], now_, "completed");
+      rv_tour_span_[rv.id] = 0;
+    }
     if (rv.battery.level() < rv.battery.capacity()) {
       begin_self_charge(rv);
     } else {
@@ -178,6 +194,10 @@ void World::return_to_base(Rv& rv) {
   rv.distance_traveled += leg.value();
   const double arrive = now_ + (leg / config_.rv.speed).value();
   queue_.push(arrive, EventKind::kRvArrival, rv.id, rv.epoch);
+  if (spans_ != nullptr) {
+    rv_leg_span_[rv.id] =
+        spans_->begin("rv", rv.id, "return", now_, rv_tour_span_[rv.id]);
+  }
 }
 
 void World::begin_self_charge(Rv& rv) {
@@ -185,6 +205,9 @@ void World::begin_self_charge(Rv& rv) {
   ++rv.epoch;
   const Second dwell = rv.battery.demand() / config_.rv.base_recharge_power;
   queue_.push(now_ + dwell.value(), EventKind::kRvBaseChargeDone, rv.id, rv.epoch);
+  if (spans_ != nullptr) {
+    rv_leg_span_[rv.id] = spans_->begin("rv", rv.id, "self-charge", now_);
+  }
 }
 
 void World::abandon_plan(Rv& rv) {
@@ -197,6 +220,16 @@ void World::on_rv_arrival(RvId r) {
   if (rv.state == Rv::State::kReturning) {
     rv.pos = net_.base_station();
     rv.in_field = false;
+    if (spans_ != nullptr) {
+      if (rv_leg_span_[r] != 0) {
+        spans_->end(rv_leg_span_[r], now_, "arrived");
+        rv_leg_span_[r] = 0;
+      }
+      if (rv_tour_span_[r] != 0) {
+        spans_->end(rv_tour_span_[r], now_, "completed");
+        rv_tour_span_[r] = 0;
+      }
+    }
     if (rv.battery.level() < rv.battery.capacity()) {
       begin_self_charge(rv);
     } else {
@@ -208,9 +241,18 @@ void World::on_rv_arrival(RvId r) {
   WRSN_ASSERT(rv.state == Rv::State::kTraveling, "arrival in unexpected state");
   WRSN_ASSERT(!rv.service_queue.empty(), "arrived with empty queue");
   const SensorId s = rv.service_queue.front();
+  req_travel_accum_[s] += now_ - leg_began_[r];
+  charge_began_[r] = now_;
   rv.pos = net_.sensor(s).pos;
   rv.state = Rv::State::kCharging;
   ++rv.epoch;
+  if (spans_ != nullptr) {
+    if (rv_leg_span_[r] != 0) {
+      spans_->end(rv_leg_span_[r], now_, "arrived");
+      rv_leg_span_[r] = 0;
+    }
+    rv_leg_span_[r] = spans_->begin("rv", r, "charge", now_, rv_tour_span_[r]);
+  }
   settle_sensor(s);  // dwell is computed from the node's current level
   // Deliver up to the node's demand, bounded by what the RV can spare and
   // still make it home (constraint (7) + the reserve).
@@ -251,8 +293,29 @@ void World::on_rv_charge_done(RvId r) {
   const double requested_at = request_time_[s];
   const Second latency{requested_at >= 0.0 ? now_ - requested_at : 0.0};
   metrics_.on_recharge(s, delivered, latency);
+  // Decompose the end-to-end latency: service is this final dwell, travel
+  // the accumulated approach legs toward this sensor, wait the remainder
+  // (base-station queueing plus time stranded behind breakdowns).
+  if (requested_at >= 0.0) {
+    const double service = now_ - charge_began_[r];
+    const double travel = req_travel_accum_[s];
+    const double wait = std::max(0.0, latency.value() - travel - service);
+    metrics_.on_recharge_breakdown(Second{wait}, Second{travel}, Second{service});
+  } else {
+    metrics_.on_recharge_breakdown(Second{0.0}, Second{0.0}, Second{0.0});
+  }
   rv.energy_delivered += delivered.value();
   ++rv.nodes_served;
+  if (spans_ != nullptr) {
+    if (rv_leg_span_[r] != 0) {
+      spans_->end(rv_leg_span_[r], now_, "served", delivered.value());
+      rv_leg_span_[r] = 0;
+    }
+    if (request_span_[s] != 0) {
+      spans_->end(request_span_[s], now_, "served", delivered.value());
+      request_span_[s] = 0;
+    }
+  }
 
   sensor.recharge_requested = false;
   requests_.remove(s);
@@ -306,6 +369,10 @@ void World::on_rv_base_charge_done(RvId r) {
   const Joule drawn = rv.battery.demand();
   rv.battery.refill();
   metrics_.on_rv_base_recharge(drawn);
+  if (spans_ != nullptr && rv_leg_span_[r] != 0) {
+    spans_->end(rv_leg_span_[r], now_, "refilled", drawn.value());
+    rv_leg_span_[r] = 0;
+  }
   rv.state = Rv::State::kIdle;
   dispatch();
 }
@@ -327,6 +394,14 @@ void World::on_rv_breakdown(RvId r) {
   ++rv.epoch;
   rv.state = Rv::State::kBrokenDown;
   breakdown_began_[r] = now_;
+  if (spans_ != nullptr) {
+    if (rv_leg_span_[r] != 0) {
+      spans_->end(rv_leg_span_[r], now_, "interrupted");
+      rv_leg_span_[r] = 0;
+    }
+    rv_breakdown_span_[r] =
+        spans_->begin("rv", r, "breakdown", now_, rv_tour_span_[r]);
+  }
 
   std::size_t stranded = 0;
   if (config_.fault.rv_failover) {
@@ -336,6 +411,9 @@ void World::on_rv_breakdown(RvId r) {
     for (SensorId s : rv.service_queue) {
       claimed_.erase(s);
       if (stranded_since_[s] < 0.0) stranded_since_[s] = now_;
+      if (spans_ != nullptr && request_span_[s] != 0) {
+        spans_->mark(request_span_[s], "stranded", now_);
+      }
       ++stranded;
     }
     rv.service_queue.clear();
@@ -359,11 +437,19 @@ void World::on_rv_repaired(RvId r) {
   metrics_.on_rv_repaired(Second{now_ - breakdown_began_[r]});
   breakdown_began_[r] = -1.0;
   ++rv.epoch;
+  if (spans_ != nullptr && rv_breakdown_span_[r] != 0) {
+    spans_->end(rv_breakdown_span_[r], now_, "repaired");
+    rv_breakdown_span_[r] = 0;
+  }
 
   if (config_.fault.rv_failover || rv.service_queue.empty()) {
     // Towed back to base and refilled by the repair crew.
     rv.pos = net_.base_station();
     rv.in_field = false;
+    if (spans_ != nullptr && rv_tour_span_[r] != 0) {
+      spans_->end(rv_tour_span_[r], now_, "towed");
+      rv_tour_span_[r] = 0;
+    }
     const Joule drawn = rv.battery.demand();
     if (drawn.value() > 0.0) {
       rv.battery.refill();

@@ -20,6 +20,7 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,8 @@
 #include "core/stats.hpp"
 #include "core/table.hpp"
 #include "core/thread_pool.hpp"
+#include "obs/flight.hpp"
+#include "obs/spans.hpp"
 #include "obs/telemetry.hpp"
 #include "sched/policy.hpp"
 #include "sim/runner.hpp"
@@ -58,6 +61,13 @@ using namespace wrsn;
       "                       Prometheus text when FILE ends in .prom\n"
       "  --series FILE        time series of the first replica as CSV\n"
       "  --svg FILE           final state of the first replica as SVG\n"
+      "  --spans FILE         lifecycle spans of the first replica as JSONL\n"
+      "                       (schema wrsn.spans v2; see obs/spans.hpp)\n"
+      "  --chrome-trace FILE  same spans as Chrome trace-event JSON, loadable\n"
+      "                       in https://ui.perfetto.dev or chrome://tracing\n"
+      "  --flight-recorder N  keep the last N events of the first replica in\n"
+      "                       memory; dumped to stderr on assert failure,\n"
+      "                       simulation error, or Ctrl-C\n"
       "  --print-config       print the effective configuration and exit\n"
       "  --list-keys          list recognized config keys and exit\n"
       "  --list-schedulers    list registered scheduler policies and exit\n"
@@ -166,6 +176,8 @@ int main(int argc, char** argv) try {
   SimConfig cfg = SimConfig::paper_defaults();
   std::size_t seeds = 1;
   std::string csv_path, series_path, svg_path, json_path, telemetry_path;
+  std::string spans_path, chrome_path;
+  std::size_t flight_capacity = 0;
   bool print_config = false;
 
   const std::vector<std::string> args(argv + 1, argv + argc);
@@ -212,6 +224,13 @@ int main(int argc, char** argv) try {
       json_path = need_value(i);
     } else if (a == "--telemetry") {
       telemetry_path = need_value(i);
+    } else if (a == "--spans") {
+      spans_path = need_value(i);
+    } else if (a == "--chrome-trace") {
+      chrome_path = need_value(i);
+    } else if (a == "--flight-recorder") {
+      flight_capacity = static_cast<std::size_t>(std::stoul(need_value(i)));
+      WRSN_REQUIRE(flight_capacity > 0, "--flight-recorder must be positive");
     } else if (a == "--series") {
       series_path = need_value(i);
     } else if (a == "--svg") {
@@ -237,10 +256,43 @@ int main(int argc, char** argv) try {
   if (telemetry_ptr != nullptr) obs::require_writable(telemetry_path);
   std::vector<MetricsReport> reports;
   {
+    // Span tracing, Chrome export and flight recording attach to the first
+    // replica (like --series / --svg); sweeps use wrsn_sweep's per-replica
+    // files. All are observational: the report is byte-identical either way.
+    std::ofstream spans_file, chrome_file;
+    std::unique_ptr<obs::JsonlSpanSink> spans_sink;
+    std::unique_ptr<obs::ChromeTraceSink> chrome_sink;
+    std::unique_ptr<obs::SpanLog> span_log;
+    std::unique_ptr<obs::FlightRecorder> flight;
+    if (!spans_path.empty()) {
+      spans_file.open(spans_path);
+      WRSN_REQUIRE(spans_file.good(), "cannot open '" + spans_path + "'");
+      spans_sink = std::make_unique<obs::JsonlSpanSink>(spans_file);
+    }
+    if (!chrome_path.empty()) {
+      chrome_file.open(chrome_path);
+      WRSN_REQUIRE(chrome_file.good(), "cannot open '" + chrome_path + "'");
+      chrome_sink = std::make_unique<obs::ChromeTraceSink>(chrome_file);
+    }
+    if (spans_sink != nullptr || chrome_sink != nullptr) {
+      span_log =
+          std::make_unique<obs::SpanLog>(spans_sink.get(), chrome_sink.get());
+    }
+
     World world(cfg);
     world.set_telemetry(telemetry_ptr);
+    world.set_span_log(span_log.get());
+    if (flight_capacity > 0) {
+      flight = std::make_unique<obs::FlightRecorder>(flight_capacity);
+      flight->set_label("wrsn_sim seed " + std::to_string(cfg.seed));
+      flight->set_context_provider([&world] { return to_json(world.report()); });
+      world.set_flight_recorder(flight.get());
+      obs::FlightRecorder::arm_failure_hook();
+      obs::FlightRecorder::arm_signal_handlers();
+    }
     world.enable_time_series(!series_path.empty());
     reports.push_back(world.run());
+    if (span_log != nullptr) span_log->finish(world.now().value());
     if (!series_path.empty()) write_series(series_path, world.time_series());
     if (!svg_path.empty()) save_svg(svg_path, world);
   }
@@ -294,11 +346,18 @@ int main(int argc, char** argv) try {
   }
   if (!series_path.empty()) std::cout << "wrote time series to " << series_path << '\n';
   if (!svg_path.empty()) std::cout << "wrote final-state SVG to " << svg_path << '\n';
+  if (!spans_path.empty()) std::cout << "wrote spans to " << spans_path << '\n';
+  if (!chrome_path.empty()) {
+    std::cout << "wrote Chrome trace to " << chrome_path
+              << " (load in https://ui.perfetto.dev)\n";
+  }
   return 0;
 } catch (const std::exception& e) {
+  wrsn::obs::FlightRecorder::dump_all("graceful-failure");
   std::cerr << "wrsn_sim: " << e.what() << '\n';
   return 1;
 } catch (...) {
+  wrsn::obs::FlightRecorder::dump_all("graceful-failure");
   std::cerr << "wrsn_sim: unknown error\n";
   return 1;
 }

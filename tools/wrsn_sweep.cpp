@@ -8,10 +8,17 @@
 //   wrsn_sweep --sweep KEY=V1,V2,... [--sweep KEY=...]...
 //              [--config FILE] [--set KEY=VALUE]... [--days N] [--seeds N]
 //              [--faults FILE|SPEC] [--csv FILE] [--telemetry FILE]
+//              [--spans PREFIX] [--chrome-trace PREFIX] [--flight-recorder N]
 //
 // --telemetry FILE aggregates telemetry (event-loop counters, scheduler
 // timing histograms) over every replica of every grid point and writes it
 // as JSON (Prometheus text when FILE ends in .prom).
+//
+// --spans / --chrome-trace take a filename PREFIX, not a single file: every
+// replica writes its own PREFIX.point<P>.rep<R>.jsonl / .json (replicas run
+// concurrently, so they cannot share a sink). --flight-recorder N attaches a
+// per-replica recorder of the last N events, labelled point/rep, dumped to
+// stderr on assert failure or Ctrl-C.
 //
 // Example (Fig. 6 grid):
 //   wrsn_sweep --sweep scheduler=greedy,partition,combined
@@ -19,6 +26,7 @@
 //              --days 120 --seeds 3 --csv fig6.csv
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -28,6 +36,8 @@
 #include "core/error.hpp"
 #include "core/stats.hpp"
 #include "core/thread_pool.hpp"
+#include "obs/flight.hpp"
+#include "obs/spans.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/runner.hpp"
 
@@ -78,7 +88,8 @@ int main(int argc, char** argv) try {
   SimConfig base = SimConfig::paper_defaults();
   std::vector<Sweep> sweeps;
   std::size_t seeds = 2;
-  std::string csv_path, telemetry_path;
+  std::string csv_path, telemetry_path, spans_prefix, chrome_prefix;
+  std::size_t flight_capacity = 0;
 
   const std::vector<std::string> args(argv + 1, argv + argc);
   auto need_value = [&](std::size_t& i) -> const std::string& {
@@ -119,6 +130,13 @@ int main(int argc, char** argv) try {
       csv_path = need_value(i);
     } else if (a == "--telemetry") {
       telemetry_path = need_value(i);
+    } else if (a == "--spans") {
+      spans_prefix = need_value(i);
+    } else if (a == "--chrome-trace") {
+      chrome_prefix = need_value(i);
+    } else if (a == "--flight-recorder") {
+      flight_capacity = static_cast<std::size_t>(std::stoul(need_value(i)));
+      WRSN_REQUIRE(flight_capacity > 0, "--flight-recorder must be positive");
     } else {
       std::cerr << "unknown option '" << a << "' (try --help)\n";
       return 2;
@@ -205,6 +223,11 @@ int main(int argc, char** argv) try {
     std::cerr << "point " << point + 1 << '/' << total_points << " done\n";
   };
 
+  if (flight_capacity > 0) {
+    obs::FlightRecorder::arm_failure_hook();
+    obs::FlightRecorder::arm_signal_handlers();
+  }
+
   ThreadPool pool;
   pool.parallel_for(total_tasks, [&](std::size_t task) {
     const std::size_t point = task / seeds;
@@ -213,8 +236,42 @@ int main(int argc, char** argv) try {
     // Same per-replica seed derivation as run_replicas, so the flattened
     // grid reproduces the sequential driver's reports byte for byte.
     cfg.seed = point_cfgs[point].seed + replica;
-    reports[task] = run_replica(
-        cfg, telemetry_ptr != nullptr ? &local_telemetry[task] : nullptr);
+    // Replicas run concurrently, so span sinks cannot be shared: each task
+    // gets its own PREFIX.point<P>.rep<R> file pair and its own recorder.
+    const std::string tag =
+        ".point" + std::to_string(point) + ".rep" + std::to_string(replica);
+    std::ofstream spans_file, chrome_file;
+    std::unique_ptr<obs::JsonlSpanSink> spans_sink;
+    std::unique_ptr<obs::ChromeTraceSink> chrome_sink;
+    std::unique_ptr<obs::SpanLog> span_log;
+    std::unique_ptr<obs::FlightRecorder> flight;
+    if (!spans_prefix.empty()) {
+      const std::string path = spans_prefix + tag + ".jsonl";
+      spans_file.open(path);
+      WRSN_REQUIRE(spans_file.good(), "cannot open '" + path + "'");
+      spans_sink = std::make_unique<obs::JsonlSpanSink>(spans_file);
+    }
+    if (!chrome_prefix.empty()) {
+      const std::string path = chrome_prefix + tag + ".json";
+      chrome_file.open(path);
+      WRSN_REQUIRE(chrome_file.good(), "cannot open '" + path + "'");
+      chrome_sink = std::make_unique<obs::ChromeTraceSink>(chrome_file);
+    }
+    if (spans_sink != nullptr || chrome_sink != nullptr) {
+      span_log =
+          std::make_unique<obs::SpanLog>(spans_sink.get(), chrome_sink.get());
+    }
+    if (flight_capacity > 0) {
+      flight = std::make_unique<obs::FlightRecorder>(flight_capacity);
+      flight->set_label("wrsn_sweep" + tag + " seed " + std::to_string(cfg.seed));
+    }
+    ReplicaInstruments instruments;
+    instruments.telemetry =
+        telemetry_ptr != nullptr ? &local_telemetry[task] : nullptr;
+    instruments.spans = span_log.get();
+    instruments.flight = flight.get();
+    reports[task] = run_replica(cfg, instruments);
+    if (span_log != nullptr) span_log->finish(point_cfgs[point].sim_duration.value());
     const std::lock_guard lock(write_mutex);
     if (--remaining[point] == 0) {
       while (next_write < total_points && remaining[next_write] == 0) {
@@ -237,9 +294,11 @@ int main(int argc, char** argv) try {
   }
   return 0;
 } catch (const std::exception& e) {
+  wrsn::obs::FlightRecorder::dump_all("graceful-failure");
   std::cerr << "wrsn_sweep: " << e.what() << '\n';
   return 1;
 } catch (...) {
+  wrsn::obs::FlightRecorder::dump_all("graceful-failure");
   std::cerr << "wrsn_sweep: unknown error\n";
   return 1;
 }

@@ -4,6 +4,7 @@
 //
 //   wrsn_trace [--days N] [--set KEY=VALUE]... [--faults FILE|SPEC]
 //              [--out FILE] [--format csv|jsonl] [--telemetry FILE]
+//              [--spans FILE] [--chrome-trace FILE] [--flight-recorder N]
 //
 // Formats (both carry the same fields; see obs/trace.hpp):
 //   csv    t_seconds,t_hours,event,subject,epoch,queue_size   (default)
@@ -12,6 +13,9 @@
 // --telemetry FILE additionally writes the run's telemetry registry (event
 // pop counts, stale discards, queue high-water mark, scheduler timings) as
 // JSON, or Prometheus text exposition when FILE ends in ".prom".
+// --spans / --chrome-trace write lifecycle spans (schema wrsn.spans v2 JSONL
+// / Chrome trace-event JSON for Perfetto); --flight-recorder N keeps the last
+// N events in memory and dumps them to stderr on assert failure or Ctrl-C.
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -20,6 +24,8 @@
 
 #include "core/config_io.hpp"
 #include "core/error.hpp"
+#include "obs/flight.hpp"
+#include "obs/spans.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "sim/world.hpp"
@@ -29,6 +35,8 @@ int main(int argc, char** argv) try {
   SimConfig cfg = SimConfig::paper_defaults();
   cfg.sim_duration = days(1.0);
   std::string out_path, format = "csv", telemetry_path;
+  std::string spans_path, chrome_path;
+  std::size_t flight_capacity = 0;
 
   const std::vector<std::string> args(argv + 1, argv + argc);
   auto need_value = [&](std::size_t& i) -> const std::string& {
@@ -39,7 +47,8 @@ int main(int argc, char** argv) try {
     const std::string& a = args[i];
     if (a == "--help" || a == "-h") {
       std::cout << "wrsn_trace [--days N] [--set KEY=VALUE]... [--faults FILE|SPEC]\n"
-                   "           [--out FILE] [--format csv|jsonl] [--telemetry FILE]\n";
+                   "           [--out FILE] [--format csv|jsonl] [--telemetry FILE]\n"
+                   "           [--spans FILE] [--chrome-trace FILE] [--flight-recorder N]\n";
       return 0;
     }
     if (a == "--days") {
@@ -59,6 +68,13 @@ int main(int argc, char** argv) try {
                    "--format must be csv or jsonl");
     } else if (a == "--telemetry") {
       telemetry_path = need_value(i);
+    } else if (a == "--spans") {
+      spans_path = need_value(i);
+    } else if (a == "--chrome-trace") {
+      chrome_path = need_value(i);
+    } else if (a == "--flight-recorder") {
+      flight_capacity = static_cast<std::size_t>(std::stoul(need_value(i)));
+      WRSN_REQUIRE(flight_capacity > 0, "--flight-recorder must be positive");
     } else {
       std::cerr << "unknown option '" << a << "'\n";
       return 2;
@@ -80,15 +96,48 @@ int main(int argc, char** argv) try {
     sink = std::make_unique<obs::CsvTraceSink>(out);
   }
 
+  std::ofstream spans_file, chrome_file;
+  std::unique_ptr<obs::JsonlSpanSink> spans_sink;
+  std::unique_ptr<obs::ChromeTraceSink> chrome_sink;
+  std::unique_ptr<obs::SpanLog> span_log;
+  if (!spans_path.empty()) {
+    spans_file.open(spans_path);
+    WRSN_REQUIRE(spans_file.good(), "cannot open '" + spans_path + "'");
+    spans_sink = std::make_unique<obs::JsonlSpanSink>(spans_file);
+  }
+  if (!chrome_path.empty()) {
+    chrome_file.open(chrome_path);
+    WRSN_REQUIRE(chrome_file.good(), "cannot open '" + chrome_path + "'");
+    chrome_sink = std::make_unique<obs::ChromeTraceSink>(chrome_file);
+  }
+  if (spans_sink != nullptr || chrome_sink != nullptr) {
+    span_log = std::make_unique<obs::SpanLog>(spans_sink.get(), chrome_sink.get());
+  }
+
   obs::TelemetryRegistry registry;
   if (!telemetry_path.empty()) obs::require_writable(telemetry_path);
   std::size_t count = 0;
   World world(cfg);
   world.set_trace_sink(sink.get());
   if (!telemetry_path.empty()) world.set_telemetry(&registry);
+  world.set_span_log(span_log.get());
+  std::unique_ptr<obs::FlightRecorder> flight;
+  if (flight_capacity > 0) {
+    flight = std::make_unique<obs::FlightRecorder>(flight_capacity);
+    flight->set_label("wrsn_trace seed " + std::to_string(cfg.seed));
+    flight->set_context_provider([&world] { return to_json(world.report()); });
+    world.set_flight_recorder(flight.get());
+    obs::FlightRecorder::arm_failure_hook();
+    obs::FlightRecorder::arm_signal_handlers();
+  }
   world.set_tracer([&](const World::TraceEvent&) { ++count; });
   world.run();
   sink->finish();
+  if (span_log != nullptr) span_log->finish(world.now().value());
+  if (!spans_path.empty()) std::cerr << "wrote spans to " << spans_path << '\n';
+  if (!chrome_path.empty()) {
+    std::cerr << "wrote Chrome trace to " << chrome_path << '\n';
+  }
 
   if (!telemetry_path.empty()) {
     obs::write_registry_file(telemetry_path, registry);
@@ -98,9 +147,11 @@ int main(int argc, char** argv) try {
             << cfg.sim_duration.value() / 86400.0 << " simulated day(s)\n";
   return 0;
 } catch (const std::exception& e) {
+  wrsn::obs::FlightRecorder::dump_all("graceful-failure");
   std::cerr << "wrsn_trace: " << e.what() << '\n';
   return 1;
 } catch (...) {
+  wrsn::obs::FlightRecorder::dump_all("graceful-failure");
   std::cerr << "wrsn_trace: unknown error\n";
   return 1;
 }
