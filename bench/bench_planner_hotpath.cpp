@@ -281,6 +281,10 @@ int main(int argc, char** argv) {
           .field("opt_ns_per_op", r.opt_ns)
           .field("speedup", r.ref_ns / r.opt_ns);
     } else {
+      // The reference kernel was deliberately skipped (too slow at this
+      // size); say so explicitly so downstream gates can distinguish a
+      // capped row from a broken measurement.
+      w.field("ref_timeout", true);
       w.key("ref_ns_per_op").null();
       w.field("opt_ns_per_op", r.opt_ns);
       w.key("speedup").null();

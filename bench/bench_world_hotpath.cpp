@@ -6,19 +6,27 @@
 // drain refreshes, grid-scoped reclustering) at n in {500, 2000, 10000,
 // 100000} and writes a machine-readable JSON report:
 //
-//   bench_world_hotpath [--quick] [--out FILE]
+//   bench_world_hotpath [--quick] [--out FILE] [--sizes N,N,...]
+//                       [--ref-queue IMPL] [--inc-queue IMPL] [--no-ref]
 //
-//   --quick   only n in {500, 2000} (the ctest smoke target)
-//   --out     output path (default BENCH_world.json in the cwd)
+//   --quick      only n in {500, 2000} (the ctest smoke target)
+//   --out        output path (default BENCH_world.json in the cwd)
+//   --sizes      comma-separated n list overriding the default ladder
+//   --ref-queue  event queue for the reference engine (default heap)
+//   --inc-queue  event queue for the incremental engine (default calendar)
+//   --no-ref     probe mode: skip the reference run (and with it the
+//                cross-check and speedup); rows carry only the inc columns
 //
 // The two runs must agree bit-for-bit: the metrics report JSON and the final
 // per-sensor battery vector are cross-checked before any timing is reported,
 // so the benchmark doubles as an engine-equivalence smoke test at scales the
-// unit suite does not reach. Timing is whole-run wall clock (steady_clock,
-// best of 2 fresh worlds per engine; a single rep at n=100000, where the
-// reference engine's O(N)-per-event rescans already take minutes and rep
-// noise is negligible next to the measured gap); the figure of merit is
-// events/sec.
+// unit suite does not reach. The reference run uses the binary-heap event
+// queue and the incremental run the calendar queue, so the cross-check also
+// proves the two queue implementations pop in an identical order at scale.
+// Timing is whole-run wall clock (steady_clock, best of 2 fresh worlds per
+// engine; a single rep at n=100000, where the reference engine's
+// O(N)-per-event rescans already take minutes and rep noise is negligible
+// next to the measured gap); the figure of merit is events/sec.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -67,7 +75,19 @@ struct RunOutcome {
   std::vector<double> battery_levels;
 };
 
-RunOutcome run_once(const SimConfig& cfg, WorldEngine engine) {
+// Old-vs-new covers both axes at once: the baseline pairs the reference
+// engine with the heap queue, the optimized run the incremental engine with
+// the calendar queue (both overridable from the command line for probing).
+// The bit-identical cross-check then certifies both the engine counters and
+// the queue's pop order.
+std::string g_ref_queue = "heap";
+std::string g_inc_queue = "calendar";
+bool g_no_ref = false;
+
+RunOutcome run_once(const SimConfig& cfg_in, WorldEngine engine) {
+  SimConfig cfg = cfg_in;
+  cfg.event_queue =
+      engine == WorldEngine::kReference ? g_ref_queue : g_inc_queue;
   World w(cfg, engine);  // construction (clustering, seeding) is not timed
   const auto t0 = Clock::now();
   w.run_until(cfg.sim_duration);
@@ -103,6 +123,14 @@ bool run_size(std::size_t n, std::vector<Row>& rows) {
   const SimConfig cfg = bench_config(n);
   const int reps = n >= 100000 ? 1 : 2;
   const RunOutcome inc = run_best(cfg, WorldEngine::kIncremental, reps);
+  const double inc_eps = static_cast<double>(inc.events) / inc.wall_s;
+  if (g_no_ref) {
+    rows.push_back({n, inc.events, 0.0, inc.wall_s});
+    std::cerr << "  n=" << n << ": " << inc.events << " events, inc("
+              << g_inc_queue << ") " << static_cast<std::uint64_t>(inc_eps)
+              << " events/s\n";
+    return true;
+  }
   const RunOutcome ref = run_best(cfg, WorldEngine::kReference, reps);
 
   if (inc.report_json != ref.report_json || inc.events != ref.events ||
@@ -114,7 +142,6 @@ bool run_size(std::size_t n, std::vector<Row>& rows) {
 
   rows.push_back({n, inc.events, ref.wall_s, inc.wall_s});
   const double ref_eps = static_cast<double>(ref.events) / ref.wall_s;
-  const double inc_eps = static_cast<double>(inc.events) / inc.wall_s;
   std::cerr << "  n=" << n << ": " << inc.events << " events, "
             << static_cast<std::uint64_t>(ref_eps) << " -> "
             << static_cast<std::uint64_t>(inc_eps) << " events/s ("
@@ -127,14 +154,33 @@ bool run_size(std::size_t n, std::vector<Row>& rows) {
 int main(int argc, char** argv) {
   bool quick = false;
   std::string out_path = "BENCH_world.json";
+  std::vector<std::size_t> size_override;
+  const auto queue_ok = [](const std::string& q) {
+    return q == "heap" || q == "calendar";
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--quick") {
       quick = true;
     } else if (a == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (a == "--sizes" && i + 1 < argc) {
+      std::string list = argv[++i];
+      for (std::size_t pos = 0; pos < list.size();) {
+        const std::size_t comma = std::min(list.find(',', pos), list.size());
+        size_override.push_back(std::stoull(list.substr(pos, comma - pos)));
+        pos = comma + 1;
+      }
+    } else if (a == "--ref-queue" && i + 1 < argc && queue_ok(argv[i + 1])) {
+      g_ref_queue = argv[++i];
+    } else if (a == "--inc-queue" && i + 1 < argc && queue_ok(argv[i + 1])) {
+      g_inc_queue = argv[++i];
+    } else if (a == "--no-ref") {
+      g_no_ref = true;
     } else if (a == "--help" || a == "-h") {
-      std::cout << "usage: bench_world_hotpath [--quick] [--out FILE]\n";
+      std::cout << "usage: bench_world_hotpath [--quick] [--out FILE] "
+                   "[--sizes N,N,...] [--ref-queue IMPL] [--inc-queue IMPL] "
+                   "[--no-ref]\n";
       return 0;
     } else {
       std::cerr << "unknown option '" << a << "' (try --help)\n";
@@ -144,12 +190,15 @@ int main(int argc, char** argv) {
 
   std::vector<std::size_t> sizes = {500, 2000, 10000, 100000};
   if (quick) sizes = {500, 2000};
+  if (!size_override.empty()) sizes = size_override;
 
   std::vector<Row> rows;
   for (const std::size_t n : sizes) {
     std::cerr << "n=" << n << '\n';
     if (!run_size(n, rows)) return 1;
   }
+
+  if (g_no_ref) return 0;  // probe mode: stderr only, no JSON report
 
   JsonWriter w;
   w.begin_object()
@@ -163,6 +212,8 @@ int main(int argc, char** argv) {
     w.begin_object()
         .field("n", static_cast<std::uint64_t>(r.n))
         .field("events", r.events)
+        .field("ref_queue", g_ref_queue)
+        .field("inc_queue", g_inc_queue)
         .field("ref_wall_s", r.ref_wall_s)
         .field("inc_wall_s", r.inc_wall_s)
         .field("ref_events_per_sec", ref_eps)

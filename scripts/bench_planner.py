@@ -61,15 +61,28 @@ def run(argv: list[str] | None = None) -> int:
         ref = r["ref_ns_per_op"]
         ref_s = f"{ref:14.0f}" if ref is not None else f"{'-':>14}"
         spd = r["speedup"]
-        spd_s = f"{spd:8.2f}x" if spd is not None else f"{'-':>9}"
+        if spd is not None:
+            spd_s = f"{spd:8.2f}x"
+        elif r.get("ref_timeout"):
+            spd_s = f"{'(capped)':>9}"
+        else:
+            spd_s = f"{'-':>9}"
         print(f"{r['kernel']:<22} {r['n']:>6} {ref_s} {r['opt_ns_per_op']:14.0f} {spd_s}")
 
     failures = []
     for spec in args.check:
         kernel, _, minimum = spec.partition(":")
         want = float(minimum) if minimum else 1.0
+        # Rows whose reference was deliberately capped (ref_timeout) carry no
+        # speedup and are excluded from the gate rather than treated as a
+        # missing measurement.
         measured = [r for r in rows if r["kernel"] == kernel and r["speedup"] is not None]
+        capped = [r for r in rows if r["kernel"] == kernel and r.get("ref_timeout")]
         if not measured:
+            if capped:
+                print(f"note: {kernel} gate skipped — reference capped at "
+                      f"n={max(r['n'] for r in capped)}")
+                continue
             failures.append(f"{kernel}: no measured speedup in report")
             continue
         best_n = max(measured, key=lambda r: r["n"])

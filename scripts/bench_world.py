@@ -10,6 +10,8 @@ script renders the events/sec table and can gate on a minimum speedup:
     scripts/bench_world.py                  # full sizes (500, 2000, 10000)
     scripts/bench_world.py --quick          # n in {500, 2000} only
     scripts/bench_world.py --min-speedup 3  # fail unless >= 3x at largest n
+    scripts/bench_world.py --queue-bench    # also run bench_event_queue and
+                                            # append its heap-vs-calendar table
 
 Only the standard library is used.
 """
@@ -31,12 +33,24 @@ def run(argv: list[str] | None = None) -> int:
     ap.add_argument("--out", default=str(repo / "BENCH_world.json"),
                     help="where the JSON report is written")
     ap.add_argument("--quick", action="store_true", help="small sizes only")
+    ap.add_argument("--sizes", default=None, metavar="N,N,...",
+                    help="explicit comma-separated network sizes "
+                         "(overrides --quick for the world bench)")
     ap.add_argument("--min-speedup", type=float, default=None, metavar="MIN",
                     help="fail unless the largest measured n reaches MIN x")
+    ap.add_argument("--queue-bench", action="store_true",
+                    help="also run the bench_event_queue microbench")
+    ap.add_argument("--queue-bin",
+                    default=str(repo / "build" / "bench" / "bench_event_queue"),
+                    help="path to the bench_event_queue binary")
+    ap.add_argument("--queue-out", default=str(repo / "BENCH_event_queue.json"),
+                    help="where the queue microbench JSON report is written")
     args = ap.parse_args(argv)
 
     cmd = [args.bin, "--out", args.out]
-    if args.quick:
+    if args.sizes:
+        cmd.extend(["--sizes", args.sizes])
+    elif args.quick:
         cmd.append("--quick")
     try:
         subprocess.run(cmd, check=True)
@@ -58,6 +72,30 @@ def run(argv: list[str] | None = None) -> int:
     for r in rows:
         print(f"{r['n']:>6} {r['events']:>9} {r['ref_events_per_sec']:12.0f} "
               f"{r['inc_events_per_sec']:12.0f} {r['speedup']:8.2f}x")
+
+    if args.queue_bench:
+        qcmd = [args.queue_bin, "--out", args.queue_out]
+        if args.quick:
+            qcmd.append("--quick")
+        try:
+            subprocess.run(qcmd, check=True)
+        except FileNotFoundError:
+            print(f"queue bench binary not found: {args.queue_bin}",
+                  file=sys.stderr)
+            return 2
+        except subprocess.CalledProcessError as err:
+            return err.returncode
+        with open(args.queue_out, encoding="utf-8") as fh:
+            qreport = json.load(fh)
+        if qreport.get("schema") != "wrsn.bench_event_queue.v1":
+            print(f"unexpected schema in {args.queue_out}", file=sys.stderr)
+            return 2
+        print(f"\n{'dist':<10} {'size':>8} {'heap ns/op':>12} "
+              f"{'calendar ns/op':>15} {'speedup':>9}")
+        for r in qreport["results"]:
+            print(f"{r['dist']:<10} {r['queue_size']:>8} "
+                  f"{r['heap_ns_per_op']:12.1f} {r['calendar_ns_per_op']:15.1f} "
+                  f"{r['speedup']:8.2f}x")
 
     if args.min_speedup is not None:
         largest = max(rows, key=lambda r: r["n"])

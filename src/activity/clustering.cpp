@@ -113,17 +113,28 @@ RebalanceResult rebalance_dirty(ClusterSet& clusters, SensorPosFn sensor_pos,
                                 double sensing_range,
                                 const std::vector<SensorId>& dirty) {
   WRSN_REQUIRE(sensing_range > 0.0, "sensing range must be positive");
-  RebalanceResult out;
-  if (dirty.empty()) return out;
+  if (dirty.empty()) return {};
   const double r2 = sensing_range * sensing_range;
 
-  // Fresh candidate sets and loads for the dirty sensors only.
+  // Fresh candidate sets for the dirty sensors only, by full target scan.
   std::vector<std::vector<TargetId>> cand(dirty.size());
   for (std::size_t i = 0; i < dirty.size(); ++i) {
     const Vec2 p = sensor_pos(dirty[i]);
     for (TargetId t = 0; t < target_pos.size(); ++t) {
       if (squared_distance(p, target_pos[t]) <= r2) cand[i].push_back(t);
     }
+  }
+  return rebalance_dirty(clusters, cand, dirty);
+}
+
+RebalanceResult rebalance_dirty(ClusterSet& clusters,
+                                const std::vector<std::vector<TargetId>>& cand,
+                                const std::vector<SensorId>& dirty) {
+  WRSN_REQUIRE(cand.size() == dirty.size(),
+               "one candidate set per dirty sensor required");
+  RebalanceResult out;
+  if (dirty.empty()) return out;
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
     clusters.loads[dirty[i]] = cand[i].size();
   }
 

@@ -85,6 +85,18 @@ class SensorPosFn {
                                               double sensing_range,
                                               const std::vector<SensorId>& dirty);
 
+// Core of the scoped rebalance with caller-supplied candidate sets:
+// `cand[i]` lists the targets within sensing range of `dirty[i]`, ascending
+// by target id (the admission tie-break), and must contain exactly the
+// targets the O(M) distance scan would find. Lets the simulator answer the
+// candidate queries from a spatial index over the targets instead of
+// scanning every target per dirty sensor — the scan dominated the event
+// loop at large n, where a waypoint step dirties a handful of sensors but
+// the field holds a thousand targets.
+[[nodiscard]] RebalanceResult rebalance_dirty(
+    ClusterSet& clusters, const std::vector<std::vector<TargetId>>& cand,
+    const std::vector<SensorId>& dirty);
+
 // Baseline used in tests/ablation: first-come (unbalanced) clustering, i.e.
 // every sensor simply joins the first target it detects. Exposes how much
 // Algorithm 1's balancing actually buys.

@@ -186,6 +186,11 @@ struct SimConfig {
   // Name of a registered SchedulerPolicy (see sched/policy.hpp). Validated
   // against the registry at parse time and at World construction.
   std::string scheduler = "combined";
+  // Event-queue implementation: "auto" (WRSN_EVENT_QUEUE env, defaulting to
+  // the calendar queue), "calendar" or "heap". Both produce identical event
+  // order — the heap is the O(log n) reference, the calendar queue the O(1)
+  // amortized default (see sim/events.hpp).
+  std::string event_queue = "auto";
   ActivationPolicy activation = ActivationPolicy::kRoundRobin;
   // Post-optimize each RV's flattened visiting order with 2-opt before
   // departure (library extension; off by default to match the paper's

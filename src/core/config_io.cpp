@@ -149,6 +149,15 @@ const std::vector<KeyHandler>& handlers() {
        }},
       {"scheduler", [](const SimConfig& c) { return c.scheduler; },
        [](SimConfig& c, const std::string& v) { c.scheduler = parse_scheduler(trim(v)); }},
+      {"event_queue", [](const SimConfig& c) { return c.event_queue; },
+       [](SimConfig& c, const std::string& v) {
+         const std::string name = trim(v);
+         if (name != "auto" && name != "calendar" && name != "heap") {
+           throw InvalidArgument("unknown event_queue '" + name +
+                                 "' (valid: auto, calendar, heap)");
+         }
+         c.event_queue = name;
+       }},
       {"activation", [](const SimConfig& c) { return to_string(c.activation); },
        [](SimConfig& c, const std::string& v) {
          c.activation = parse_activation(trim(v));

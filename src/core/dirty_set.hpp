@@ -1,0 +1,51 @@
+#pragma once
+// DirtySet — deduplicating dirty-mark collector over a dense id space.
+//
+// add() is O(1) and drops duplicates via a per-id membership flag, so hot
+// paths can mark the same id many times (the traffic model touches every
+// relay on every route change) without the flush having to sort+unique a
+// flood of repeats. ids() returns marks in insertion order; call sort_ids()
+// first when the consumer needs ascending-id determinism.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace wrsn {
+
+class DirtySet {
+ public:
+  DirtySet() = default;
+  explicit DirtySet(std::size_t n) { reset(n); }
+
+  // Drops all marks and resizes the id space to [0, n).
+  void reset(std::size_t n) {
+    member_.assign(n, 0);
+    ids_.clear();
+  }
+
+  void add(std::size_t id) {
+    if (member_[id] != 0) return;
+    member_[id] = 1;
+    ids_.push_back(id);
+  }
+
+  [[nodiscard]] bool contains(std::size_t id) const { return member_[id] != 0; }
+  [[nodiscard]] bool empty() const { return ids_.empty(); }
+  [[nodiscard]] std::size_t size() const { return ids_.size(); }
+  [[nodiscard]] const std::vector<std::size_t>& ids() const { return ids_; }
+
+  void sort_ids() { std::sort(ids_.begin(), ids_.end()); }
+
+  // Un-marks everything; O(marks), not O(id space).
+  void clear() {
+    for (const std::size_t id : ids_) member_[id] = 0;
+    ids_.clear();
+  }
+
+ private:
+  std::vector<std::uint8_t> member_;
+  std::vector<std::size_t> ids_;
+};
+
+}  // namespace wrsn

@@ -33,6 +33,11 @@ class Battery {
   // Adds energy; clamps at capacity and returns the energy actually stored.
   Joule charge(Joule amount);
   void refill() { level_ = capacity_; }
+  // Direct write-back for the simulator's struct-of-arrays settlement
+  // (sim/sensor_soa.hpp): the SoA block does the clamp arithmetic and
+  // mirrors the result here so every other reader stays current. The caller
+  // is responsible for keeping the value inside [0, capacity].
+  void set_level(Joule level) { level_ = level; }
 
   // Time until the level falls to `threshold` when draining at `power`.
   // nullopt when power is zero/negative or the level is already at or below

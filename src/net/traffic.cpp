@@ -16,7 +16,7 @@ void TrafficModel::reset(std::size_t num_sensors) {
 
 void TrafficModel::apply(const SourceFlow& flow, SensorId source, double sign) {
   const double r = sign * flow.rate_pps;
-  if (touch_log_ != nullptr) touch_log_->push_back(source);
+  if (touch_log_ != nullptr) touch_log_->add(source);
   if (flow.relay_path.empty()) {
     // Unreachable source: it still transmits (and wastes energy), nothing is
     // relayed or delivered.
@@ -27,7 +27,7 @@ void TrafficModel::apply(const SourceFlow& flow, SensorId source, double sign) {
     const std::size_t node = flow.relay_path[i];
     tx_rate_[node] += r;
     if (i > 0) rx_rate_[node] += r;  // relays receive before forwarding
-    if (touch_log_ != nullptr && i > 0) touch_log_->push_back(node);
+    if (touch_log_ != nullptr && i > 0) touch_log_->add(node);
   }
   delivery_rate_ += r;
   if (flow.rate_pps > 0.0) {

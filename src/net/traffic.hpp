@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/dirty_set.hpp"
 #include "core/units.hpp"
 #include "net/ids.hpp"
 #include "net/routing.hpp"
@@ -58,10 +59,11 @@ class TrafficModel {
   }
 
   // Optional observer: every sensor whose tx/rx rate is touched by an
-  // add/remove/reroute is appended to `log` (duplicates allowed). The world
-  // uses this to mark drains dirty instead of rescanning all sensors.
+  // add/remove/reroute is marked in `log` (DirtySet dedupes repeats at
+  // insert, so touching a busy relay on every route change stays O(1)). The
+  // world uses this to mark drains dirty instead of rescanning all sensors.
   // Pass nullptr to detach; the log must outlive the model while attached.
-  void set_touch_log(std::vector<SensorId>* log) { touch_log_ = log; }
+  void set_touch_log(DirtySet* log) { touch_log_ = log; }
 
   // Radio power draw of sensor s under `radio` (tx + rx + idle floor).
   [[nodiscard]] Watt radio_power(SensorId s, const RadioModel& radio) const;
@@ -87,7 +89,7 @@ class TrafficModel {
   double delivering_rate_ = 0.0;
   std::size_t delivering_sources_ = 0;
   std::unordered_map<SensorId, SourceFlow> routes_;
-  std::vector<SensorId>* touch_log_ = nullptr;
+  DirtySet* touch_log_ = nullptr;
 };
 
 }  // namespace wrsn

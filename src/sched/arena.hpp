@@ -1,0 +1,105 @@
+#pragma once
+// PlanArena — bump allocator for per-dispatch planning scratch.
+//
+// Every planning round builds a PlanContext (base-distance table, per-cell
+// bound tables, the critical-item list) that lives only for one decide()
+// call. The arena hands out pointer-bumped blocks from reused chunks and
+// reclaims everything in O(1) at reset(), so steady-state dispatching does
+// no heap allocation for these tables. ArenaAllocator adapts the arena to
+// std::vector; with a null arena it degrades to plain new/delete (contexts
+// built outside a dispatch round, e.g. planner unit tests).
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace wrsn {
+
+class PlanArena {
+ public:
+  explicit PlanArena(std::size_t chunk_bytes = std::size_t{1} << 16)
+      : chunk_bytes_(chunk_bytes) {}
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    for (;;) {
+      if (chunk_ < chunks_.size()) {
+        const Chunk& c = chunks_[chunk_];
+        const std::size_t off = (offset_ + align - 1) & ~(align - 1);
+        if (off + bytes <= c.size) {
+          offset_ = off + bytes;
+          return c.data.get() + off;
+        }
+        ++chunk_;  // the remainder of this chunk is abandoned until reset()
+        offset_ = 0;
+        continue;
+      }
+      const std::size_t size = std::max(chunk_bytes_, bytes + align);
+      chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size});
+      offset_ = 0;
+    }
+  }
+
+  // O(1): every block handed out so far becomes free again; the chunks stay
+  // allocated for reuse. Callers must not touch prior allocations afterward.
+  void reset() {
+    chunk_ = 0;
+    offset_ = 0;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size;
+  };
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_ = 0;
+  std::size_t offset_ = 0;
+  std::size_t chunk_bytes_;
+};
+
+// std-allocator adapter. Deallocation is a no-op while arena-backed (memory
+// comes back at PlanArena::reset()); a default-constructed allocator uses
+// the global heap so arena-typed containers still work stand-alone.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(PlanArena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    if (arena_ == nullptr) ::operator delete(p);
+  }
+
+  [[nodiscard]] PlanArena* arena() const noexcept { return arena_; }
+
+ private:
+  PlanArena* arena_ = nullptr;
+};
+
+template <typename T, typename U>
+[[nodiscard]] bool operator==(const ArenaAllocator<T>& a,
+                              const ArenaAllocator<U>& b) noexcept {
+  return a.arena() == b.arena();
+}
+template <typename T, typename U>
+[[nodiscard]] bool operator!=(const ArenaAllocator<T>& a,
+                              const ArenaAllocator<U>& b) noexcept {
+  return !(a == b);
+}
+
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace wrsn

@@ -55,11 +55,15 @@ bool planners_use_reference() {
 }
 
 PlanContext::PlanContext(const std::vector<RechargeItem>& items,
-                         const PlannerParams& params)
+                         const PlannerParams& params, PlanArena* arena)
     : items_(&items),
       params_(params),
       grid_(field_extent(items, params.base),
-            cell_size_for(field_extent(items, params.base), items.size())) {
+            cell_size_for(field_extent(items, params.base), items.size())),
+      base_dist_(ArenaAllocator<double>(arena)),
+      critical_(ArenaAllocator<std::size_t>(arena)),
+      cell_max_demand_(ArenaAllocator<double>(arena)),
+      cell_max_demand_noncrit_(ArenaAllocator<double>(arena)) {
   const std::size_t n = items.size();
   std::vector<Vec2> positions;
   positions.reserve(n);

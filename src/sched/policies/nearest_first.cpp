@@ -12,7 +12,7 @@ namespace {
 class NearestFirstPolicy final : public SchedulerPolicy {
  public:
   DispatchDecision decide(const DispatchContext& ctx) const override {
-    const PlanContext plan(ctx.items(), ctx.params());
+    const PlanContext plan(ctx.items(), ctx.params(), ctx.arena());
     std::vector<bool> taken(ctx.items().size(), false);
     if (const auto next = plan.nearest_next(ctx.rv(), taken)) {
       return DispatchDecision::plan(ctx.items(), {*next});

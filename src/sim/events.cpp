@@ -1,0 +1,199 @@
+#include "sim/events.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace wrsn {
+
+namespace {
+
+// Bucket-count bounds: the ring starts tiny and grows with occupancy, but
+// never beyond a cap that bounds the memory of the empty bucket headers.
+constexpr std::size_t kMinBuckets = 16;
+constexpr std::size_t kMaxBuckets = std::size_t{1} << 21;
+
+// Day indices stay below 2^53 so (day + 1) * width is exact enough for the
+// membership check; times mapping beyond that clamp and are found by the
+// direct-search fallback instead.
+constexpr double kMaxDay = 9007199254740992.0;  // 2^53
+
+[[nodiscard]] bool earlier(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+EventQueueImpl event_queue_default_impl() {
+  const char* env = std::getenv("WRSN_EVENT_QUEUE");
+  if (env == nullptr || env[0] == '\0') return EventQueueImpl::kCalendar;
+  const std::string v(env);
+  if (v == "calendar") return EventQueueImpl::kCalendar;
+  if (v == "heap") return EventQueueImpl::kHeap;
+  throw InvalidArgument("WRSN_EVENT_QUEUE must be 'heap' or 'calendar', got '" +
+                        v + "'");
+}
+
+EventQueueImpl event_queue_impl_from_name(const std::string& name) {
+  if (name.empty() || name == "auto") return event_queue_default_impl();
+  if (name == "calendar") return EventQueueImpl::kCalendar;
+  if (name == "heap") return EventQueueImpl::kHeap;
+  throw InvalidArgument(
+      "event queue must be 'auto', 'heap' or 'calendar', got '" + name + "'");
+}
+
+EventQueue::EventQueue(EventQueueImpl impl) : impl_(impl) {
+  if (impl_ == EventQueueImpl::kCalendar) {
+    buckets_.resize(kMinBuckets);
+    bucket_mask_ = kMinBuckets - 1;
+  }
+}
+
+void EventQueue::push(double time, EventKind kind, std::size_t subject,
+                      std::uint64_t epoch) {
+  const Event e{time, next_seq_++, kind, subject, epoch};
+  if (impl_ == EventQueueImpl::kHeap) {
+    heap_.push(e);
+    return;
+  }
+  cal_push(e);
+}
+
+const Event& EventQueue::top() const {
+  if (impl_ == EventQueueImpl::kHeap) return heap_.top();
+  cal_find_top();
+  return buckets_[top_bucket_].front();
+}
+
+Event EventQueue::pop() {
+  if (impl_ == EventQueueImpl::kHeap) {
+    const Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+  cal_find_top();
+  std::vector<Event>& bucket = buckets_[top_bucket_];
+  // The bucket is a binary min-heap on (time, seq); the located top is its
+  // front. pop_heap keeps the chain ordered in O(log chain) so equal-time
+  // batches sharing one day drain in O(B log B), not O(B^2).
+  std::pop_heap(bucket.begin(), bucket.end(), Later{});
+  const Event e = bucket.back();
+  bucket.pop_back();
+  --cal_size_;
+  top_valid_ = false;
+  if (buckets_.size() > kMinBuckets && cal_size_ < buckets_.size() / 2) {
+    cal_resize(buckets_.size() / 2);
+  }
+  return e;
+}
+
+std::uint64_t EventQueue::day_of(double time) const {
+  if (time <= 0.0) return 0;
+  const double d = time / width_;
+  if (d >= kMaxDay) return static_cast<std::uint64_t>(kMaxDay);
+  return static_cast<std::uint64_t>(d);
+}
+
+void EventQueue::cal_push(const Event& e) {
+  const std::uint64_t day = day_of(e.time);
+  // Re-anchor backward: the scan position must never pass the earliest
+  // pending event, or cal_find_top would skip its day.
+  if (day < cur_day_) cur_day_ = day;
+  if (top_valid_ && e.time < buckets_[top_bucket_].front().time) {
+    // The newcomer beats the cached top (an equal time cannot: its seq is
+    // strictly larger, so FIFO keeps the incumbent). Checked before the
+    // sift-up below so the cached front is still in place.
+    top_valid_ = false;
+  }
+  std::vector<Event>& bucket = buckets_[day & bucket_mask_];
+  bucket.push_back(e);
+  std::push_heap(bucket.begin(), bucket.end(), Later{});
+  ++cal_size_;
+  if (cal_size_ > 2 * buckets_.size() && buckets_.size() < kMaxBuckets) {
+    cal_resize(buckets_.size() * 2);
+  }
+}
+
+void EventQueue::cal_find_top() const {
+  if (top_valid_) return;
+  WRSN_DEBUG_ASSERT(cal_size_ > 0, "top/pop on an empty event queue");
+  const std::size_t nbuckets = buckets_.size();
+  // Invariant: every pending event's day >= cur_day_ (pushes re-anchor
+  // backward, pops only move the cursor onto a day known to hold the min).
+  // Scanning days upward therefore finds the global minimum in the first
+  // day with a qualifying event; events from later days sharing the bucket
+  // fail the day-end check and wait for their own day.
+  std::uint64_t day = cur_day_;
+  for (std::size_t hop = 0; hop < nbuckets; ++hop, ++day) {
+    const std::vector<Event>& bucket = buckets_[day & bucket_mask_];
+    if (!bucket.empty()) {
+      // The bucket's heap front is its earliest event overall; events from
+      // later days sharing the bucket (day + k*nbuckets) have strictly later
+      // times, so if the front fails the day-end check no event of this day
+      // is present and the whole chain can be skipped.
+      const double day_end = static_cast<double>(day + 1) * width_;
+      if (bucket.front().time < day_end) {
+        cur_day_ = day;
+        top_bucket_ = day & bucket_mask_;
+        top_valid_ = true;
+        return;
+      }
+    }
+  }
+  // A whole year of days is empty (sparse tail, or a time beyond the day
+  // clamp): fall back to a direct search over the bucket fronts, each of
+  // which is its chain's minimum.
+  std::size_t best_bucket = nbuckets;
+  for (std::size_t b = 0; b < nbuckets; ++b) {
+    const std::vector<Event>& bucket = buckets_[b];
+    if (bucket.empty()) continue;
+    if (best_bucket == nbuckets ||
+        earlier(bucket.front(), buckets_[best_bucket].front())) {
+      best_bucket = b;
+    }
+  }
+  cur_day_ = day_of(buckets_[best_bucket].front().time);
+  top_bucket_ = best_bucket;
+  top_valid_ = true;
+}
+
+void EventQueue::cal_resize(std::size_t new_nbuckets) {
+  new_nbuckets = std::clamp(new_nbuckets, kMinBuckets, kMaxBuckets);
+  std::vector<Event> all;
+  all.reserve(cal_size_);
+  double tmin = std::numeric_limits<double>::infinity();
+  double tmax = -std::numeric_limits<double>::infinity();
+  for (std::vector<Event>& bucket : buckets_) {
+    for (const Event& e : bucket) {
+      tmin = std::min(tmin, e.time);
+      tmax = std::max(tmax, e.time);
+      all.push_back(e);
+    }
+    bucket.clear();
+  }
+  buckets_.resize(new_nbuckets);
+  bucket_mask_ = new_nbuckets - 1;
+  // Day width from the spread of pending times: ~4 events per day on
+  // average, and (with the occupancy thresholds keeping nbuckets within 4x
+  // of the event count) a year of nbuckets days always spans the whole
+  // pending range, so day/bucket aliasing stays rare. Equal-time batches
+  // contribute zero spread; the clamp keeps the width positive, and a fully
+  // degenerate all-equal queue simply keeps its previous width.
+  if (!all.empty() && tmax > tmin) {
+    width_ = std::max((tmax - tmin) * 4.0 / static_cast<double>(all.size()),
+                      1e-9);
+  }
+  cur_day_ = all.empty() ? 0 : day_of(tmin);
+  top_valid_ = false;
+  for (const Event& e : all) {
+    buckets_[day_of(e.time) & bucket_mask_].push_back(e);
+  }
+  for (std::vector<Event>& bucket : buckets_) {
+    std::make_heap(bucket.begin(), bucket.end(), Later{});
+  }
+}
+
+}  // namespace wrsn

@@ -1,0 +1,84 @@
+#pragma once
+// Struct-of-arrays sensor hot state.
+//
+// The event loop's inner loops — lazy settlement, drain refreshes and
+// death-crossing prediction — touch a handful of doubles per sensor. Packing
+// them into parallel arrays keeps those loops on contiguous memory instead
+// of striding through the full Sensor objects in net/.
+//
+// The SoA block is the arithmetic source of truth for battery levels during
+// a run: settlement integrates level[] directly (replicating
+// Battery::drain's clamp arithmetic bit-for-bit) and mirrors the result
+// into Sensor.battery via Battery::set_level, so every reader outside the
+// hot loops — planners, metrics, SVG rendering, tests — keeps seeing
+// current levels through the existing accessors.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "net/network.hpp"
+
+namespace wrsn {
+
+// Sentinel for crossing_time: no pending crossing event.
+inline constexpr double kNoCrossing = std::numeric_limits<double>::infinity();
+
+struct SensorSoa {
+  std::vector<double> level;         // J; mirrored into Sensor.battery
+  std::vector<double> capacity;      // J
+  std::vector<double> drain;         // W; piecewise-constant between events
+  std::vector<double> last_settle;   // s; time of the last settlement
+  std::vector<Vec2> pos;             // static deployment positions
+  std::vector<std::uint64_t> epoch;  // guards pending kSensorCrossing events
+  // Fire time of the unique pending kSensorCrossing event whose epoch is
+  // current, or kNoCrossing when none is queued. Lets update_drain keep a
+  // pending prediction that only moved later (the event fires early and
+  // re-predicts) instead of pushing a replacement on every drain change —
+  // most replacements would go stale before firing, and their push/pop
+  // traffic dominated the event queue at large n.
+  std::vector<double> crossing_time;
+  // 1 when the pending crossing targets depletion (scheduled with the level
+  // already at/below threshold), 0 when it targets the threshold. A
+  // speculative early fire of a death-targeted crossing must re-predict
+  // WITHOUT re-evaluating recharge requests: the threshold evaluation
+  // already ran when the threshold was genuinely crossed, and re-running it
+  // on a schedule artifact would issue requests at times the event stream
+  // never visited before this optimization.
+  std::vector<std::uint8_t> crossing_to_death;
+  // True once handle_death ran for the current depletion; cleared on
+  // revival. Guards double-processing and keeps drain refreshes from
+  // invalidating a still-pending death crossing.
+  std::vector<std::uint8_t> death_processed;
+  std::vector<std::uint8_t> hw_fault;  // transient sensing-hardware fault
+
+  void init(const Network& net) {
+    const std::size_t n = net.num_sensors();
+    level.resize(n);
+    capacity.resize(n);
+    pos.resize(n);
+    drain.assign(n, 0.0);
+    last_settle.assign(n, 0.0);
+    crossing_time.assign(n, kNoCrossing);
+    crossing_to_death.assign(n, 0);
+    epoch.assign(n, 0);
+    death_processed.assign(n, 0);
+    hw_fault.assign(n, 0);
+    for (SensorId s = 0; s < n; ++s) {
+      const Sensor& sensor = net.sensor(s);
+      level[s] = sensor.battery.level().value();
+      capacity[s] = sensor.battery.capacity().value();
+      pos[s] = sensor.pos;
+    }
+  }
+
+  // Same predicate as Sensor::alive() == !Battery::depleted().
+  [[nodiscard]] bool alive(SensorId s) const { return level[s] > 0.0; }
+  // Alive AND sensing hardware up (the World's operational()).
+  [[nodiscard]] bool operational(SensorId s) const {
+    return level[s] > 0.0 && hw_fault[s] == 0;
+  }
+};
+
+}  // namespace wrsn

@@ -1,0 +1,98 @@
+#pragma once
+// Incremental spatial bucket index over the (moving) targets.
+//
+// rebalance_dirty needs, per dirty sensor, the set of targets within sensing
+// range. The reference engine answers that with an O(M) scan per sensor;
+// at large fields the scan dominated the event loop (every target waypoint
+// step dirties a handful of sensors but visits all M targets for each).
+// This index buckets targets into a uniform grid with cell size >= the
+// query radius, so a candidate query touches at most the 3x3 cell block
+// around the sensor. Targets move one at a time (kTargetMove events), so
+// updates are a single erase+push per step — unlike geom::SpatialGrid,
+// which is CSR build-only.
+//
+// candidates() must return EXACTLY the set the linear scan would (same
+// predicate: squared_distance <= radius^2, ascending target id) — the
+// incremental engine feeds it to the clustering core, and the engine
+// equivalence checks compare the resulting simulations byte-for-byte
+// against the reference engine's scan.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "core/error.hpp"
+#include "geom/vec2.hpp"
+#include "net/ids.hpp"
+
+namespace wrsn {
+
+class TargetIndex {
+ public:
+  // `cell_size` should be >= the largest query radius so queries stay within
+  // the 3x3 neighbourhood; positions outside [0, field_side) clamp into the
+  // border cells, which only makes candidate supersets per cell (the exact
+  // distance filter still applies).
+  void init(double field_side, double cell_size, const std::vector<Vec2>& pos) {
+    WRSN_REQUIRE(field_side > 0.0 && cell_size > 0.0,
+                 "field and cell size must be positive");
+    cell_size_ = cell_size;
+    per_side_ = std::max<std::ptrdiff_t>(
+        1, static_cast<std::ptrdiff_t>(std::ceil(field_side / cell_size)));
+    cells_.assign(static_cast<std::size_t>(per_side_ * per_side_), {});
+    pos_ = pos;
+    for (TargetId t = 0; t < pos_.size(); ++t) {
+      cells_[cell_of(pos_[t])].push_back(t);
+    }
+  }
+
+  void move(TargetId t, Vec2 to) {
+    const std::size_t from = cell_of(pos_[t]);
+    const std::size_t dest = cell_of(to);
+    pos_[t] = to;
+    if (from == dest) return;
+    std::vector<TargetId>& bucket = cells_[from];
+    bucket.erase(std::find(bucket.begin(), bucket.end(), t));
+    cells_[dest].push_back(t);
+  }
+
+  // Targets within `radius` of `q`, ascending by id, into `out` (cleared
+  // first; pass a reusable scratch vector to avoid per-query allocation).
+  void candidates(Vec2 q, double radius, std::vector<TargetId>& out) const {
+    out.clear();
+    const double r2 = radius * radius;
+    const std::ptrdiff_t lo_x = coord(q.x - radius);
+    const std::ptrdiff_t hi_x = coord(q.x + radius);
+    const std::ptrdiff_t lo_y = coord(q.y - radius);
+    const std::ptrdiff_t hi_y = coord(q.y + radius);
+    for (std::ptrdiff_t cy = lo_y; cy <= hi_y; ++cy) {
+      for (std::ptrdiff_t cx = lo_x; cx <= hi_x; ++cx) {
+        const std::vector<TargetId>& bucket =
+            cells_[static_cast<std::size_t>(cy * per_side_ + cx)];
+        for (const TargetId t : bucket) {
+          if (squared_distance(pos_[t], q) <= r2) out.push_back(t);
+        }
+      }
+    }
+    std::sort(out.begin(), out.end());
+  }
+
+  [[nodiscard]] std::size_t size() const { return pos_.size(); }
+
+ private:
+  [[nodiscard]] std::ptrdiff_t coord(double v) const {
+    const auto c = static_cast<std::ptrdiff_t>(std::floor(v / cell_size_));
+    return std::clamp<std::ptrdiff_t>(c, 0, per_side_ - 1);
+  }
+  [[nodiscard]] std::size_t cell_of(Vec2 p) const {
+    return static_cast<std::size_t>(coord(p.y) * per_side_ + coord(p.x));
+  }
+
+  double cell_size_ = 1.0;
+  std::ptrdiff_t per_side_ = 1;
+  std::vector<std::vector<TargetId>> cells_;  // row-major [y][x]
+  std::vector<Vec2> pos_;                     // mirrored target positions
+};
+
+}  // namespace wrsn

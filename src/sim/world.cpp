@@ -52,9 +52,12 @@ World::World(const SimConfig& config, WorldEngine engine)
       }()),
       traffic_(config.num_sensors) {
   end_ = config_.sim_duration.value();
+  // Re-seat the queue on the configured implementation (the default member
+  // construction already consulted WRSN_EVENT_QUEUE; an explicit config key
+  // overrides it). Nothing has been pushed yet, so this is a plain swap.
+  queue_ = EventQueue(event_queue_impl_from_name(config_.event_queue));
 
   if (config_.fault.enabled) fault_ = std::make_unique<FaultInjector>(config_);
-  hw_fault_.assign(config_.num_sensors, false);
   uplink_epoch_.assign(config_.num_sensors, 0);
   uplink_attempt_.assign(config_.num_sensors, 0);
   uplink_pending_.assign(config_.num_sensors, UplinkPending::kNone);
@@ -70,14 +73,12 @@ World::World(const SimConfig& config, WorldEngine engine)
   rv_breakdown_span_.assign(config_.num_rvs, 0);
   leg_began_.assign(config_.num_rvs, 0.0);
   charge_began_.assign(config_.num_rvs, 0.0);
-  drain_.assign(config_.num_sensors, 0.0);
-  last_settle_.assign(config_.num_sensors, 0.0);
-  sensor_epoch_.assign(config_.num_sensors, 0);
-  death_processed_.assign(config_.num_sensors, false);
+  soa_.init(net_);
   covered_.assign(config_.num_targets, false);
   alive_members_.assign(config_.num_targets, 0);
   // Both engines collect dirty marks (cleared by either refresh flavour) so
   // switching engines never changes the traffic model's behaviour.
+  drain_marks_.reset(config_.num_sensors);
   traffic_.set_touch_log(&drain_marks_);
 
   target_waypoint_.resize(config_.num_targets);
@@ -94,6 +95,10 @@ World::World(const SimConfig& config, WorldEngine engine)
   }
   // Throws with the registered names when config_.scheduler is unknown.
   policy_ = SchedulerRegistry::instance().create(config_.scheduler);
+
+  // Cell size = sensing range, so candidate queries stay in a 3x3 block.
+  target_index_.init(config_.field_side.value(), config_.sensing_range.value(),
+                     current_target_positions());
 
   recluster();
 
@@ -186,7 +191,7 @@ void World::run_until(Second t_in) {
     queue_hwm_ = std::max(queue_hwm_, queue_.size() + 1);
     // Lazy invalidation: predicted events must match their subject's epoch.
     if (ev.kind == EventKind::kSensorCrossing &&
-        ev.epoch != sensor_epoch_[ev.subject]) {
+        ev.epoch != soa_.epoch[ev.subject]) {
       if (stale_counter_ != nullptr) stale_counter_->add();
       continue;
     }
@@ -264,11 +269,12 @@ void World::inject_sensor_failure(SensorId s) {
   const obs::TelemetryScope obs_scope(telemetry_);  // dispatch() runs planners
   WRSN_REQUIRE(s < net_.num_sensors(), "sensor id out of range");
   settle_sensor(s);
-  Sensor& sensor = net_.sensor(s);
-  if (!sensor.alive()) return;  // already down (or death pending its event)
-  sensor_energy_consumed_ += sensor.battery.drain(sensor.battery.level()).value();
+  if (!soa_.alive(s)) return;  // already down (or death pending its event)
+  sensor_energy_consumed_ += soa_.level[s];
+  soa_.level[s] = 0.0;
+  net_.sensor(s).battery.set_level(Joule{0.0});
   on_sensor_alive_changed(s, false);
-  ++sensor_epoch_[s];
+  invalidate_crossing(s);
   handle_death(s);
   dispatch();
 }
@@ -312,24 +318,28 @@ void World::advance_to(double t) {
 }
 
 void World::settle_sensor(SensorId s) {
-  double& last = last_settle_[s];
+  double& last = soa_.last_settle[s];
   if (now_ <= last) return;
   const double dt = now_ - last;
   last = now_;
-  if (drain_[s] <= 0.0) return;
-  Sensor& sensor = net_.sensor(s);
-  const bool was_alive = sensor.alive();
-  sensor_energy_consumed_ +=
-      sensor.battery.drain(Joule{drain_[s] * dt}).value();
-  WRSN_DEBUG_ASSERT(sensor.battery.level().value() >= 0.0 &&
-                        sensor.battery.level() <= sensor.battery.capacity(),
+  if (soa_.drain[s] <= 0.0) return;
+  // Bit-exact replica of Battery::drain's clamp, run over the packed arrays;
+  // the resulting level is mirrored back into the Network battery so every
+  // external reader (planners, metrics, tests) stays current.
+  const double level = soa_.level[s];
+  const bool was_alive = level > 0.0;
+  const double drawn = std::min(soa_.drain[s] * dt, level);
+  soa_.level[s] = level - drawn;
+  sensor_energy_consumed_ += drawn;
+  net_.sensor(s).battery.set_level(Joule{soa_.level[s]});
+  WRSN_DEBUG_ASSERT(soa_.level[s] >= 0.0 && soa_.level[s] <= soa_.capacity[s],
                     "battery level escaped [0, capacity]");
   if (settle_counter_ != nullptr) settle_counter_->add();
-  if (was_alive && !sensor.alive()) on_sensor_alive_changed(s, false);
+  if (was_alive && soa_.level[s] <= 0.0) on_sensor_alive_changed(s, false);
 }
 
 void World::settle_all_sensors() {
-  for (SensorId s = 0; s < last_settle_.size(); ++s) settle_sensor(s);
+  for (SensorId s = 0; s < soa_.last_settle.size(); ++s) settle_sensor(s);
 }
 
 StateSnapshot World::snapshot() const {
@@ -387,39 +397,50 @@ Watt World::sensor_drain(SensorId s) const {
 }
 
 bool World::update_drain(SensorId s) {
-  const Sensor& sensor = net_.sensor(s);
-  if (!death_processed_[s]) {
+  if (soa_.death_processed[s] == 0) {
     // A depleted — or depleting-within-this-instant — sensor whose death
     // crossing has not fired yet keeps its drain and epoch, so the pending
     // crossing stays valid and handle_death runs exactly once.
-    if (!sensor.alive()) return false;
-    if (drain_[s] > 0.0 &&
-        drain_[s] * (now_ - last_settle_[s]) >= sensor.battery.level().value()) {
+    if (!soa_.alive(s)) return false;
+    if (soa_.drain[s] > 0.0 &&
+        soa_.drain[s] * (now_ - soa_.last_settle[s]) >= soa_.level[s]) {
       return false;
     }
   }
   const double d = sensor_drain(s).value();
-  if (d == drain_[s]) return false;
+  if (d == soa_.drain[s]) return false;
   settle_sensor(s);  // integrate the old drain up to now before switching
-  drain_[s] = d;
-  ++sensor_epoch_[s];
-  schedule_crossing(s);
+  soa_.drain[s] = d;
+  // Speculative crossings: replace the pending prediction only when the new
+  // one is EARLIER. A prediction that moved later keeps its queued event,
+  // which fires early, finds the level still above its target and simply
+  // re-predicts (on_sensor_crossing's re-predict branch) — far cheaper at
+  // scale than pushing a replacement on every drain change and popping the
+  // stale majority later.
+  const double when = crossing_prediction(s);
+  if (when < soa_.crossing_time[s]) {
+    ++soa_.epoch[s];
+    soa_.crossing_time[s] = when;
+    soa_.crossing_to_death[s] =
+        soa_.level[s] <= config_.battery.threshold().value() ? 1 : 0;
+    queue_.push(when, EventKind::kSensorCrossing, s, soa_.epoch[s]);
+  }
   if (drain_update_counter_ != nullptr) drain_update_counter_->add();
   return true;
 }
 
 void World::refresh_drains() {
-  for (SensorId s = 0; s < drain_.size(); ++s) update_drain(s);
+  for (SensorId s = 0; s < soa_.drain.size(); ++s) update_drain(s);
   drain_marks_.clear();
 }
 
 void World::flush_drain_marks() {
   // Ascending-id order matches the reference full scan, so equal-time
-  // crossings enqueue with identical tie-break sequence numbers.
-  std::sort(drain_marks_.begin(), drain_marks_.end());
-  drain_marks_.erase(std::unique(drain_marks_.begin(), drain_marks_.end()),
-                     drain_marks_.end());
-  for (const SensorId s : drain_marks_) update_drain(s);
+  // crossings enqueue with identical tie-break sequence numbers. The set is
+  // already duplicate-free (DirtySet dedupes at insert), so a plain sort of
+  // the marked ids suffices.
+  drain_marks_.sort_ids();
+  for (const SensorId s : drain_marks_.ids()) update_drain(s);
   drain_marks_.clear();
 }
 
@@ -431,19 +452,26 @@ void World::request_drain_refresh() {
   }
 }
 
-void World::schedule_crossing(SensorId s) {
-  const Sensor& sensor = net_.sensor(s);
-  if (!sensor.alive() || drain_[s] <= 0.0) return;
-  const double level = sensor.battery.level().value();
+double World::crossing_prediction(SensorId s) const {
+  const double level = soa_.level[s];
+  if (level <= 0.0 || soa_.drain[s] <= 0.0) return kNoCrossing;
   const double threshold = config_.battery.threshold().value();
   const double target = level > threshold ? threshold : 0.0;
-  const double dt = (level - target) / drain_[s] + kTimeEps;
+  const double dt = (level - target) / soa_.drain[s] + kTimeEps;
   const double when = now_ + dt;
   // Crossings past the simulation end are never popped (run_until clamps its
-  // horizon to end_), so keeping them out of the heap trims both the push
-  // cost and the log-factor of every later queue operation.
-  if (when > end_) return;
-  queue_.push(when, EventKind::kSensorCrossing, s, sensor_epoch_[s]);
+  // horizon to end_), so keeping them out of the queue trims both the push
+  // cost and the cost of every later queue operation.
+  return when > end_ ? kNoCrossing : when;
+}
+
+void World::schedule_crossing(SensorId s) {
+  const double when = crossing_prediction(s);
+  soa_.crossing_time[s] = when;
+  if (when == kNoCrossing) return;
+  soa_.crossing_to_death[s] =
+      soa_.level[s] <= config_.battery.threshold().value() ? 1 : 0;
+  queue_.push(when, EventKind::kSensorCrossing, s, soa_.epoch[s]);
 }
 
 // ---------------------------------------------------------------------------
@@ -461,7 +489,7 @@ void World::on_sensor_alive_changed(SensorId s, bool alive_now) {
   // alive_members_ counts operational members; a sensor inside a hardware
   // fault window was already removed at fault start and re-added at fault
   // end, so its death/revival must not adjust the count again.
-  if (!hw_fault_[s]) {
+  if (soa_.hw_fault[s] == 0) {
     if (alive_now) {
       ++alive_members_[t];
     } else {
@@ -508,7 +536,7 @@ void World::recompute_covered(TargetId t) {
 void World::rebuild_counters() {
   alive_count_ = 0;
   for (SensorId s = 0; s < net_.num_sensors(); ++s) {
-    if (net_.sensor(s).alive()) ++alive_count_;
+    if (soa_.alive(s)) ++alive_count_;
   }
   alive_members_.assign(net_.num_targets(), 0);
   for (SensorId s = 0; s < net_.num_sensors(); ++s) {
@@ -554,16 +582,13 @@ void World::recluster() {
   traffic_.clear_sources();
   for (Sensor& s : net_.sensors()) s.monitoring = false;
 
-  std::vector<Vec2> sensor_pos;
-  sensor_pos.reserve(net_.num_sensors());
   std::vector<bool> alive(net_.num_sensors());
-  for (SensorId s = 0; s < net_.num_sensors(); ++s) {
-    sensor_pos.push_back(net_.sensor(s).pos);
-    alive[s] = net_.sensor(s).alive();
-  }
+  for (SensorId s = 0; s < net_.num_sensors(); ++s) alive[s] = soa_.alive(s);
   const std::vector<Vec2> target_pos = current_target_positions();
 
-  clusters_ = balanced_clustering(sensor_pos, target_pos,
+  // Sensor positions are static for the whole run, so the SoA block doubles
+  // as the clustering input without a per-recluster copy.
+  clusters_ = balanced_clustering(soa_.pos, target_pos,
                                   config_.sensing_range.value(), alive);
   for (SensorId s = 0; s < net_.num_sensors(); ++s) {
     net_.sensor(s).assigned_target = clusters_.assignment[s];
@@ -602,6 +627,9 @@ void World::recluster() {
 
 void World::recluster_moved_target(TargetId t, Vec2 old_pos) {
   const Vec2 new_pos = net_.target(t).pos;
+  // Mirror the step into the target grid (maintained under both engines so
+  // the index is always current; only the incremental engine queries it).
+  target_index_.move(t, new_pos);
 
   // Dirty region: alive sensors within sensing range of either endpoint of
   // the step. Only their candidate sets can change — and only target t's
@@ -611,19 +639,18 @@ void World::recluster_moved_target(TargetId t, Vec2 old_pos) {
     const double range = config_.sensing_range.value();
     const double r2 = range * range;
     for (SensorId s = 0; s < net_.num_sensors(); ++s) {
-      const Sensor& sensor = net_.sensor(s);
-      if (!sensor.alive()) continue;
-      if (squared_distance(sensor.pos, old_pos) <= r2 ||
-          squared_distance(sensor.pos, new_pos) <= r2) {
+      if (!soa_.alive(s)) continue;
+      if (squared_distance(soa_.pos[s], old_pos) <= r2 ||
+          squared_distance(soa_.pos[s], new_pos) <= r2) {
         dirty.push_back(s);
       }
     }
   } else {
     net_.for_each_covering(old_pos, [&](SensorId s) {
-      if (net_.sensor(s).alive()) dirty.push_back(s);
+      if (soa_.alive(s)) dirty.push_back(s);
     });
     net_.for_each_covering(new_pos, [&](SensorId s) {
-      if (net_.sensor(s).alive()) dirty.push_back(s);
+      if (soa_.alive(s)) dirty.push_back(s);
     });
     std::sort(dirty.begin(), dirty.end());
     dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
@@ -633,10 +660,23 @@ void World::recluster_moved_target(TargetId t, Vec2 old_pos) {
                        ? net_.any_covering_scan(new_pos)
                        : net_.any_covering(new_pos));
 
-  const std::vector<Vec2> target_pos = current_target_positions();
-  const RebalanceResult res = rebalance_dirty(
-      clusters_, [this](SensorId s) { return net_.sensor(s).pos; }, target_pos,
-      config_.sensing_range.value(), dirty);
+  // Reference engine: candidate sets by full target scan (the original
+  // code path, kept as the oracle). Incremental engine: same sets from the
+  // target grid — the equivalence suite checks the runs stay byte-identical.
+  RebalanceResult res;
+  if (engine_ == WorldEngine::kReference) {
+    const std::vector<Vec2> target_pos = current_target_positions();
+    res = rebalance_dirty(
+        clusters_, [this](SensorId s) { return soa_.pos[s]; }, target_pos,
+        config_.sensing_range.value(), dirty);
+  } else {
+    cand_scratch_.resize(dirty.size());
+    for (std::size_t i = 0; i < dirty.size(); ++i) {
+      target_index_.candidates(soa_.pos[dirty[i]],
+                               config_.sensing_range.value(), cand_scratch_[i]);
+    }
+    res = rebalance_dirty(clusters_, cand_scratch_, dirty);
+  }
   for (const RebalanceResult::Move& mv : res.moves) {
     net_.sensor(mv.sensor).assigned_target = mv.to;
   }
@@ -710,10 +750,18 @@ void World::apply_rebalance(const RebalanceResult& res,
 }
 
 void World::revive_membership(SensorId s) {
-  const std::vector<Vec2> target_pos = current_target_positions();
-  const RebalanceResult res = rebalance_dirty(
-      clusters_, [this](SensorId id) { return net_.sensor(id).pos; }, target_pos,
-      config_.sensing_range.value(), {s});
+  RebalanceResult res;
+  if (engine_ == WorldEngine::kReference) {
+    const std::vector<Vec2> target_pos = current_target_positions();
+    res = rebalance_dirty(
+        clusters_, [this](SensorId id) { return soa_.pos[id]; }, target_pos,
+        config_.sensing_range.value(), {s});
+  } else {
+    cand_scratch_.resize(1);
+    target_index_.candidates(soa_.pos[s], config_.sensing_range.value(),
+                             cand_scratch_[0]);
+    res = rebalance_dirty(clusters_, cand_scratch_, {s});
+  }
   for (const RebalanceResult::Move& mv : res.moves) {
     net_.sensor(mv.sensor).assigned_target = mv.to;
   }
@@ -727,7 +775,7 @@ void World::revive_membership(SensorId s) {
   Sensor& sensor = net_.sensor(s);
   if (config_.activation == ActivationPolicy::kFullTime &&
       sensor.assigned_target != kInvalidId && !sensor.monitoring &&
-      !hw_fault_[s]) {
+      soa_.hw_fault[s] == 0) {
     sensor.monitoring = true;
     traffic_.add_source(net_.routing(), s, config_.data_rate_pkt_per_min / 60.0);
     mark_drain_dirty(s);
@@ -775,6 +823,9 @@ void World::on_slot_rotation() {
 void World::on_target_move(TargetId t) {
   if (config_.target_motion == TargetMotion::kTeleport) {
     net_.relocate_target(t, target_rng_);
+    // recluster() rebuilds clusters from scratch, but the target grid still
+    // needs the jump mirrored for later scoped queries (revive_membership).
+    target_index_.move(t, net_.target(t).pos);
     recluster();
     queue_.push(now_ + config_.target_period.value(), EventKind::kTargetMove, t);
     return;
@@ -943,9 +994,9 @@ void World::on_request_uplink(SensorId s) {
 }
 
 void World::on_sensor_fault_start(SensorId s) {
-  if (hw_fault_[s]) return;  // overlapping windows are filtered in the plan
+  if (soa_.hw_fault[s] != 0) return;  // overlapping windows filtered in plan
   settle_sensor(s);
-  hw_fault_[s] = true;
+  soa_.hw_fault[s] = 1;
   metrics_.on_sensor_hw_fault();
   if (fault_hw_fault_counter_ != nullptr) fault_hw_fault_counter_->add();
   Sensor& sensor = net_.sensor(s);
@@ -978,9 +1029,9 @@ void World::on_sensor_fault_start(SensorId s) {
 }
 
 void World::on_sensor_fault_end(SensorId s) {
-  if (!hw_fault_[s]) return;
+  if (soa_.hw_fault[s] == 0) return;
   settle_sensor(s);
-  hw_fault_[s] = false;
+  soa_.hw_fault[s] = 0;
   Sensor& sensor = net_.sensor(s);
   if (!sensor.alive()) return;
 
@@ -1005,14 +1056,16 @@ void World::on_sensor_fault_end(SensorId s) {
 }
 
 void World::on_sensor_crossing(SensorId s) {
+  soa_.crossing_time[s] = kNoCrossing;  // the pending crossing just fired
   settle_sensor(s);
   Sensor& sensor = net_.sensor(s);
-  if (!sensor.alive()) {
+  if (!soa_.alive(s)) {
     handle_death(s);
     dispatch();
     return;
   }
-  if (sensor.below_threshold(config_.battery.threshold_fraction)) {
+  if (soa_.crossing_to_death[s] == 0 &&
+      sensor.below_threshold(config_.battery.threshold_fraction)) {
     if (sensor.assigned_target == kInvalidId) {
       // Unclustered sensors follow the prior-work rule: request immediately.
       add_request(s);
@@ -1020,23 +1073,25 @@ void World::on_sensor_crossing(SensorId s) {
       evaluate_cluster_requests(sensor.assigned_target);
     }
     // Next stop: depletion.
-    ++sensor_epoch_[s];
+    invalidate_crossing(s);
     schedule_crossing(s);
     dispatch();
   } else {
-    // Drain shifted under us and the level is still above threshold;
-    // re-predict.
-    ++sensor_epoch_[s];
+    // Speculative fire: the prediction moved later after this event was
+    // queued (level still above threshold, or a death-targeted crossing
+    // whose depletion receded). Re-predict without evaluating requests —
+    // the threshold evaluation already ran at the genuine crossing.
+    invalidate_crossing(s);
     schedule_crossing(s);
   }
 }
 
 void World::handle_death(SensorId s) {
-  if (death_processed_[s]) return;
-  death_processed_[s] = true;
+  if (soa_.death_processed[s] != 0) return;
+  soa_.death_processed[s] = 1;
   Sensor& sensor = net_.sensor(s);
   metrics_.on_sensor_death();
-  ++sensor_epoch_[s];
+  invalidate_crossing(s);
   mark_drain_dirty(s);
   // Annotation, not a terminal end: an RV can still revive the node, in
   // which case the span ends "served"; if it never does, close_spans turns

@@ -32,6 +32,7 @@
 #include "activity/activation.hpp"
 #include "activity/clustering.hpp"
 #include "core/config.hpp"
+#include "core/dirty_set.hpp"
 #include "core/rng.hpp"
 #include "fault/fault.hpp"
 #include "net/network.hpp"
@@ -40,12 +41,15 @@
 #include "obs/spans.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "sched/arena.hpp"
 #include "sched/planner.hpp"
 #include "sched/policy.hpp"
 #include "sched/request.hpp"
 #include "sim/events.hpp"
 #include "sim/metrics.hpp"
 #include "sim/rv.hpp"
+#include "sim/sensor_soa.hpp"
+#include "sim/target_index.hpp"
 
 namespace wrsn {
 
@@ -181,18 +185,29 @@ class World {
   void advance_to(double t);
   [[nodiscard]] Watt sensor_drain(SensorId s) const;
   // Integrates sensor s's battery from its last settlement to now_ at the
-  // current drain_[s]; fires on_sensor_alive_changed when the level clamps
-  // to empty. Idempotent within an instant.
+  // current soa_.drain[s]; fires on_sensor_alive_changed when the level
+  // clamps to empty. Idempotent within an instant.
   void settle_sensor(SensorId s);
   void settle_all_sensors();
-  // Recomputes drain_[s]; on change settles, bumps the epoch and re-predicts
+  // Recomputes soa_.drain[s]; on change settles, bumps the epoch and re-predicts
   // the crossing. Sensors whose death event is still pending are left
   // untouched so the crossing fires and handle_death runs exactly once.
   bool update_drain(SensorId s);
   void refresh_drains();       // update_drain over all sensors (full scan)
   void flush_drain_marks();    // update_drain over marked sensors only
   void request_drain_refresh();  // engine dispatch: full scan vs marks
-  void mark_drain_dirty(SensorId s) { drain_marks_.push_back(s); }
+  void mark_drain_dirty(SensorId s) { drain_marks_.add(s); }
+  // Predicted threshold/death crossing time under the current level and
+  // drain, or kNoCrossing when none will fire inside the horizon.
+  [[nodiscard]] double crossing_prediction(SensorId s) const;
+  // Makes every queued crossing for s stale and records that none is
+  // pending. Every push of a fresh crossing goes through schedule_crossing
+  // (or update_drain's earlier-prediction branch), which re-records the
+  // pending time, so crossing_time stays exact.
+  void invalidate_crossing(SensorId s) {
+    ++soa_.epoch[s];
+    soa_.crossing_time[s] = kNoCrossing;
+  }
   void schedule_crossing(SensorId s);
 
   // --- derived-state accounting ------------------------------------------
@@ -228,9 +243,9 @@ class World {
   // --- fault model (src/fault/; all no-ops when fault_ is null) ---------
   // A sensor is eligible to monitor when it is alive AND its sensing
   // hardware is not in a transient fault window. With faults disabled
-  // hw_fault_ is all-false and this degenerates to alive().
+  // hw_fault is all-zero and this degenerates to alive().
   [[nodiscard]] bool operational(SensorId s) const {
-    return net_.sensor(s).alive() && !hw_fault_[s];
+    return soa_.operational(s);
   }
   // Appends the sensor's request to the recharge node list (the uplink
   // reached the base station).
@@ -254,7 +269,7 @@ class World {
   void head_home_and_refill(Rv& rv);
   void abandon_plan(Rv& rv);
   [[nodiscard]] Joule rv_reserve() const;
-  [[nodiscard]] std::vector<RechargeItem> unclaimed_items();
+  [[nodiscard]] const std::vector<RechargeItem>& unclaimed_items();
 
   // --- misc ------------------------------------------------------------
   // Ends every span still open at the simulation horizon (open requests
@@ -287,9 +302,9 @@ class World {
   // (config_.scheduler) at construction.
   std::unique_ptr<SchedulerPolicy> policy_;
 
-  // --- fault-injection state (null / all-false when faults are disabled) --
+  // --- fault-injection state (null when faults are disabled; the per-sensor
+  // hw-fault flags live in soa_.hw_fault) --
   std::unique_ptr<FaultInjector> fault_;
-  std::vector<bool> hw_fault_;                   // per sensor: sensing down
   // Uplink retry/TTL state machine: epoch guards pending kRequestUplink
   // events, attempt counts the uplink tries of the current request, pending
   // records what the in-flight event means (delayed delivery vs retry).
@@ -314,15 +329,22 @@ class World {
   double end_ = 0.0;
   bool finished_ = false;
 
-  std::vector<double> drain_;                    // W, per sensor
-  std::vector<double> last_settle_;              // s, per sensor
+  // Per-sensor hot state (level/capacity/drain/last-settle/position/epoch/
+  // death-processed/hw-fault) as packed parallel arrays; the settlement,
+  // drain-refresh and crossing-prediction loops run over these. Battery
+  // levels are mirrored back into net_ at every mutation so external
+  // readers stay current (see sim/sensor_soa.hpp).
+  SensorSoa soa_;
   double sensor_energy_consumed_ = 0.0;          // J, cumulative
-  std::vector<std::uint64_t> sensor_epoch_;
-  // True once handle_death ran for the current depletion; cleared on
-  // revival. Guards double-processing and keeps drain refreshes from
-  // invalidating a still-pending death crossing.
-  std::vector<bool> death_processed_;
-  std::vector<SensorId> drain_marks_;            // pending update_drain targets
+  DirtySet drain_marks_;                         // pending update_drain targets
+
+  // Incremental target bucket grid: answers "targets within sensing range
+  // of this sensor" for the scoped rebalances without the O(M) scan the
+  // reference engine uses (see sim/target_index.hpp). Maintained on every
+  // target waypoint step; cand_scratch_ is the reusable query buffer for
+  // rebalance_dirty's candidate-set input.
+  TargetIndex target_index_;
+  std::vector<std::vector<TargetId>> cand_scratch_;
 
   // Derived-state counters (kIncremental snapshots; validated against the
   // kReference rescans by the equivalence suite).
@@ -331,6 +353,15 @@ class World {
   std::size_t covered_count_ = 0;                // coverable AND covered
   std::vector<bool> covered_;                    // per target
   std::vector<std::size_t> alive_members_;       // per target, alive members
+
+  // Dispatch-round scratch: the arena backs PlanContext's per-round tables,
+  // the vectors are reused across rounds to avoid reallocating the item /
+  // fleet / arrival lists every dispatch.
+  PlanArena plan_arena_;
+  std::vector<RechargeRequest> unclaimed_scratch_;
+  std::vector<RechargeItem> items_scratch_;
+  std::vector<Vec2> fleet_scratch_;
+  std::vector<SensorId> arrival_scratch_;
 
   MetricsIntegrator metrics_;
   bool record_series_ = false;

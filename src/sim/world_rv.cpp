@@ -13,22 +13,25 @@ Joule World::rv_reserve() const {
   return config_.rv.capacity * config_.rv.reserve_fraction;
 }
 
-std::vector<RechargeItem> World::unclaimed_items() {
+const std::vector<RechargeItem>& World::unclaimed_items() {
   // Demands drift while requests wait; refresh them so planners see current
-  // values (the base station learns levels from status reports).
-  std::vector<RechargeRequest> unclaimed;
+  // values (the base station learns levels from status reports). The request
+  // and item lists live in reused scratch buffers: rebuilt every call, valid
+  // until the next one.
+  unclaimed_scratch_.clear();
   for (const RechargeRequest& r : requests_.requests()) {
     if (claimed_.contains(r.sensor)) continue;
     settle_sensor(r.sensor);  // decision point: planners see current levels
     requests_.update(r.sensor, net_.sensor(r.sensor).battery.demand(),
                      sensor_critical(r.sensor),
                      net_.sensor(r.sensor).battery.fraction());
-    unclaimed.push_back(r);
-    unclaimed.back().demand = net_.sensor(r.sensor).battery.demand();
-    unclaimed.back().critical = sensor_critical(r.sensor);
-    unclaimed.back().fraction = net_.sensor(r.sensor).battery.fraction();
+    unclaimed_scratch_.push_back(r);
+    unclaimed_scratch_.back().demand = net_.sensor(r.sensor).battery.demand();
+    unclaimed_scratch_.back().critical = sensor_critical(r.sensor);
+    unclaimed_scratch_.back().fraction = net_.sensor(r.sensor).battery.fraction();
   }
-  return aggregate_requests(unclaimed);
+  items_scratch_ = aggregate_requests(unclaimed_scratch_);
+  return items_scratch_;
 }
 
 void World::dispatch() {
@@ -43,7 +46,7 @@ void World::dispatch() {
       continue;
     }
 
-    std::vector<RechargeItem> items = unclaimed_items();
+    const std::vector<RechargeItem>& items = unclaimed_items();
     if (items.empty()) {
       if (rv.in_field) return_to_base(rv);
       continue;
@@ -51,23 +54,28 @@ void World::dispatch() {
 
     // Assemble the read-only facade the policy plans against. The snapshots
     // are pure reads; building them for every scheme keeps the physics
-    // identical across policies.
+    // identical across policies. All plan-round allocations come from reused
+    // scratch vectors plus the bump arena (reset per round; any PlanContext
+    // the policy built is gone by then).
+    plan_arena_.reset();
     const RvPlanState state{rv.pos, rv.battery.level() - rv_reserve()};
-    std::vector<Vec2> fleet;
-    fleet.reserve(rvs_.size());
-    for (const Rv& other : rvs_) fleet.push_back(other.pos);
-    std::vector<SensorId> arrival;
-    arrival.reserve(requests_.requests().size());
+    fleet_scratch_.clear();
+    fleet_scratch_.reserve(rvs_.size());
+    for (const Rv& other : rvs_) fleet_scratch_.push_back(other.pos);
+    arrival_scratch_.clear();
+    arrival_scratch_.reserve(requests_.requests().size());
     for (const RechargeRequest& req : requests_.requests()) {
-      if (!claimed_.contains(req.sensor)) arrival.push_back(req.sensor);
+      if (!claimed_.contains(req.sensor)) arrival_scratch_.push_back(req.sensor);
     }
     const DispatchContext ctx(
-        items, state, params, rv.id, fleet, config_.num_rvs, sched_rng_,
-        arrival, [this](SensorId s) {
+        items, state, params, rv.id, fleet_scratch_, config_.num_rvs,
+        sched_rng_, arrival_scratch_,
+        [this](SensorId s) {
           return SensorView{net_.sensor(s).pos,
                             net_.sensor(s).battery.demand(),
                             sensor_critical(s)};
-        });
+        },
+        &plan_arena_);
 
     const DispatchDecision decision = policy_->decide(ctx);
     switch (decision.kind) {
@@ -280,7 +288,7 @@ void World::on_rv_charge_done(RvId r) {
 
   settle_sensor(s);  // realize the drain over the dwell before topping up
   Sensor& sensor = net_.sensor(s);
-  const bool was_dead = !sensor.alive();
+  const bool was_dead = !soa_.alive(s);
   const Joule spare = rv.battery.level() -
                       config_.rv.move_cost *
                           Meter{distance(rv.pos, net_.base_station())} -
@@ -288,6 +296,7 @@ void World::on_rv_charge_done(RvId r) {
   const Joule delivered =
       std::max(Joule{0.0}, std::min(sensor.battery.demand(), spare));
   sensor.battery.charge(delivered);
+  soa_.level[s] = sensor.battery.level().value();  // mirror into the hot block
   rv.battery.drain(delivered);
 
   const double requested_at = request_time_[s];
@@ -321,7 +330,7 @@ void World::on_rv_charge_done(RvId r) {
   requests_.remove(s);
   claimed_.erase(s);
   request_time_[s] = -1.0;
-  ++sensor_epoch_[s];
+  invalidate_crossing(s);
   WRSN_DEBUG_ASSERT(requests_.consistent(),
                     "recharge list inconsistent after remove");
   if (fault_ != nullptr) {
@@ -334,16 +343,16 @@ void World::on_rv_charge_done(RvId r) {
     }
   }
 
-  if (was_dead && sensor.alive()) {
+  if (was_dead && soa_.alive(s)) {
     // Revived node rejoins the relay fabric and its cluster immediately (it
     // may have been stranded when its cluster's target walked away).
     on_sensor_alive_changed(s, true);
-    death_processed_[s] = false;
+    soa_.death_processed[s] = 0;
     mark_drain_dirty(s);
     if (net_.rebuild_routing()) traffic_.reroute(net_.routing());
     revive_membership(s);
   } else {
-    if (!sensor.alive() && !death_processed_[s]) {
+    if (!soa_.alive(s) && soa_.death_processed[s] == 0) {
       // The epoch bump above invalidated the pending death crossing (the
       // node was depleted but undeliverable); process the death here so it
       // is never lost.

@@ -1,0 +1,298 @@
+// Queue-equivalence suite: the calendar queue must be indistinguishable from
+// the binary heap. The pinned total order is strict — (time, then push
+// sequence number) with no equal keys — so ANY correct implementation pops
+// the exact same Event stream for the same push/pop interleaving; this suite
+// checks that property directly (randomized interleavings, equal-time FIFO
+// batches, epoch-stale discard emulation) and end-to-end (full simulations
+// under both queues x both world engines x faults must produce bit-identical
+// reports, traces and battery vectors).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "sim/world.hpp"
+
+namespace wrsn {
+namespace {
+
+bool same_event(const Event& a, const Event& b) {
+  return a.time == b.time && a.seq == b.seq && a.kind == b.kind &&
+         a.subject == b.subject && a.epoch == b.epoch;
+}
+
+std::string event_str(const Event& e) {
+  std::ostringstream os;
+  os << "t=" << e.time << " seq=" << e.seq << " kind=" << kind_name(e.kind)
+     << " subject=" << e.subject << " epoch=" << e.epoch;
+  return os.str();
+}
+
+// Drives both queues through one identical randomized interleaving of pushes
+// (with bursts of equal-time events) and pops, asserting the popped streams
+// match element-for-element. Also emulates the world's epoch-based lazy
+// invalidation: subjects' epochs are bumped mid-stream and stale pops are
+// discarded by the same rule on both sides.
+void drive_interleaved(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  EventQueue heap(EventQueueImpl::kHeap);
+  EventQueue cal(EventQueueImpl::kCalendar);
+  std::vector<std::uint64_t> epoch(16, 0);
+
+  double now = 0.0;
+  std::size_t pops = 0, stale = 0;
+  const std::string what = "seed=" + std::to_string(seed);
+  for (int step = 0; step < 5000; ++step) {
+    const double roll = rng.uniform(0.0, 1.0);
+    if (roll < 0.45 || heap.empty()) {
+      // Push a small batch; ~1/3rd of batches share one exact timestamp to
+      // exercise the FIFO tie-break, and times may land far ahead (bucket
+      // wrap) or just past `now` (cursor-adjacent).
+      const std::size_t batch = 1 + static_cast<std::size_t>(rng.uniform(0.0, 4.0));
+      const bool equal_time = rng.uniform(0.0, 1.0) < 0.33;
+      double t = now + rng.uniform(0.0, rng.uniform(0.0, 1.0) < 0.1 ? 5000.0 : 60.0);
+      for (std::size_t b = 0; b < batch; ++b) {
+        if (!equal_time) {
+          t = now + rng.uniform(0.0, 60.0);
+        }
+        const std::size_t subject =
+            static_cast<std::size_t>(rng.uniform(0.0, 16.0));
+        const EventKind kind = static_cast<EventKind>(
+            static_cast<std::size_t>(rng.uniform(0.0, 5.0)));
+        heap.push(t, kind, subject, epoch[subject]);
+        cal.push(t, kind, subject, epoch[subject]);
+      }
+    } else if (roll < 0.5) {
+      // Invalidate one subject: its already-queued events become stale and
+      // must be discarded identically on pop from either queue.
+      ++epoch[static_cast<std::size_t>(rng.uniform(0.0, 16.0))];
+    } else {
+      ASSERT_EQ(heap.size(), cal.size()) << what;
+      ASSERT_TRUE(same_event(heap.top(), cal.top()))
+          << what << "\n  heap top: " << event_str(heap.top())
+          << "\n  cal top:  " << event_str(cal.top());
+      const Event a = heap.pop();
+      const Event b = cal.pop();
+      ASSERT_TRUE(same_event(a, b))
+          << what << "\n  heap: " << event_str(a) << "\n  cal:  " << event_str(b);
+      ASSERT_GE(a.time, now) << what << " time went backwards";
+      now = a.time;
+      ++pops;
+      if (a.epoch != epoch[a.subject]) ++stale;  // same verdict on both sides
+    }
+  }
+  // Drain what is left; order must stay identical down to empty.
+  while (!heap.empty()) {
+    ASSERT_FALSE(cal.empty()) << what;
+    const Event a = heap.pop();
+    const Event b = cal.pop();
+    ASSERT_TRUE(same_event(a, b))
+        << what << " drain\n  heap: " << event_str(a)
+        << "\n  cal:  " << event_str(b);
+    ASSERT_GE(a.time, now) << what;
+    now = a.time;
+    ++pops;
+  }
+  EXPECT_TRUE(cal.empty()) << what;
+  EXPECT_GT(pops, 1000u) << what;
+  // Sanity on the scenario itself: invalidation actually produced stale pops.
+  if (seed % 4 == 0) {
+    EXPECT_GT(stale, 0u) << what;
+  }
+}
+
+TEST(QueueEquivalence, RandomInterleavingsPopIdentically) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    drive_interleaved(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// Pure equal-time stress: thousands of events at a handful of distinct
+// timestamps must come back in exact push order (FIFO) from both queues,
+// even across calendar resizes triggered by the growth.
+TEST(QueueEquivalence, EqualTimeBatchesPreservePushOrder) {
+  EventQueue heap(EventQueueImpl::kHeap);
+  EventQueue cal(EventQueueImpl::kCalendar);
+  const double times[] = {10.0, 10.0, 3.0, 3.0, 3.0, 777.0};
+  std::size_t id = 0;
+  for (int round = 0; round < 500; ++round) {
+    for (const double t : times) {
+      heap.push(t, EventKind::kSensorCrossing, id, 0);
+      cal.push(t, EventKind::kSensorCrossing, id, 0);
+      ++id;
+    }
+  }
+  std::uint64_t prev_seq = 0;
+  double prev_time = -1.0;
+  while (!heap.empty()) {
+    const Event a = heap.pop();
+    const Event b = cal.pop();
+    ASSERT_TRUE(same_event(a, b))
+        << "heap: " << event_str(a) << " cal: " << event_str(b);
+    if (a.time == prev_time) {
+      ASSERT_GT(a.seq, prev_seq) << "equal-time FIFO violated";
+    }
+    prev_time = a.time;
+    prev_seq = a.seq;
+  }
+  EXPECT_TRUE(cal.empty());
+}
+
+// Monotone-drain pattern (the simulator's actual usage): every push is at or
+// after the most recent pop time, across a wide dynamic range of horizons.
+TEST(QueueEquivalence, HoldModelMatchesAcrossResizes) {
+  Xoshiro256 rng(0xca1e0d1eULL);
+  EventQueue heap(EventQueueImpl::kHeap);
+  EventQueue cal(EventQueueImpl::kCalendar);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const double t = rng.uniform(0.0, 100.0);
+    heap.push(t, EventKind::kTargetMove, i, 0);
+    cal.push(t, EventKind::kTargetMove, i, 0);
+  }
+  for (int i = 0; i < 20000; ++i) {
+    const Event a = heap.pop();
+    const Event b = cal.pop();
+    ASSERT_TRUE(same_event(a, b)) << "at op " << i;
+    // Occasionally grow/shrink the pending population so the calendar
+    // resizes both ways mid-run.
+    const double grow = rng.uniform(0.0, 1.0);
+    const std::size_t pushes = grow < 0.02 ? 40 : (grow < 0.12 ? 0 : 1);
+    for (std::size_t p = 0; p < pushes; ++p) {
+      const double t = a.time + rng.uniform(0.0, grow < 0.02 ? 1e4 : 50.0);
+      heap.push(t, EventKind::kSensorCrossing, p, 0);
+      cal.push(t, EventKind::kSensorCrossing, p, 0);
+    }
+    if (heap.empty()) break;
+  }
+  while (!heap.empty()) {
+    ASSERT_TRUE(same_event(heap.pop(), cal.pop()));
+  }
+  EXPECT_TRUE(cal.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Full-simulation pins: queue choice must never change physics.
+// ---------------------------------------------------------------------------
+
+struct RunResult {
+  std::string report_json;
+  std::vector<World::TraceEvent> trace;
+  std::vector<double> battery_levels;
+  std::uint64_t events = 0;
+};
+
+RunResult run_sim(SimConfig cfg, const std::string& queue, WorldEngine engine) {
+  cfg.event_queue = queue;
+  World w(cfg, engine);
+  RunResult out;
+  w.set_tracer([&out](const World::TraceEvent& ev) { out.trace.push_back(ev); });
+  w.run_until(cfg.sim_duration);
+  out.report_json = to_json(w.report());
+  for (const Sensor& s : w.network().sensors()) {
+    out.battery_levels.push_back(s.battery.level().value());
+  }
+  out.events = w.events_processed();
+  return out;
+}
+
+SimConfig pin_config(std::uint64_t seed, bool faults) {
+  SimConfig cfg;
+  cfg.num_sensors = 50;
+  cfg.num_targets = 4;
+  cfg.num_rvs = 2;
+  cfg.field_side = meters(90.0);
+  cfg.sim_duration = hours(6.0);
+  cfg.seed = 0x9e000ULL + seed * 7919;
+  cfg.target_motion = TargetMotion::kRandomWaypoint;
+  cfg.target_period = minutes(30.0);
+  cfg.target_speed = MeterPerSecond{1.0};
+  cfg.battery.capacity = Joule{150.0};
+  cfg.radio.listen_duty_cycle = 0.2;
+  if (faults) {
+    cfg.fault.enabled = true;
+    cfg.fault.request_loss_prob = 0.25;
+    cfg.fault.request_delay_prob = 0.2;
+    cfg.fault.request_delay_max = minutes(10.0);
+    cfg.fault.request_retry_timeout = minutes(5.0);
+    cfg.fault.rv_breakdown_at = hours(2.0);
+    cfg.fault.rv_repair_duration = hours(1.0);
+    cfg.fault.rv_mtbf_hours = 8.0;
+    cfg.fault.sensor_fault_rate_per_day = 6.0;
+    cfg.fault.sensor_fault_duration = minutes(40.0);
+    cfg.fault.battery_noise_per_day = 0.05;
+  }
+  return cfg;
+}
+
+void expect_same_run(const RunResult& a, const RunResult& b,
+                     const std::string& what) {
+  EXPECT_GT(a.events, 0u) << what;
+  EXPECT_EQ(a.report_json, b.report_json) << what;
+  EXPECT_EQ(a.events, b.events) << what;
+  ASSERT_EQ(a.trace.size(), b.trace.size()) << what;
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    ASSERT_TRUE(a.trace[i].time == b.trace[i].time &&
+                a.trace[i].kind == b.trace[i].kind &&
+                a.trace[i].subject == b.trace[i].subject &&
+                a.trace[i].epoch == b.trace[i].epoch &&
+                a.trace[i].queue_size == b.trace[i].queue_size)
+        << what << " diverges at trace index " << i;
+  }
+  ASSERT_EQ(a.battery_levels, b.battery_levels) << what;
+}
+
+// 2 queues x 2 engines x faults on/off: all four (queue, engine) runs of a
+// scenario must be bit-identical — the heap/reference pair anchors, every
+// other combination is compared against it.
+TEST(QueueEquivalence, FullSimsAreByteIdenticalAcrossQueuesAndEngines) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    for (const bool faults : {false, true}) {
+      const SimConfig cfg = pin_config(seed, faults);
+      const std::string tag = "seed=" + std::to_string(seed) +
+                              (faults ? " faults=on" : " faults=off");
+      const RunResult anchor = run_sim(cfg, "heap", WorldEngine::kReference);
+      expect_same_run(anchor, run_sim(cfg, "heap", WorldEngine::kIncremental),
+                      tag + " heap/inc");
+      expect_same_run(anchor,
+                      run_sim(cfg, "calendar", WorldEngine::kReference),
+                      tag + " calendar/ref");
+      expect_same_run(anchor,
+                      run_sim(cfg, "calendar", WorldEngine::kIncremental),
+                      tag + " calendar/inc");
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// WRSN_EVENT_QUEUE drives the default-constructed queue and the "auto"
+// config value; explicit config names win over the environment.
+TEST(QueueEquivalence, EnvironmentAndConfigSelectImplementation) {
+  ::unsetenv("WRSN_EVENT_QUEUE");
+  EXPECT_EQ(event_queue_default_impl(), EventQueueImpl::kCalendar);
+  EXPECT_EQ(EventQueue().impl(), EventQueueImpl::kCalendar);
+
+  ::setenv("WRSN_EVENT_QUEUE", "heap", 1);
+  EXPECT_EQ(event_queue_default_impl(), EventQueueImpl::kHeap);
+  EXPECT_EQ(event_queue_impl_from_name("auto"), EventQueueImpl::kHeap);
+  EXPECT_EQ(event_queue_impl_from_name(""), EventQueueImpl::kHeap);
+  // Explicit names ignore the environment.
+  EXPECT_EQ(event_queue_impl_from_name("calendar"), EventQueueImpl::kCalendar);
+
+  ::setenv("WRSN_EVENT_QUEUE", "calendar", 1);
+  EXPECT_EQ(event_queue_default_impl(), EventQueueImpl::kCalendar);
+  EXPECT_EQ(event_queue_impl_from_name("heap"), EventQueueImpl::kHeap);
+
+  ::setenv("WRSN_EVENT_QUEUE", "bogus", 1);
+  EXPECT_THROW((void)event_queue_default_impl(), InvalidArgument);
+  ::unsetenv("WRSN_EVENT_QUEUE");
+
+  EXPECT_THROW((void)event_queue_impl_from_name("bogus"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wrsn

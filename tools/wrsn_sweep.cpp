@@ -24,6 +24,7 @@
 //   wrsn_sweep --sweep scheduler=greedy,partition,combined
 //              --sweep energy_request_percentage=0,0.2,0.4,0.6,0.8,1
 //              --days 120 --seeds 3 --csv fig6.csv
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -209,6 +210,23 @@ int main(int argc, char** argv) try {
   std::mutex write_mutex;
   std::vector<std::size_t> remaining(total_points, seeds);
   std::size_t next_write = 0;
+  // Progress/ETA bookkeeping: replicas completed so far (updated under the
+  // write mutex) against the wall clock since the sweep started. The ETA is
+  // a straight linear extrapolation — good enough to answer "lunch or
+  // overnight?" for a homogeneous grid.
+  const auto sweep_began = std::chrono::steady_clock::now();
+  std::size_t tasks_done = 0;
+  auto format_eta = [](double s) {
+    std::ostringstream os;
+    if (s >= 3600.0) {
+      os << s / 3600.0 << 'h';
+    } else if (s >= 60.0) {
+      os << s / 60.0 << 'm';
+    } else {
+      os << s << 's';
+    }
+    return os.str();
+  };
   auto write_row = [&](std::size_t point) {
     for (const std::string& v : point_values[point]) out << v << ',';
     for (std::size_t m = 0; m < std::size(kMetrics); ++m) {
@@ -220,7 +238,18 @@ int main(int argc, char** argv) try {
           << (m + 1 < std::size(kMetrics) ? "," : "\n");
     }
     out.flush();
-    std::cerr << "point " << point + 1 << '/' << total_points << " done\n";
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - sweep_began)
+                               .count();
+    std::cerr << "point " << point + 1 << '/' << total_points << " done ("
+              << tasks_done << '/' << total_tasks << " replicas";
+    if (tasks_done > 0 && tasks_done < total_tasks) {
+      const double eta =
+          elapsed * static_cast<double>(total_tasks - tasks_done) /
+          static_cast<double>(tasks_done);
+      std::cerr << ", ETA " << format_eta(eta);
+    }
+    std::cerr << ")\n";
   };
 
   if (flight_capacity > 0) {
@@ -273,6 +302,7 @@ int main(int argc, char** argv) try {
     reports[task] = run_replica(cfg, instruments);
     if (span_log != nullptr) span_log->finish(point_cfgs[point].sim_duration.value());
     const std::lock_guard lock(write_mutex);
+    ++tasks_done;
     if (--remaining[point] == 0) {
       while (next_write < total_points && remaining[next_write] == 0) {
         write_row(next_write);
