@@ -12,6 +12,19 @@ script renders the events/sec table and can gate on a minimum speedup:
     scripts/bench_world.py --min-speedup 3  # fail unless >= 3x at largest n
     scripts/bench_world.py --queue-bench    # also run bench_event_queue and
                                             # append its heap-vs-calendar table
+    scripts/bench_world.py --threads-sweep 1,2,8
+                                            # re-run the incremental engine at
+                                            # each thread count (bit-identical
+                                            # cross-check) and print/record the
+                                            # scaling table
+    scripts/bench_world.py --threads-sweep 1,2,8 --min-parallel-speedup 2
+                                            # additionally require the largest
+                                            # n to reach 2x at the highest
+                                            # thread count; auto-skipped (with
+                                            # a message) when the machine has
+                                            # fewer than 2 CPU cores, where no
+                                            # parallel speedup is physically
+                                            # possible
 
 Only the standard library is used.
 """
@@ -19,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import subprocess
 import sys
@@ -38,6 +52,16 @@ def run(argv: list[str] | None = None) -> int:
                          "(overrides --quick for the world bench)")
     ap.add_argument("--min-speedup", type=float, default=None, metavar="MIN",
                     help="fail unless the largest measured n reaches MIN x")
+    ap.add_argument("--threads", type=int, default=None, metavar="N",
+                    help="shard-executor threads for the main ref-vs-inc rows")
+    ap.add_argument("--threads-sweep", default=None, metavar="T,T,...",
+                    help="also run the incremental engine at each thread count "
+                         "and record a thread_scaling section")
+    ap.add_argument("--min-parallel-speedup", type=float, default=None,
+                    metavar="MIN",
+                    help="with --threads-sweep: fail unless the largest n "
+                         "reaches MIN x at the highest thread count vs the "
+                         "first; skipped on machines with < 2 CPU cores")
     ap.add_argument("--queue-bench", action="store_true",
                     help="also run the bench_event_queue microbench")
     ap.add_argument("--queue-bin",
@@ -52,6 +76,10 @@ def run(argv: list[str] | None = None) -> int:
         cmd.extend(["--sizes", args.sizes])
     elif args.quick:
         cmd.append("--quick")
+    if args.threads is not None:
+        cmd.extend(["--threads", str(args.threads)])
+    if args.threads_sweep:
+        cmd.extend(["--threads-sweep", args.threads_sweep])
     try:
         subprocess.run(cmd, check=True)
     except FileNotFoundError:
@@ -97,6 +125,14 @@ def run(argv: list[str] | None = None) -> int:
                   f"{r['heap_ns_per_op']:12.1f} {r['calendar_ns_per_op']:15.1f} "
                   f"{r['speedup']:8.2f}x")
 
+    scaling = report.get("thread_scaling", [])
+    if scaling:
+        print(f"\n{'n':>6} {'threads':>8} {'inc ev/s':>12} {'vs base':>9}")
+        for r in scaling:
+            print(f"{r['n']:>6} {r['threads']:>8} "
+                  f"{r['inc_events_per_sec']:12.0f} "
+                  f"{r['speedup_vs_base']:8.2f}x")
+
     if args.min_speedup is not None:
         largest = max(rows, key=lambda r: r["n"])
         if largest["speedup"] < args.min_speedup:
@@ -104,6 +140,27 @@ def run(argv: list[str] | None = None) -> int:
                   f" < required {args.min_speedup:.2f}x", file=sys.stderr)
             return 1
         print("speedup check passed")
+
+    if args.min_parallel_speedup is not None:
+        if not scaling:
+            print("CHECK FAILED: --min-parallel-speedup needs --threads-sweep",
+                  file=sys.stderr)
+            return 2
+        cores = os.cpu_count() or 1
+        if cores < 2:
+            # One core timeshares the workers: the sweep still proves
+            # determinism, but no wall-clock speedup is physically possible.
+            print(f"parallel speedup check skipped: {cores} CPU core(s)")
+            return 0
+        top_n = max(r["n"] for r in scaling)
+        top = max((r for r in scaling if r["n"] == top_n),
+                  key=lambda r: r["threads"])
+        if top["speedup_vs_base"] < args.min_parallel_speedup:
+            print(f"CHECK FAILED: {top['speedup_vs_base']:.2f}x at "
+                  f"n={top['n']} threads={top['threads']} < required "
+                  f"{args.min_parallel_speedup:.2f}x", file=sys.stderr)
+            return 1
+        print("parallel speedup check passed")
     return 0
 
 

@@ -1,0 +1,54 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "core/error.hpp"
+
+namespace wrsn {
+
+std::size_t resolve_threads(std::size_t config_threads) {
+  if (config_threads >= 1) return config_threads;
+  const char* env = std::getenv("WRSN_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  WRSN_REQUIRE(end != env && *end == '\0',
+               "WRSN_THREADS must be a non-negative integer (got '" + std::string(env) + "')");
+  if (v == 0) {
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return static_cast<std::size_t>(v);
+}
+
+std::vector<ShardRange> shard_plan(std::size_t n, std::size_t grain) {
+  WRSN_ASSERT(grain > 0, "shard grain must be positive");
+  std::vector<ShardRange> shards;
+  if (n == 0) return shards;
+  shards.reserve((n + grain - 1) / grain);
+  for (std::size_t begin = 0; begin < n; begin += grain) {
+    shards.push_back({begin, std::min(begin + grain, n)});
+  }
+  return shards;
+}
+
+ParallelExec::ParallelExec(std::size_t threads, std::size_t threshold)
+    : threads_(std::max<std::size_t>(1, threads)), threshold_(std::max<std::size_t>(1, threshold)) {
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+namespace {
+thread_local ParallelExec* g_current_parallel = nullptr;
+}  // namespace
+
+ParallelExec* current_parallel() noexcept { return g_current_parallel; }
+
+ParallelScope::ParallelScope(ParallelExec* exec) noexcept : previous_(g_current_parallel) {
+  g_current_parallel = exec;
+}
+
+ParallelScope::~ParallelScope() { g_current_parallel = previous_; }
+
+}  // namespace wrsn

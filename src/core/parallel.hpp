@@ -1,0 +1,171 @@
+#pragma once
+// Deterministic intra-simulation parallelism.
+//
+// The incremental World engine (and the planner kernels under sched/) have a
+// handful of bulk per-item phases — batch settlement, drain refresh, crossing
+// re-prediction, rebalance candidate scans, k-means assignment, 2-opt
+// candidate evaluation — whose per-item work is pure: each item's result
+// depends only on state that is frozen for the duration of the phase. This
+// header provides the machinery to run those phases across the existing
+// ThreadPool while keeping the output byte-identical to the single-thread
+// run at any thread count:
+//
+//   * Work is partitioned into fixed contiguous shards whose boundaries
+//     depend only on (n, grain) — never on the thread count — so any
+//     per-shard partial is the same set of items no matter how many workers
+//     exist or in what order tasks finish.
+//   * `for_shards` runs a closure over each shard; callers write results
+//     into disjoint preallocated slots (one per item), so there is no shared
+//     mutation and nothing to merge.
+//   * `reduce_shards` folds per-shard partials strictly in shard-index
+//     order after all tasks complete. Because shard boundaries are
+//     thread-count independent and the fold order is fixed, even
+//     non-associative reductions (floating-point sums) are bit-stable.
+//   * Phases that must interleave mutation with floating-point accumulation
+//     or event pushes (settlement, drain apply) use the compute-then-apply
+//     split: the parallel phase computes the expensive pure values into
+//     per-item slots, then a serial ascending-index apply performs every
+//     mutation exactly as the original serial loop would — identical fp
+//     accumulation order, identical (time, seq) event-push order.
+//
+// A ParallelExec with threads == 1 (the default) never touches the pool and
+// degrades to plain serial loops, so single-thread behaviour and performance
+// are unchanged. Phases also fall back to the serial loop when n is below
+// the configured threshold (SimConfig::parallel_threshold) so task-dispatch
+// overhead cannot regress small runs.
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+
+namespace wrsn {
+
+// Resolves the effective thread budget from the `threads` config knob:
+//   config_threads >= 1  -> that many threads (explicit).
+//   config_threads == 0  -> "auto": WRSN_THREADS env if set (where the env
+//                           value 0 means hardware concurrency), else 1.
+// The result is always >= 1.
+[[nodiscard]] std::size_t resolve_threads(std::size_t config_threads);
+
+// Fixed shard plan: contiguous [begin, end) ranges covering [0, n), each of
+// size `grain` except possibly the last. Boundaries depend only on (n, grain).
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+[[nodiscard]] std::vector<ShardRange> shard_plan(std::size_t n, std::size_t grain);
+
+class ParallelExec {
+ public:
+  // Serial executor (threads == 1, no pool).
+  ParallelExec() = default;
+
+  // threads > 1 spins up a pool of that many workers; threshold is the
+  // minimum n for which sharded dispatch is worth the task overhead.
+  explicit ParallelExec(std::size_t threads, std::size_t threshold = kDefaultThreshold);
+
+  static constexpr std::size_t kDefaultThreshold = 4096;
+  // Default shard grain for per-item phases. Small enough to load-balance
+  // across 8+ workers at n=100k, large enough that a shard amortizes the
+  // task-dispatch cost. Thread-count independent by construction.
+  static constexpr std::size_t kDefaultGrain = 4096;
+
+  [[nodiscard]] bool parallel() const { return pool_ != nullptr; }
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+  [[nodiscard]] std::size_t threshold() const { return threshold_; }
+  [[nodiscard]] ThreadPool* pool() { return pool_.get(); }
+
+  // True when a phase over n items should dispatch shards instead of
+  // running the plain serial loop.
+  [[nodiscard]] bool should_shard(std::size_t n) const {
+    return pool_ != nullptr && n >= threshold_;
+  }
+
+  // Runs body(begin, end) over fixed contiguous shards of [0, n). The body
+  // must only write per-item slots inside its own range (or thread-safe
+  // const queries); with that contract the result is identical to the
+  // serial loop body(0, n) regardless of thread count or completion order.
+  // Falls back to body(0, n) inline when not sharding.
+  template <typename Body>
+  void for_shards(std::size_t n, const Body& body, std::size_t grain = kDefaultGrain) {
+    if (!should_shard(n)) {
+      if (n > 0) body(std::size_t{0}, n);
+      return;
+    }
+    const std::vector<ShardRange> shards = shard_plan(n, grain);
+    run_shards_(shards, [&body](const ShardRange& r) { body(r.begin, r.end); });
+  }
+
+  // Deterministic reduction: partial = map(begin, end) per shard, folded as
+  // combine(acc, partial) strictly in shard-index order once every task has
+  // completed. Shard boundaries are thread-count independent, so the fold
+  // sequence — and therefore the result, even for floating-point sums — is
+  // byte-identical to the same fold run serially.
+  template <typename Acc, typename Map, typename Combine>
+  [[nodiscard]] Acc reduce_shards(std::size_t n, Acc init, const Map& map,
+                                  const Combine& combine, std::size_t grain = kDefaultGrain) {
+    if (!should_shard(n)) {
+      if (n == 0) return init;
+      Acc acc = std::move(init);
+      combine(acc, map(std::size_t{0}, n));
+      return acc;
+    }
+    const std::vector<ShardRange> shards = shard_plan(n, grain);
+    // Slot wrapper keeps one full object per shard even when the partial
+    // type is bool (vector<bool> bit-packs, which would both fail to bind
+    // and race across adjacent shards).
+    struct Slot {
+      decltype(map(std::size_t{0}, std::size_t{0})) value{};
+    };
+    std::vector<Slot> partials(shards.size());
+    run_shards_(shards, [&map, &partials, &shards](const ShardRange& r) {
+      partials[static_cast<std::size_t>(&r - shards.data())].value = map(r.begin, r.end);
+    });
+    Acc acc = std::move(init);
+    for (Slot& p : partials) combine(acc, std::move(p.value));
+    return acc;
+  }
+
+ private:
+  template <typename ShardFn>
+  void run_shards_(const std::vector<ShardRange>& shards, const ShardFn& fn) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(shards.size());
+    for (const ShardRange& r : shards) {
+      futures.push_back(pool_->submit([&fn, &r] { fn(r); }));
+    }
+    // get() (not wait()) so the first task exception, by shard order,
+    // propagates to the caller exactly like ThreadPool::parallel_for.
+    for (auto& f : futures) f.get();
+  }
+
+  std::size_t threads_ = 1;
+  std::size_t threshold_ = kDefaultThreshold;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+// Thread-local installation of the active executor, mirroring
+// obs::TelemetryScope: the World installs its executor around run_until()
+// and dispatch, and the planner kernels (kmeans, tsp, plan_context) pick it
+// up via current_parallel() without threading a pool through every policy
+// signature. Returns nullptr when nothing is installed (serial).
+[[nodiscard]] ParallelExec* current_parallel() noexcept;
+
+class ParallelScope {
+ public:
+  explicit ParallelScope(ParallelExec* exec) noexcept;
+  ~ParallelScope();
+
+  ParallelScope(const ParallelScope&) = delete;
+  ParallelScope& operator=(const ParallelScope&) = delete;
+
+ private:
+  ParallelExec* previous_ = nullptr;
+};
+
+}  // namespace wrsn

@@ -33,6 +33,29 @@ void atomic_max(std::atomic<double>& a, double v) noexcept {
 
 thread_local TelemetryRegistry* t_registry = nullptr;
 
+// Epoch of the current thread-local registry installation. Bumped on every
+// TelemetryScope construction AND destruction, so an unchanged epoch proves
+// t_registry has not been swapped since — which is what makes the timer
+// handle cache below safe: a cached Histogram* is only trusted while the
+// installation that created it is still the active one (the scope holder
+// keeps that registry alive).
+thread_local std::uint64_t t_epoch = 0;
+
+// Per-thread (epoch, name-literal, handle) cache so ScopedTimer::record is
+// lock-free on the hot path instead of paying the registry mutex + map
+// lookup on every scope exit. Keyed by the name's *address*: WRSN_OBS_SCOPE
+// passes string literals, so each call-site has a stable key. Fixed slots +
+// round-robin eviction keep it allocation-free; a miss just falls back to
+// the locked lookup.
+struct TimerCacheEntry {
+  std::uint64_t epoch = 0;
+  const char* name = nullptr;
+  Histogram* hist = nullptr;
+};
+constexpr std::size_t kTimerCacheSlots = 16;
+thread_local TimerCacheEntry t_timer_cache[kTimerCacheSlots];
+thread_local std::size_t t_timer_cache_next = 0;
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -260,12 +283,34 @@ TelemetryRegistry* current_registry() noexcept { return t_registry; }
 TelemetryScope::TelemetryScope(TelemetryRegistry* registry) noexcept
     : prev_(t_registry) {
   t_registry = registry;
+  ++t_epoch;
 }
 
-TelemetryScope::~TelemetryScope() { t_registry = prev_; }
+TelemetryScope::~TelemetryScope() {
+  t_registry = prev_;
+  ++t_epoch;
+}
 
 void ScopedTimer::record(double seconds) {
-  registry_->timer(name_).observe(seconds);
+  // A current-epoch hit means no TelemetryScope ran since the entry was
+  // cached, so registry_ is still the installed registry and the handle is
+  // alive. (ScopedTimer only calls record when registry_ != nullptr, and an
+  // epoch bump between its ctor and dtor turns every entry into a miss.)
+  for (TimerCacheEntry& e : t_timer_cache) {
+    if (e.epoch == t_epoch && e.name == name_) {
+      e.hist->observe(seconds);
+      return;
+    }
+  }
+  Histogram& h = registry_->timer(name_);
+  // Only cache when the captured registry is still the installed one — a
+  // timer whose scope outlived a nested TelemetryScope must not publish its
+  // (different-registry) handle under the current epoch.
+  if (registry_ == t_registry) {
+    t_timer_cache[t_timer_cache_next] = TimerCacheEntry{t_epoch, name_, &h};
+    t_timer_cache_next = (t_timer_cache_next + 1) % kTimerCacheSlots;
+  }
+  h.observe(seconds);
 }
 
 }  // namespace wrsn::obs

@@ -1,0 +1,195 @@
+// Unit tests for the deterministic shard executor (core/parallel.hpp): fixed
+// thread-count-independent shard plans, disjoint-slot for_shards, and
+// reduce_shards folding partials strictly in shard-index order — including
+// under adversarial task completion ordering (later shards finish first), the
+// case where a completion-order-dependent merge would diverge.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/parallel.hpp"
+
+namespace wrsn {
+namespace {
+
+TEST(ShardPlan, CoversRangeContiguously) {
+  for (const std::size_t n : {0u, 1u, 5u, 16u, 17u, 100u}) {
+    for (const std::size_t grain : {1u, 4u, 16u, 1000u}) {
+      const auto shards = shard_plan(n, grain);
+      std::size_t expect_begin = 0;
+      for (const ShardRange& r : shards) {
+        EXPECT_EQ(r.begin, expect_begin);
+        EXPECT_GT(r.end, r.begin);
+        EXPECT_LE(r.end - r.begin, grain);
+        expect_begin = r.end;
+      }
+      EXPECT_EQ(expect_begin, n);
+      if (n == 0) EXPECT_TRUE(shards.empty());
+    }
+  }
+}
+
+TEST(ShardPlan, BoundariesDependOnlyOnNAndGrain) {
+  // The plan is a pure function of (n, grain); this is what makes per-shard
+  // partials identical no matter how many workers exist.
+  EXPECT_EQ(shard_plan(100, 7).size(), shard_plan(100, 7).size());
+  const auto a = shard_plan(100, 7);
+  const auto b = shard_plan(100, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].begin, b[i].begin);
+    EXPECT_EQ(a[i].end, b[i].end);
+  }
+}
+
+TEST(ResolveThreads, ExplicitValuePassesThrough) {
+  ::unsetenv("WRSN_THREADS");
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(7), 7u);
+}
+
+TEST(ResolveThreads, AutoWithoutEnvIsSerial) {
+  ::unsetenv("WRSN_THREADS");
+  EXPECT_EQ(resolve_threads(0), 1u);
+}
+
+TEST(ResolveThreads, AutoReadsEnv) {
+  ::setenv("WRSN_THREADS", "5", 1);
+  EXPECT_EQ(resolve_threads(0), 5u);
+  // Explicit config beats the env.
+  EXPECT_EQ(resolve_threads(3), 3u);
+  // Env value 0 = hardware concurrency (>= 1).
+  ::setenv("WRSN_THREADS", "0", 1);
+  EXPECT_GE(resolve_threads(0), 1u);
+  ::unsetenv("WRSN_THREADS");
+}
+
+TEST(ParallelExec, SerialExecutorNeverShards) {
+  ParallelExec exec;  // threads == 1
+  EXPECT_FALSE(exec.parallel());
+  EXPECT_FALSE(exec.should_shard(1u << 20));
+  std::size_t calls = 0;
+  exec.for_shards(100, [&](std::size_t begin, std::size_t end) {
+    ++calls;
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 100u);
+  });
+  EXPECT_EQ(calls, 1u);  // one inline body(0, n), no pool
+}
+
+TEST(ParallelExec, BelowThresholdRunsInline) {
+  ParallelExec exec(4, /*threshold=*/1000);
+  EXPECT_TRUE(exec.parallel());
+  EXPECT_FALSE(exec.should_shard(999));
+  EXPECT_TRUE(exec.should_shard(1000));
+}
+
+TEST(ParallelExec, ForShardsFillsDisjointSlotsUnderAdversarialOrdering) {
+  ParallelExec exec(4, /*threshold=*/1);
+  const std::size_t n = 64;
+  std::vector<int> slots(n, -1);
+  // Small grain => many shards; early shards sleep longest so completion
+  // order is roughly the reverse of shard order.
+  exec.for_shards(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        std::this_thread::sleep_for(std::chrono::microseconds(500 * (n - begin)));
+        for (std::size_t i = begin; i < end; ++i) {
+          slots[i] = static_cast<int>(i * i);
+        }
+      },
+      /*grain=*/4);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(slots[i], static_cast<int>(i * i)) << "slot " << i;
+  }
+}
+
+// Non-associative floating-point reduction: the fold must match a serial
+// fold over the same shard plan bit-for-bit, at every thread count, even
+// when tasks complete in reverse order.
+TEST(ParallelExec, ReduceShardsIsBitStableAcrossThreadCounts) {
+  const std::size_t n = 257;
+  const std::size_t grain = 16;
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = 0.1 * static_cast<double>((i * 2654435761u) % 1000) - 37.25;
+  }
+  auto map = [&](std::size_t begin, std::size_t end) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200 * (n - begin)));
+    double sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) sum += values[i];
+    return sum;
+  };
+  auto combine = [](double& acc, double part) { acc += part; };
+
+  // Expected: fold the shard partials serially, in shard order.
+  double expected = 0.0;
+  for (const ShardRange& r : shard_plan(n, grain)) {
+    double part = 0.0;
+    for (std::size_t i = r.begin; i < r.end; ++i) part += values[i];
+    expected += part;
+  }
+
+  for (const std::size_t threads : {2u, 3u, 7u}) {
+    ParallelExec exec(threads, /*threshold=*/1);
+    const double got = exec.reduce_shards(n, 0.0, map, combine, grain);
+    EXPECT_EQ(got, expected) << "threads=" << threads;  // bit-exact
+  }
+}
+
+// Regression: a bool partial must not bit-pack (vector<bool> slots would
+// race across adjacent shards and fail to bind).
+TEST(ParallelExec, ReduceShardsSupportsBoolPartials) {
+  ParallelExec exec(4, /*threshold=*/1);
+  const std::size_t n = 100;
+  const bool any = exec.reduce_shards(
+      n, false,
+      [](std::size_t begin, std::size_t end) {
+        bool hit = false;
+        for (std::size_t i = begin; i < end; ++i) hit = hit || (i == 63);
+        return hit;
+      },
+      [](bool& acc, bool part) { acc = acc || part; },
+      /*grain=*/8);
+  EXPECT_TRUE(any);
+}
+
+TEST(ParallelExec, ShardExceptionPropagates) {
+  ParallelExec exec(2, /*threshold=*/1);
+  EXPECT_THROW(exec.for_shards(
+                   64,
+                   [](std::size_t begin, std::size_t) {
+                     if (begin >= 32) throw std::runtime_error("boom");
+                   },
+                   /*grain=*/8),
+               std::runtime_error);
+  // The pool survives the exception and keeps working.
+  std::vector<int> slots(16, 0);
+  exec.for_shards(
+      16, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) slots[i] = 1;
+      },
+      /*grain=*/2);
+  for (int v : slots) EXPECT_EQ(v, 1);
+}
+
+TEST(ParallelScope, InstallsAndRestoresNested) {
+  EXPECT_EQ(current_parallel(), nullptr);
+  ParallelExec outer(1), inner(1);
+  {
+    ParallelScope a(&outer);
+    EXPECT_EQ(current_parallel(), &outer);
+    {
+      ParallelScope b(&inner);
+      EXPECT_EQ(current_parallel(), &inner);
+    }
+    EXPECT_EQ(current_parallel(), &outer);
+  }
+  EXPECT_EQ(current_parallel(), nullptr);
+}
+
+}  // namespace
+}  // namespace wrsn

@@ -1,0 +1,157 @@
+// Parallel-determinism suite: the shard executor must leave every observable
+// output BYTE-IDENTICAL to the serial run at any thread count — metrics
+// report JSON, processed-event count, event trace (time, kind, subject,
+// epoch, queue size) and the final battery vector — across both engines and
+// with fault injection on. parallel_threshold is forced to 1 so every
+// sharded phase actually dispatches (the instances here are far smaller than
+// the production threshold).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "core/rng.hpp"
+#include "net/deployment.hpp"
+#include "sched/kmeans.hpp"
+#include "sched/tsp.hpp"
+#include "sim/world.hpp"
+
+namespace wrsn {
+namespace {
+
+SimConfig base_config(bool faults) {
+  SimConfig cfg;
+  cfg.num_sensors = 60;
+  cfg.num_targets = 5;
+  cfg.num_rvs = 2;
+  cfg.field_side = meters(100.0);
+  cfg.sim_duration = hours(6.0);
+  cfg.target_motion = TargetMotion::kRandomWaypoint;
+  cfg.target_period = minutes(30.0);
+  cfg.target_speed = MeterPerSecond{1.0};
+  cfg.activation = ActivationPolicy::kRoundRobin;
+  cfg.scheduler = "combined";
+  cfg.battery.capacity = Joule{150.0};
+  cfg.radio.listen_duty_cycle = 0.2;
+  cfg.parallel_threshold = 1;  // shard every bulk phase, however small
+  if (faults) {
+    cfg.fault.enabled = true;
+    cfg.fault.request_loss_prob = 0.25;
+    cfg.fault.request_delay_prob = 0.2;
+    cfg.fault.request_delay_max = minutes(10.0);
+    cfg.fault.request_retry_timeout = minutes(5.0);
+    cfg.fault.rv_breakdown_at = hours(2.0);
+    cfg.fault.rv_repair_duration = hours(1.0);
+    cfg.fault.rv_mtbf_hours = 8.0;
+    cfg.fault.sensor_fault_rate_per_day = 6.0;
+    cfg.fault.sensor_fault_duration = minutes(40.0);
+    cfg.fault.battery_noise_per_day = 0.05;
+  }
+  return cfg;
+}
+
+struct RunResult {
+  std::string report_json;
+  std::vector<World::TraceEvent> trace;
+  std::vector<double> battery_levels;
+  std::uint64_t events = 0;
+};
+
+RunResult run(const SimConfig& cfg, WorldEngine engine) {
+  World w(cfg, engine);
+  RunResult out;
+  w.set_tracer([&out](const World::TraceEvent& ev) { out.trace.push_back(ev); });
+  w.run_until(cfg.sim_duration);
+  out.report_json = to_json(w.report());
+  out.events = w.events_processed();
+  out.battery_levels.reserve(w.network().num_sensors());
+  for (const Sensor& s : w.network().sensors()) {
+    out.battery_levels.push_back(s.battery.level().value());
+  }
+  return out;
+}
+
+void expect_same(const RunResult& a, const RunResult& b, const std::string& what) {
+  EXPECT_EQ(a.report_json, b.report_json) << what;
+  EXPECT_EQ(a.events, b.events) << what;
+  ASSERT_EQ(a.trace.size(), b.trace.size()) << what;
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    ASSERT_TRUE(a.trace[i].time == b.trace[i].time &&
+                a.trace[i].kind == b.trace[i].kind &&
+                a.trace[i].subject == b.trace[i].subject &&
+                a.trace[i].epoch == b.trace[i].epoch &&
+                a.trace[i].queue_size == b.trace[i].queue_size)
+        << what << " trace diverges at index " << i;
+  }
+  ASSERT_EQ(a.battery_levels.size(), b.battery_levels.size()) << what;
+  for (std::size_t s = 0; s < a.battery_levels.size(); ++s) {
+    ASSERT_EQ(a.battery_levels[s], b.battery_levels[s])
+        << what << " battery diverges at sensor " << s;  // bit-exact
+  }
+}
+
+TEST(ParallelDeterminism, ThreadCountNeverChangesOutput) {
+  const WorldEngine engines[] = {WorldEngine::kIncremental,
+                                 WorldEngine::kReference};
+  for (const bool faults : {false, true}) {
+    for (const WorldEngine engine : engines) {
+      for (const std::uint64_t seed : {0u, 3u}) {
+        SimConfig cfg = base_config(faults);
+        cfg.seed = 0x9000 + seed * 7919;
+        cfg.threads = 1;
+        const RunResult serial = run(cfg, engine);
+        EXPECT_GT(serial.events, 0u);
+        for (const std::size_t threads : {2u, 8u}) {
+          cfg.threads = threads;
+          std::ostringstream what;
+          what << "engine="
+               << (engine == WorldEngine::kReference ? "ref" : "inc")
+               << " faults=" << faults << " seed=" << seed
+               << " threads=" << threads;
+          expect_same(serial, run(cfg, engine), what.str());
+          if (::testing::Test::HasFatalFailure()) return;
+        }
+      }
+    }
+  }
+}
+
+// The planner kernels pick up the executor via current_parallel(); with a
+// pool installed and a threshold of 1, their sharded passes must reproduce
+// the uninstalled (serial) results exactly.
+TEST(ParallelDeterminism, KMeansMatchesSerialUnderInstalledPool) {
+  Xoshiro256 deploy_rng(42);
+  const auto pts = deploy_uniform(300, 120.0, deploy_rng);
+  Xoshiro256 rng_serial(7), rng_parallel(7);
+  const auto serial = kmeans(pts, 6, rng_serial);
+  ParallelExec exec(4, /*threshold=*/1);
+  const ParallelScope scope(&exec);
+  const auto parallel = kmeans(pts, 6, rng_parallel);
+  EXPECT_EQ(serial.assignment, parallel.assignment);
+  ASSERT_EQ(serial.centroids.size(), parallel.centroids.size());
+  for (std::size_t c = 0; c < serial.centroids.size(); ++c) {
+    EXPECT_EQ(serial.centroids[c].x, parallel.centroids[c].x);
+    EXPECT_EQ(serial.centroids[c].y, parallel.centroids[c].y);
+  }
+  EXPECT_EQ(serial.converged, parallel.converged);
+}
+
+TEST(ParallelDeterminism, TwoOptMatchesSerialUnderInstalledPool) {
+  Xoshiro256 rng(1234);
+  const auto pts = deploy_uniform(400, 150.0, rng);
+  const Vec2 start{0.0, 0.0};
+  std::vector<std::size_t> serial_order = nearest_neighbor_tour(start, pts);
+  std::vector<std::size_t> parallel_order = serial_order;
+  two_opt(start, pts, serial_order);
+  {
+    ParallelExec exec(4, /*threshold=*/1);
+    const ParallelScope scope(&exec);
+    two_opt(start, pts, parallel_order);
+  }
+  EXPECT_EQ(serial_order, parallel_order);
+}
+
+}  // namespace
+}  // namespace wrsn

@@ -6,6 +6,7 @@
 //     --days N             shorthand for --set sim_days=N
 //     --seed N             shorthand for --set seed=N
 //     --scheduler NAME     shorthand for --set scheduler=NAME
+//     --threads N          shorthand for --set threads=N
 //     --seeds N            run N replicas (seed, seed+1, ...) and report
 //                          mean +/- 95% CI per metric
 //     --csv FILE           append one CSV row per replica to FILE
@@ -50,6 +51,10 @@ using namespace wrsn;
       "  --days N             shorthand for --set sim_days=N\n"
       "  --seed N             shorthand for --set seed=N\n"
       "  --scheduler NAME     a registered policy (see --list-schedulers)\n"
+      "  --threads N          shorthand for --set threads=N: worker threads\n"
+      "                       for the deterministic intra-simulation shards\n"
+      "                       (0 = auto from WRSN_THREADS, default 1; output\n"
+      "                       is byte-identical at any thread count)\n"
       "  --faults FILE|SPEC   enable fault injection: a config file of\n"
       "                       fault.* keys, or a comma list such as\n"
       "                       request_loss_prob=0.2,rv_breakdown_at_h=6\n"
@@ -213,6 +218,8 @@ int main(int argc, char** argv) try {
       config_set(cfg, "seed", need_value(i));
     } else if (a == "--scheduler") {
       config_set(cfg, "scheduler", need_value(i));
+    } else if (a == "--threads") {
+      config_set(cfg, "threads", need_value(i));
     } else if (a == "--faults") {
       apply_fault_arg(cfg, need_value(i));
     } else if (a == "--seeds") {

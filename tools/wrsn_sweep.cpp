@@ -7,8 +7,18 @@
 //
 //   wrsn_sweep --sweep KEY=V1,V2,... [--sweep KEY=...]...
 //              [--config FILE] [--set KEY=VALUE]... [--days N] [--seeds N]
-//              [--faults FILE|SPEC] [--csv FILE] [--telemetry FILE]
-//              [--spans PREFIX] [--chrome-trace PREFIX] [--flight-recorder N]
+//              [--threads N] [--faults FILE|SPEC] [--csv FILE]
+//              [--telemetry FILE] [--spans PREFIX] [--chrome-trace PREFIX]
+//              [--flight-recorder N]
+//
+// --threads N (or the `threads` config key / WRSN_THREADS env) is the TOTAL
+// thread budget, split between outer replica workers and inner per-replica
+// shard threads so that outer x inner <= N: the sweep first spends the
+// budget on whole replicas (outer = min(N, points x seeds)) and gives any
+// leftover factor to each replica's deterministic shard executor
+// (inner = N / outer). Reports are byte-identical for any split. With no
+// budget given, the historical default applies: one hardware thread per
+// replica worker, serial replicas.
 //
 // --telemetry FILE aggregates telemetry (event-loop counters, scheduler
 // timing histograms) over every replica of every grid point and writes it
@@ -24,17 +34,21 @@
 //   wrsn_sweep --sweep scheduler=greedy,partition,combined
 //              --sweep energy_request_percentage=0,0.2,0.4,0.6,0.8,1
 //              --days 120 --seeds 3 --csv fig6.csv
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/config_io.hpp"
 #include "core/error.hpp"
+#include "core/parallel.hpp"
 #include "core/stats.hpp"
 #include "core/thread_pool.hpp"
 #include "obs/flight.hpp"
@@ -123,6 +137,8 @@ int main(int argc, char** argv) try {
       config_set(base, kv.substr(0, eq), kv.substr(eq + 1));
     } else if (a == "--days") {
       config_set(base, "sim_days", need_value(i));
+    } else if (a == "--threads") {
+      config_set(base, "threads", need_value(i));
     } else if (a == "--faults") {
       apply_fault_arg(base, need_value(i));
     } else if (a == "--seeds") {
@@ -198,6 +214,24 @@ int main(int argc, char** argv) try {
   }
 
   const std::size_t total_tasks = total_points * seeds;
+
+  // Thread-budget split (see file header): outer replica workers x inner
+  // per-replica shard threads <= budget. The budget comes from the single
+  // `threads` knob (CLI / config / WRSN_THREADS); when nobody set it, keep
+  // the historical default of hardware-concurrency replica workers with
+  // serial replicas.
+  const bool budget_given =
+      base.threads != 0 || std::getenv("WRSN_THREADS") != nullptr;
+  const std::size_t budget =
+      budget_given ? resolve_threads(base.threads)
+                   : std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  const std::size_t outer = std::max<std::size_t>(std::min(budget, total_tasks), 1);
+  const std::size_t inner = budget_given ? std::max<std::size_t>(budget / outer, 1) : 1;
+  for (SimConfig& cfg : point_cfgs) cfg.threads = inner;
+  if (budget_given) {
+    std::cout << "thread budget " << budget << ": " << outer
+              << " replica worker(s) x " << inner << " shard thread(s)\n";
+  }
   std::vector<MetricsReport> reports(total_tasks);
   // Replica-private registries, merged in task order after the parallel
   // phase so the aggregate is independent of completion order.
@@ -257,7 +291,7 @@ int main(int argc, char** argv) try {
     obs::FlightRecorder::arm_signal_handlers();
   }
 
-  ThreadPool pool;
+  ThreadPool pool(outer);
   pool.parallel_for(total_tasks, [&](std::size_t task) {
     const std::size_t point = task / seeds;
     const std::size_t replica = task % seeds;

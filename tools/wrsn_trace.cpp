@@ -2,9 +2,13 @@
 // per processed event), for debugging schedules and for teaching material.
 // Use short horizons: a 120-day run emits hundreds of thousands of events.
 //
-//   wrsn_trace [--days N] [--set KEY=VALUE]... [--faults FILE|SPEC]
-//              [--out FILE] [--format csv|jsonl] [--telemetry FILE]
-//              [--spans FILE] [--chrome-trace FILE] [--flight-recorder N]
+//   wrsn_trace [--days N] [--threads N] [--set KEY=VALUE]...
+//              [--faults FILE|SPEC] [--out FILE] [--format csv|jsonl]
+//              [--telemetry FILE] [--spans FILE] [--chrome-trace FILE]
+//              [--flight-recorder N]
+//
+// --threads N is shorthand for --set threads=N (deterministic shard
+// executor; the trace stream is byte-identical at any thread count).
 //
 // Formats (both carry the same fields; see obs/trace.hpp):
 //   csv    t_seconds,t_hours,event,subject,epoch,queue_size   (default)
@@ -46,13 +50,16 @@ int main(int argc, char** argv) try {
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a == "--help" || a == "-h") {
-      std::cout << "wrsn_trace [--days N] [--set KEY=VALUE]... [--faults FILE|SPEC]\n"
-                   "           [--out FILE] [--format csv|jsonl] [--telemetry FILE]\n"
-                   "           [--spans FILE] [--chrome-trace FILE] [--flight-recorder N]\n";
+      std::cout << "wrsn_trace [--days N] [--threads N] [--set KEY=VALUE]...\n"
+                   "           [--faults FILE|SPEC] [--out FILE] [--format csv|jsonl]\n"
+                   "           [--telemetry FILE] [--spans FILE] [--chrome-trace FILE]\n"
+                   "           [--flight-recorder N]\n";
       return 0;
     }
     if (a == "--days") {
       config_set(cfg, "sim_days", need_value(i));
+    } else if (a == "--threads") {
+      config_set(cfg, "threads", need_value(i));
     } else if (a == "--faults") {
       apply_fault_arg(cfg, need_value(i));
     } else if (a == "--set") {
