@@ -126,12 +126,24 @@ def run(argv: list[str] | None = None) -> int:
                   f"{r['speedup']:8.2f}x")
 
     scaling = report.get("thread_scaling", [])
+    cores = os.cpu_count() or 1
+    if scaling and cores < 2:
+        # One core timeshares the workers: the numbers are still valid
+        # determinism evidence but meaningless as scaling data. Mark every
+        # row so downstream consumers of the report don't chart them.
+        for r in scaling:
+            r["skipped"] = True
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=1)
+            fh.write("\n")
+        print(f"thread_scaling marked skipped: {cores} CPU core(s)")
     if scaling:
         print(f"\n{'n':>6} {'threads':>8} {'inc ev/s':>12} {'vs base':>9}")
         for r in scaling:
             print(f"{r['n']:>6} {r['threads']:>8} "
                   f"{r['inc_events_per_sec']:12.0f} "
-                  f"{r['speedup_vs_base']:8.2f}x")
+                  f"{r['speedup_vs_base']:8.2f}x"
+                  + ("  (skipped)" if r.get("skipped") else ""))
 
     if args.min_speedup is not None:
         largest = max(rows, key=lambda r: r["n"])
@@ -146,7 +158,6 @@ def run(argv: list[str] | None = None) -> int:
             print("CHECK FAILED: --min-parallel-speedup needs --threads-sweep",
                   file=sys.stderr)
             return 2
-        cores = os.cpu_count() or 1
         if cores < 2:
             # One core timeshares the workers: the sweep still proves
             # determinism, but no wall-clock speedup is physically possible.

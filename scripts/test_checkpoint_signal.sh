@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Kill-and-resume contract test for `wrsn_sim --checkpoint-on-signal`.
+#
+#   test_checkpoint_signal.sh WRSN_SIM_BINARY WORK_DIR
+#
+# Launches a run with signal checkpointing and a flight recorder, SIGTERMs
+# it mid-flight, and asserts the whole crash-safety contract:
+#   1. the interrupted process exits 75 (stopped-but-resumable),
+#   2. it leaves a terminal snapshot + fsync'd manifest behind,
+#   3. the flight recorder dumped the last events to stderr,
+#   4. `--restore` of that snapshot runs to the horizon and produces a
+#      report byte-identical to an uninterrupted run.
+# The kill lands at a wall-clock offset, so on a fast machine the run may
+# finish before the signal arrives; the test retries with a longer horizon
+# (more simulated days) until the kill genuinely interrupts.
+set -u
+
+SIM=${1:?usage: test_checkpoint_signal.sh WRSN_SIM_BINARY WORK_DIR}
+DIR=${2:?usage: test_checkpoint_signal.sh WRSN_SIM_BINARY WORK_DIR}
+
+fail() { echo "test_checkpoint_signal: FAIL: $*" >&2; exit 1; }
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+cd "$DIR" || fail "cannot enter $DIR"
+
+# Moderate network, faults on: exercises the full mutable-state surface.
+COMMON_ARGS=(--seeds 1 --set num_sensors=40 --set battery.capacity_j=200
+             --faults request_loss_prob=0.2,sensor_fault_rate_per_day=2)
+
+days=320
+for attempt in 1 2 3 4; do
+  rm -f ck.* golden.json resumed.json run.err
+
+  "$SIM" --days "$days" "${COMMON_ARGS[@]}" --json golden.json \
+    >/dev/null 2>&1 || fail "golden run failed (days=$days)"
+
+  "$SIM" --days "$days" "${COMMON_ARGS[@]}" --json interrupted.json \
+    --checkpoint ck --checkpoint-on-signal --flight-recorder 32 \
+    >/dev/null 2>run.err &
+  pid=$!
+  sleep 0.6
+  kill -TERM "$pid" 2>/dev/null
+  wait "$pid"
+  rc=$?
+
+  if [ "$rc" -eq 0 ]; then
+    # Finished before the signal landed — lengthen the run and try again.
+    days=$((days * 4))
+    continue
+  fi
+  [ "$rc" -eq 75 ] || fail "interrupted run exited $rc, expected 75"
+
+  snap=$(ls ck.*.snap 2>/dev/null | sort | tail -1)
+  [ -n "$snap" ] || fail "no snapshot written"
+  [ -s ck.manifest.jsonl ] || fail "no snapshot manifest written"
+  grep -q '"terminal":true' ck.manifest.jsonl \
+    || fail "manifest has no terminal record"
+  grep -q '=== flight recorder dump' run.err \
+    || fail "no flight-recorder dump on stderr"
+
+  "$SIM" --restore "$snap" --json resumed.json >/dev/null 2>&1 \
+    || fail "restore from $snap failed"
+  cmp -s golden.json resumed.json \
+    || fail "resumed report differs from uninterrupted golden"
+
+  echo "test_checkpoint_signal: OK (days=$days, resumed from $snap," \
+       "report byte-identical)"
+  exit 0
+done
+
+fail "run kept finishing before the signal after $((attempt)) attempts"

@@ -92,6 +92,17 @@ class ClusterRotor {
     return kInvalidId;
   }
 
+  // Checkpoint support: the rotation position is state (it decides which
+  // member takes the next slot), so restore must reinstate it verbatim.
+  [[nodiscard]] std::size_t cursor() const { return cursor_; }
+  void restore(std::vector<SensorId> members, std::size_t cursor) {
+    WRSN_REQUIRE(std::is_sorted(members.begin(), members.end()),
+                 "rotor members must be sorted");
+    WRSN_REQUIRE(cursor <= members.size(), "rotor cursor out of range");
+    members_ = std::move(members);
+    cursor_ = cursor;
+  }
+
  private:
   std::vector<SensorId> members_;
   std::size_t cursor_ = 0;

@@ -63,10 +63,14 @@ bool parse_bool(const std::string& key, const std::string& value) {
                         "'");
 }
 
+// Shortest round-trip formatting: the printed text parses back to the same
+// double, bit for bit. Snapshot restore embeds the config as text, so any
+// lossy formatting here would silently perturb a resumed run.
 std::string fmt(double v) {
-  std::ostringstream os;
-  os << v;
-  return os.str();
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  WRSN_REQUIRE(ec == std::errc{}, "double formatting failed");
+  return std::string(buf, ptr);
 }
 
 std::string parse_scheduler(const std::string& v) {

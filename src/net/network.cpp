@@ -78,6 +78,13 @@ bool Network::rebuild_routing() {
   return true;
 }
 
+void Network::restore_routing(const std::vector<bool>& alive_mask) {
+  WRSN_REQUIRE(alive_mask.size() == sensors_.size(),
+               "alive mask size mismatch");
+  routing_.build(graph_, alive_mask);
+  last_alive_mask_ = alive_mask;
+}
+
 std::size_t Network::alive_count() const {
   return static_cast<std::size_t>(
       std::count_if(sensors_.begin(), sensors_.end(),

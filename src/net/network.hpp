@@ -73,6 +73,15 @@ class Network {
   // changed since the previous build (callers use this to skip reroutes).
   bool rebuild_routing();
 
+  // Checkpoint support: the mask the current routing tree was built from.
+  // Can lag the actual alive flags (a death crossing may be pending), so a
+  // restore must rebuild routing from this serialized mask, not from the
+  // restored sensors.
+  [[nodiscard]] const std::vector<bool>& last_alive_mask() const {
+    return last_alive_mask_;
+  }
+  void restore_routing(const std::vector<bool>& alive_mask);
+
   [[nodiscard]] std::size_t alive_count() const;
 
  private:

@@ -82,6 +82,45 @@ void TrafficModel::reroute(const RoutingTree& tree) {
   for (const auto& [source, rate] : sources) add_source(tree, source, rate);
 }
 
+void TrafficModel::serialize(BinWriter& w) const {
+  w.vec(tx_rate_);
+  w.vec(rx_rate_);
+  w.f64(delivery_rate_);
+  w.f64(weighted_hops_);
+  w.f64(delivering_rate_);
+  w.size(delivering_sources_);
+  w.size(routes_.size());
+  for (const auto& [source, flow] : routes_) {
+    w.u64(static_cast<std::uint64_t>(source));
+    w.f64(flow.rate_pps);
+    std::vector<std::uint64_t> path(flow.relay_path.begin(),
+                                    flow.relay_path.end());
+    w.vec(path);
+  }
+}
+
+void TrafficModel::deserialize(BinReader& r) {
+  r.vec(tx_rate_);
+  r.vec(rx_rate_);
+  r.f64(delivery_rate_);
+  r.f64(weighted_hops_);
+  r.f64(delivering_rate_);
+  r.size(delivering_sources_);
+  std::size_t n = 0;
+  r.size(n);
+  routes_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t source = 0;
+    r.u64(source);
+    SourceFlow flow{0.0, {}};
+    r.f64(flow.rate_pps);
+    std::vector<std::uint64_t> path;
+    r.vec(path);
+    flow.relay_path.assign(path.begin(), path.end());
+    routes_.emplace(static_cast<SensorId>(source), std::move(flow));
+  }
+}
+
 Watt TrafficModel::radio_power(SensorId s, const RadioModel& radio) const {
   WRSN_REQUIRE(s < tx_rate_.size(), "sensor id out of range");
   // rate (1/s) x energy-per-packet (J) = power (W); plus the duty-cycled

@@ -9,9 +9,10 @@
 // is added so removal subtracts the identical path even if the tree has been
 // rebuilt in between.
 
-#include <unordered_map>
+#include <map>
 #include <vector>
 
+#include "core/binio.hpp"
 #include "core/config.hpp"
 #include "core/dirty_set.hpp"
 #include "core/units.hpp"
@@ -68,6 +69,12 @@ class TrafficModel {
   // Radio power draw of sensor s under `radio` (tx + rx + idle floor).
   [[nodiscard]] Watt radio_power(SensorId s, const RadioModel& radio) const;
 
+  // Checkpoint codec: dumps/restores every accumulator and captured route
+  // verbatim (no re-derivation — the rounding residue in the rate sums is
+  // part of the state an uninterrupted run would carry).
+  void serialize(BinWriter& w) const;
+  void deserialize(BinReader& r);
+
  private:
   struct SourceFlow {
     double rate_pps;
@@ -88,7 +95,10 @@ class TrafficModel {
   double weighted_hops_ = 0.0;
   double delivering_rate_ = 0.0;
   std::size_t delivering_sources_ = 0;
-  std::unordered_map<SensorId, SourceFlow> routes_;
+  // Ordered map: clear_sources()/reroute() iterate it while accumulating
+  // floating-point sums, so the iteration order is part of the numerics a
+  // restored run must reproduce.
+  std::map<SensorId, SourceFlow> routes_;
   DirtySet* touch_log_ = nullptr;
 };
 

@@ -43,11 +43,11 @@ void locked_dump_all(const char* reason) {
   out.flush();
 }
 
-extern "C" void flight_sigint_handler(int sig) {
+extern "C" void flight_signal_handler(int sig) {
   // Best-effort post-mortem (see header): mutex + iostreams are not
-  // async-signal-safe, but a Ctrl-C during an interactive run is single
-  // threaded in practice and a garbled dump beats none.
-  FlightRecorder::dump_all("SIGINT");
+  // async-signal-safe, but a Ctrl-C or kill during an interactive run is
+  // single threaded in practice and a garbled dump beats none.
+  FlightRecorder::dump_all(sig == SIGTERM ? "SIGTERM" : "SIGINT");
   std::signal(sig, SIG_DFL);
   std::raise(sig);
 }
@@ -138,7 +138,8 @@ void FlightRecorder::set_dump_path(const std::string& path) {
 void FlightRecorder::arm_failure_hook() { set_failure_hook(&flight_failure_hook); }
 
 void FlightRecorder::arm_signal_handlers() {
-  std::signal(SIGINT, &flight_sigint_handler);
+  std::signal(SIGINT, &flight_signal_handler);
+  std::signal(SIGTERM, &flight_signal_handler);
 }
 
 }  // namespace wrsn::obs

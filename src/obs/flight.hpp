@@ -70,8 +70,10 @@ class FlightRecorder : public TraceSink {
   // failures dump every live recorder before the exception propagates.
   static void arm_failure_hook();
 
-  // Installs a SIGINT handler that dumps every live recorder, restores the
-  // default disposition, and re-raises so the exit status stays canonical.
+  // Installs SIGINT/SIGTERM handlers that dump every live recorder, restore
+  // the default disposition, and re-raise so the exit status stays
+  // canonical. Tools that checkpoint on signal install their own handler
+  // instead (and dump recorders at the checkpoint boundary).
   static void arm_signal_handlers();
 
  private:

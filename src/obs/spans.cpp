@@ -243,6 +243,45 @@ void SpanLog::finish(double t, const char* outcome) {
   if (second_ != nullptr) second_->finish();
 }
 
+void SpanLog::serialize(BinWriter& w) const {
+  w.u64(next_id_);
+  w.u64(emitted_);
+  w.size(open_.size());
+  for (const auto& [id, span] : open_) {
+    w.u64(id);
+    w.u64(span.parent);
+    w.u64(span.root);
+    w.str(std::string(span.track));
+    w.u64(span.subject);
+    w.str(std::string(span.name));
+    w.f64(span.t0);
+  }
+}
+
+void SpanLog::deserialize(BinReader& r) {
+  r.u64(next_id_);
+  r.u64(emitted_);
+  std::size_t n = 0;
+  r.size(n);
+  open_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t id = 0;
+    OpenSpan span;
+    r.u64(id);
+    r.u64(span.parent);
+    r.u64(span.root);
+    std::string track;
+    r.str(track);
+    span.track = interned_.emplace_back(std::move(track)).c_str();
+    r.u64(span.subject);
+    std::string name;
+    r.str(name);
+    span.name = interned_.emplace_back(std::move(name)).c_str();
+    r.f64(span.t0);
+    open_.emplace(id, span);
+  }
+}
+
 void SpanLog::emit(const SpanRecord& rec) {
   WRSN_DEBUG_ASSERT(rec.t1 >= rec.t0, "span ends before it starts");
   ++emitted_;

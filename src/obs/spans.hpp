@@ -26,9 +26,13 @@
 // suite (tests/test_spans.cpp) pins that.
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <ostream>
+#include <string>
 #include <vector>
+
+#include "core/binio.hpp"
 
 namespace wrsn::obs {
 
@@ -126,6 +130,14 @@ class SpanLog {
   [[nodiscard]] std::uint64_t spans_emitted() const { return emitted_; }
   [[nodiscard]] std::size_t open_spans() const { return open_.size(); }
 
+  // Checkpoint codec for the bookkeeping state (open spans, id counter,
+  // emitted count) — NOT the sink back-references; a restored log is wired
+  // to fresh sinks by the caller. Track/name are string-literal pointers on
+  // the live path; deserialize re-interns their contents into this log (a
+  // deque, so pointers stay stable as more spans restore).
+  void serialize(BinWriter& w) const;
+  void deserialize(BinReader& r);
+
  private:
   struct OpenSpan {
     std::uint64_t parent = 0;
@@ -145,6 +157,7 @@ class SpanLog {
   std::map<std::uint64_t, OpenSpan> open_;
   std::uint64_t next_id_ = 1;
   std::uint64_t emitted_ = 0;
+  std::deque<std::string> interned_;  // backing storage for restored strings
 };
 
 }  // namespace wrsn::obs

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <limits>
 
+#include "core/atomic_file.hpp"
 #include "core/error.hpp"
 #include "core/json.hpp"
 
@@ -258,15 +259,16 @@ std::string TelemetryRegistry::to_prometheus() const {
 
 void write_registry_file(const std::string& path,
                          const TelemetryRegistry& registry) {
-  std::ofstream os(path);
-  WRSN_REQUIRE(os.good(), "cannot open '" + path + "' for writing");
+  // Atomic temp+rename: a crash mid-write never leaves a truncated
+  // telemetry file under the final name.
+  AtomicFile file(path);
   const bool prom = path.size() >= 5 && path.rfind(".prom") == path.size() - 5;
   if (prom) {
-    os << registry.to_prometheus();
+    file.stream() << registry.to_prometheus();
   } else {
-    os << registry.to_json() << '\n';
+    file.stream() << registry.to_json() << '\n';
   }
-  WRSN_REQUIRE(os.good(), "write to '" + path + "' failed");
+  file.commit();
 }
 
 void require_writable(const std::string& path) {

@@ -90,6 +90,28 @@ Event EventQueue::pop() {
   return e;
 }
 
+std::vector<Event> EventQueue::sorted_events() const {
+  EventQueue copy = *this;
+  std::vector<Event> out;
+  out.reserve(copy.size());
+  while (!copy.empty()) out.push_back(copy.pop());
+  return out;
+}
+
+void EventQueue::restore(const std::vector<Event>& events,
+                         std::uint64_t next_seq) {
+  *this = EventQueue(impl_);
+  for (const Event& e : events) {
+    WRSN_REQUIRE(e.seq < next_seq, "event seq beyond restored next_seq");
+    if (impl_ == EventQueueImpl::kHeap) {
+      heap_.push(e);
+    } else {
+      cal_push(e);
+    }
+  }
+  next_seq_ = next_seq;
+}
+
 std::uint64_t EventQueue::day_of(double time) const {
   if (time <= 0.0) return 0;
   const double d = time / width_;

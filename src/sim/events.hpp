@@ -115,6 +115,16 @@ class EventQueue {
   [[nodiscard]] const Event& top() const;
   Event pop();
 
+  // --- checkpoint support (sim/snapshot.cpp) -----------------------------
+  // Pending events in strict (time, seq) pop order. Works on a copy, so the
+  // snapshot bytes are canonical regardless of internal bucket layout.
+  [[nodiscard]] std::vector<Event> sorted_events() const;
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+  // Rebuilds the queue from serialized events, preserving each event's seq
+  // (a plain push() would re-number them and break the restored tie-break
+  // order against an uninterrupted run).
+  void restore(const std::vector<Event>& events, std::uint64_t next_seq);
+
  private:
   struct Later {
     bool operator()(const Event& a, const Event& b) const {

@@ -116,6 +116,99 @@ MetricsReport MetricsIntegrator::finalize(Second duration) const {
   return out;
 }
 
+void MetricsIntegrator::serialize(BinWriter& w) const {
+  w.f64(report_.rv_travel_energy.value());
+  w.f64(report_.rv_travel_distance.value());
+  w.f64(report_.energy_recharged.value());
+  w.f64(report_.rv_base_energy_drawn.value());
+  w.size(report_.sensors_recharged);
+  w.size(report_.rv_tours);
+  w.size(report_.rv_base_recharges);
+  w.f64(report_.packets_delivered);
+  w.size(report_.sensor_deaths);
+  w.size(report_.recharge_requests);
+  w.size(report_.requests_lost);
+  w.size(report_.requests_delayed);
+  w.size(report_.requests_retried);
+  w.size(report_.requests_expired);
+  w.size(report_.rv_breakdowns);
+  w.size(report_.rv_repairs);
+  w.size(report_.failover_reinjected);
+  w.size(report_.sensor_hw_faults);
+  w.f64(report_.rv_downtime.value());
+  w.f64(covered_time_);
+  w.f64(coverable_time_);
+  w.f64(alive_time_);
+  w.f64(dead_time_);
+  w.f64(elapsed_);
+  w.f64(latency_sum_);
+  w.f64(hop_packet_integral_);
+  w.f64(failover_recovery_sum_);
+  w.size(failover_recoveries_);
+  w.vec(latencies_);
+  w.vec(waits_);
+  w.vec(travels_);
+  w.vec(services_);
+  std::vector<std::pair<std::size_t, int>> counts(recharge_counts_.begin(),
+                                                  recharge_counts_.end());
+  std::sort(counts.begin(), counts.end());
+  w.size(counts.size());
+  for (const auto& [sensor, count] : counts) {
+    w.size(sensor);
+    w.u64(static_cast<std::uint64_t>(count));
+  }
+}
+
+void MetricsIntegrator::deserialize(BinReader& r) {
+  auto f64 = [&r] {
+    double v = 0.0;
+    r.f64(v);
+    return v;
+  };
+  report_.rv_travel_energy = Joule{f64()};
+  report_.rv_travel_distance = Meter{f64()};
+  report_.energy_recharged = Joule{f64()};
+  report_.rv_base_energy_drawn = Joule{f64()};
+  r.size(report_.sensors_recharged);
+  r.size(report_.rv_tours);
+  r.size(report_.rv_base_recharges);
+  r.f64(report_.packets_delivered);
+  r.size(report_.sensor_deaths);
+  r.size(report_.recharge_requests);
+  r.size(report_.requests_lost);
+  r.size(report_.requests_delayed);
+  r.size(report_.requests_retried);
+  r.size(report_.requests_expired);
+  r.size(report_.rv_breakdowns);
+  r.size(report_.rv_repairs);
+  r.size(report_.failover_reinjected);
+  r.size(report_.sensor_hw_faults);
+  report_.rv_downtime = Second{f64()};
+  r.f64(covered_time_);
+  r.f64(coverable_time_);
+  r.f64(alive_time_);
+  r.f64(dead_time_);
+  r.f64(elapsed_);
+  r.f64(latency_sum_);
+  r.f64(hop_packet_integral_);
+  r.f64(failover_recovery_sum_);
+  r.size(failover_recoveries_);
+  r.vec(latencies_);
+  r.vec(waits_);
+  r.vec(travels_);
+  r.vec(services_);
+  std::size_t n = 0;
+  r.size(n);
+  recharge_counts_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t sensor = 0;
+    std::uint64_t count = 0;
+    r.size(sensor);
+    r.u64(count);
+    recharge_counts_[sensor] = static_cast<int>(count);
+  }
+}
+
 std::string to_json(const MetricsReport& r) {
   JsonWriter w;
   w.begin_object()

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/binio.hpp"
 #include "core/units.hpp"
 
 namespace wrsn {
@@ -148,6 +149,14 @@ class MetricsIntegrator {
   [[nodiscard]] Meter rv_travel_distance() const {
     return report_.rv_travel_distance;
   }
+
+  // Checkpoint codec: every accumulator the event hooks and advance() touch,
+  // dumped verbatim (finalize() is pure, so restoring these restores the
+  // eventual report bit for bit). recharge_counts_ is written sorted by
+  // sensor id for canonical snapshot bytes; its finalize() sums are over
+  // integers, so iteration order never affected the report.
+  void serialize(BinWriter& w) const;
+  void deserialize(BinReader& r);
 
  private:
   MetricsReport report_;

@@ -236,6 +236,13 @@ void World::run_until(Second t_in) {
       if (trace_sink_ != nullptr) trace_sink_->on_event(rec);
       if (flight_ != nullptr) flight_->record(rec);
     }
+    // Checkpoint hook: the event is fully handled and now_ == ev.time, so
+    // the world is at a quiescent instant. A true return stops the run
+    // *before* the horizon settle/advance below — resuming with another
+    // run_until (here or in a restored process) replays the remaining
+    // events byte-identically, because no state beyond the processed prefix
+    // has been touched.
+    if (checkpoint_hook_ && checkpoint_hook_(*this)) return;
   }
   if (queue_hwm_gauge_ != nullptr) {
     queue_hwm_gauge_->record_max(static_cast<double>(queue_hwm_));

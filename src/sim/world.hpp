@@ -54,6 +54,9 @@
 
 namespace wrsn {
 
+struct WorldSnapshot;   // sim/snapshot.hpp
+struct SnapshotAccess;  // sim/snapshot.cpp — the one friend that walks members
+
 enum class WorldEngine {
   kIncremental,  // counters + dirty marks + grid queries (the default)
   kReference,    // full-rescan maintenance of the same state (cross-check)
@@ -69,6 +72,11 @@ class World {
  public:
   explicit World(const SimConfig& config);
   World(const SimConfig& config, WorldEngine engine);
+  // Restore: rebuilds the static substrate from the snapshot's embedded
+  // config (deployment, comm graph, sensing grid are seed-derived), then
+  // overwrites every piece of mutable state so that continuing the run is
+  // byte-identical to never having stopped (tests/test_snapshot_equivalence).
+  explicit World(const WorldSnapshot& snap);
 
   // Runs the whole horizon and returns the metrics report.
   MetricsReport run();
@@ -125,6 +133,29 @@ class World {
   // never changes simulated physics (tests/test_observability.cpp).
   void set_telemetry(obs::TelemetryRegistry* registry);
 
+  // --- checkpointing (sim/snapshot.hpp) ---------------------------------
+  // Captures the full mutable state at the current instant. Only valid at a
+  // quiescent point: between run_until calls, or inside a checkpoint hook
+  // (which fires after an event is fully handled). The snapshot embeds the
+  // config, so restore needs nothing else.
+  [[nodiscard]] WorldSnapshot checkpoint() const;
+
+  // Checkpoint hook: consulted after every fully-processed event. Returning
+  // true stops run_until early (before the horizon settle), leaving the
+  // world at a quiescent, checkpointable instant; the caller then typically
+  // calls checkpoint() and either persists and resumes (periodic
+  // checkpoints) or exits (signal-triggered stop, watchdog deadline). Pass
+  // nullptr to detach. The hook itself never mutates physics.
+  using CheckpointHook = std::function<bool(const World&)>;
+  void set_checkpoint_hook(CheckpointHook hook) {
+    checkpoint_hook_ = std::move(hook);
+  }
+
+  // True once run_until has reached the configured horizon (end of the
+  // simulation); a hook-stopped run leaves this false so supervisors can
+  // tell "done" from "interrupted".
+  [[nodiscard]] bool finished() const { return finished_; }
+
   // Fault injection: drains the sensor's battery and processes the death
   // immediately (the node behaves like any depleted node afterwards and can
   // be revived by an RV). For chaos/what-if experiments and tests.
@@ -168,6 +199,13 @@ class World {
   }
 
  private:
+  // Snapshot codec (sim/snapshot.cpp). SnapshotAccess::io is one templated
+  // member walk shared by save and load, so the two field lists cannot
+  // drift; load_state overwrites the mutable state of a freshly-constructed
+  // world with the snapshot's.
+  friend struct SnapshotAccess;
+  void load_state(const WorldSnapshot& snap);
+
   // --- event handlers ------------------------------------------------------
   void handle(const Event& ev);
   void on_slot_rotation();
@@ -385,6 +423,7 @@ class World {
   std::vector<SensorId> arrival_scratch_;
 
   MetricsIntegrator metrics_;
+  CheckpointHook checkpoint_hook_;
   bool record_series_ = false;
   TimeSeries series_;
   TraceFn tracer_;

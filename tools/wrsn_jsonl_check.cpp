@@ -9,11 +9,21 @@
 // Every non-empty line must be one well-formed JSON value. With --schema,
 // the first line must additionally be a meta record carrying
 // "schema":"<name>" and a "version" field (the JSONL trace contract; see
-// obs/trace.hpp). With --schema wrsn.spans, every span record is further
-// checked for the required fields of the span contract (obs/spans.hpp) and
-// for t1_s >= t0_s. Exit 0 when the whole file validates; exit 1 with the
-// first offending line number otherwise. Used as the ctest smoke check for
-// `wrsn_trace --format jsonl` and `wrsn_sim --spans`.
+// obs/trace.hpp). Schema-specific record checks:
+//   wrsn.spans          every span record carries the schema-v2 fields
+//                       (obs/spans.hpp) and t1_s >= t0_s
+//   wrsn.snapshot       checkpoint manifests (sim/snapshot.hpp): snapshot
+//                       records carry id/file/t_s/events/bytes/terminal,
+//                       ids are strictly increasing, and at most one record
+//                       is terminal — the last one
+//   wrsn.sweep-journal  sweep journals (wrsn_sweep --journal): cell records
+//                       carry id/point/replica/seed/m, ids are strictly
+//                       increasing, and at most one `done` record exists —
+//                       on the last line
+// Exit 0 when the whole file validates; exit 1 with the first offending
+// line number otherwise. Used as the ctest smoke check for
+// `wrsn_trace --format jsonl`, `wrsn_sim --spans/--checkpoint` and
+// `wrsn_sweep --journal`.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -42,6 +52,17 @@ const char* check_span_record(const std::string& line) {
                                           "subject", "name", "t0_s", "t1_s",
                                           "outcome", "value", "mark"};
   for (const char* key : kRequired) {
+    if (line.find('"' + std::string(key) + "\":") == std::string::npos) {
+      return key;
+    }
+  }
+  return nullptr;
+}
+
+// Field-presence check shared by the journal-style schemas.
+const char* first_missing(const std::string& line,
+                          const std::vector<const char*>& required) {
+  for (const char* key : required) {
     if (line.find('"' + std::string(key) + "\":") == std::string::npos) {
       return key;
     }
@@ -100,11 +121,20 @@ int main(int argc, char** argv) try {
 
   std::string line, error;
   std::size_t line_no = 0, records = 0;
+  // Journal-schema state: monotone-id and single-terminal-record checks.
+  double last_id = 0.0;
+  std::size_t terminal_line = 0;  // line of a terminal/done record, if seen
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
     if (!json_validate(line, &error)) {
       std::cerr << path << ':' << line_no << ": invalid JSON: " << error << '\n';
+      return 1;
+    }
+    if (terminal_line != 0) {
+      std::cerr << path << ':' << line_no
+                << ": record after the terminal record on line " << terminal_line
+                << '\n';
       return 1;
     }
     if (records == 0 && !schema.empty()) {
@@ -132,6 +162,46 @@ int main(int argc, char** argv) try {
         std::cerr << path << ':' << line_no << ": span ends before it starts ("
                   << t1 << " < " << t0 << ")\n";
         return 1;
+      }
+    }
+    if (records > 0 && schema == "wrsn.snapshot" &&
+        line.find("\"record\":\"snapshot\"") != std::string::npos) {
+      if (const char* missing = first_missing(
+              line, {"id", "file", "t_s", "events", "bytes", "terminal"})) {
+        std::cerr << path << ':' << line_no
+                  << ": snapshot record missing field '" << missing << "'\n";
+        return 1;
+      }
+      double id = 0.0;
+      find_number(line, "id", &id);
+      if (id <= last_id) {
+        std::cerr << path << ':' << line_no << ": snapshot id " << id
+                  << " not greater than previous id " << last_id << '\n';
+        return 1;
+      }
+      last_id = id;
+      if (line.find("\"terminal\":true") != std::string::npos) {
+        terminal_line = line_no;
+      }
+    }
+    if (records > 0 && schema == "wrsn.sweep-journal") {
+      if (line.find("\"record\":\"cell\"") != std::string::npos) {
+        if (const char* missing = first_missing(
+                line, {"id", "point", "replica", "seed", "m"})) {
+          std::cerr << path << ':' << line_no
+                    << ": cell record missing field '" << missing << "'\n";
+          return 1;
+        }
+        double id = 0.0;
+        find_number(line, "id", &id);
+        if (id <= last_id) {
+          std::cerr << path << ':' << line_no << ": cell id " << id
+                    << " not greater than previous id " << last_id << '\n';
+          return 1;
+        }
+        last_id = id;
+      } else if (line.find("\"record\":\"done\"") != std::string::npos) {
+        terminal_line = line_no;
       }
     }
     ++records;

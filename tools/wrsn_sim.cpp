@@ -18,6 +18,7 @@
 //     --list               list every enum-like knob with its values and exit
 //     --help               this text
 #include <algorithm>
+#include <csignal>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -25,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "core/atomic_file.hpp"
 #include "core/config_io.hpp"
 #include "core/error.hpp"
 #include "core/stats.hpp"
@@ -35,12 +37,20 @@
 #include "obs/telemetry.hpp"
 #include "sched/policy.hpp"
 #include "sim/runner.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/svg.hpp"
 #include "sim/world.hpp"
 
 namespace {
 
 using namespace wrsn;
+
+// Set by the SIGINT/SIGTERM handler when --checkpoint-on-signal is active;
+// the checkpoint hook polls it at event granularity, so the stop always
+// lands at a quiescent event boundary where a snapshot is exact.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+extern "C" void checkpoint_signal_handler(int) { g_stop_requested = 1; }
 
 [[noreturn]] void usage(int code) {
   std::cout <<
@@ -73,6 +83,19 @@ using namespace wrsn;
       "  --flight-recorder N  keep the last N events of the first replica in\n"
       "                       memory; dumped to stderr on assert failure,\n"
       "                       simulation error, or Ctrl-C\n"
+      "  --checkpoint PREFIX  write world snapshots as PREFIX.NNNNNN.snap\n"
+      "                       (atomic temp+rename) plus an fsync'd manifest\n"
+      "                       journal PREFIX.manifest.jsonl (wrsn.snapshot)\n"
+      "  --checkpoint-every S snapshot every S simulated seconds\n"
+      "                       (requires --checkpoint)\n"
+      "  --checkpoint-on-signal\n"
+      "                       on SIGINT/SIGTERM, stop at the next event\n"
+      "                       boundary, write a terminal snapshot and the\n"
+      "                       flight-recorder dump, and exit 75; resume with\n"
+      "                       --restore (requires --checkpoint)\n"
+      "  --restore FILE       resume from a snapshot file; the configuration\n"
+      "                       is taken from the snapshot and the completed\n"
+      "                       run is byte-identical to an uninterrupted one\n"
       "  --print-config       print the effective configuration and exit\n"
       "  --list-keys          list recognized config keys and exit\n"
       "  --list-schedulers    list registered scheduler policies and exit\n"
@@ -182,6 +205,9 @@ int main(int argc, char** argv) try {
   std::size_t seeds = 1;
   std::string csv_path, series_path, svg_path, json_path, telemetry_path;
   std::string spans_path, chrome_path;
+  std::string checkpoint_prefix, restore_path;
+  double checkpoint_every = 0.0;
+  bool checkpoint_on_signal = false;
   std::size_t flight_capacity = 0;
   bool print_config = false;
 
@@ -242,6 +268,15 @@ int main(int argc, char** argv) try {
       series_path = need_value(i);
     } else if (a == "--svg") {
       svg_path = need_value(i);
+    } else if (a == "--checkpoint") {
+      checkpoint_prefix = need_value(i);
+    } else if (a == "--checkpoint-every") {
+      checkpoint_every = std::stod(need_value(i));
+      WRSN_REQUIRE(checkpoint_every > 0.0, "--checkpoint-every must be positive");
+    } else if (a == "--checkpoint-on-signal") {
+      checkpoint_on_signal = true;
+    } else if (a == "--restore") {
+      restore_path = need_value(i);
     } else if (a == "--print-config") {
       print_config = true;
     } else {
@@ -254,6 +289,22 @@ int main(int argc, char** argv) try {
   if (print_config) {
     std::cout << config_to_text(cfg);
     return 0;
+  }
+
+  // Checkpoint/restore is a single-replica feature: a snapshot captures ONE
+  // world, and replica fan-out would leave the other seeds unrecoverable.
+  const bool checkpointing = !checkpoint_prefix.empty();
+  WRSN_REQUIRE(checkpointing || (checkpoint_every <= 0.0 && !checkpoint_on_signal),
+               "--checkpoint-every/--checkpoint-on-signal require --checkpoint PREFIX");
+  WRSN_REQUIRE((!checkpointing && restore_path.empty()) || seeds == 1,
+               "--checkpoint/--restore require a single replica (--seeds 1)");
+
+  // Restore rebuilds the world from the snapshot's own embedded config; the
+  // command line must not silently fork the configuration mid-campaign.
+  std::unique_ptr<WorldSnapshot> restored;
+  if (!restore_path.empty()) {
+    restored = std::make_unique<WorldSnapshot>(load_snapshot_file(restore_path));
+    cfg = config_from_text(restored->config_text);
   }
 
   // First replica runs in-process so its series / final state can be dumped.
@@ -286,7 +337,18 @@ int main(int argc, char** argv) try {
           std::make_unique<obs::SpanLog>(spans_sink.get(), chrome_sink.get());
     }
 
-    World world(cfg);
+    // A restored run continues the snapshot's span numbering so stitched
+    // span files stay consistent across the interruption.
+    if (restored != nullptr && span_log != nullptr &&
+        !restored->span_state.empty()) {
+      BinReader span_reader(restored->span_state);
+      span_log->deserialize(span_reader);
+      span_reader.expect_end();
+    }
+
+    auto world_ptr = restored != nullptr ? std::make_unique<World>(*restored)
+                                         : std::make_unique<World>(cfg);
+    World& world = *world_ptr;
     world.set_telemetry(telemetry_ptr);
     world.set_span_log(span_log.get());
     if (flight_capacity > 0) {
@@ -295,10 +357,48 @@ int main(int argc, char** argv) try {
       flight->set_context_provider([&world] { return to_json(world.report()); });
       world.set_flight_recorder(flight.get());
       obs::FlightRecorder::arm_failure_hook();
-      obs::FlightRecorder::arm_signal_handlers();
+      // With --checkpoint-on-signal the tool's own handler owns SIGINT /
+      // SIGTERM (it checkpoints instead of dumping and aborting).
+      if (!checkpoint_on_signal) obs::FlightRecorder::arm_signal_handlers();
     }
+
+    std::unique_ptr<CheckpointWriter> checkpointer;
+    if (checkpointing) {
+      checkpointer = std::make_unique<CheckpointWriter>(checkpoint_prefix);
+      if (checkpoint_on_signal) {
+        std::signal(SIGINT, checkpoint_signal_handler);
+        std::signal(SIGTERM, checkpoint_signal_handler);
+      }
+      double next_checkpoint =
+          checkpoint_every > 0.0 ? checkpoint_every : cfg.sim_duration.value() * 2.0;
+      world.set_checkpoint_hook([&, next_checkpoint](const World& w) mutable {
+        if (checkpoint_on_signal && g_stop_requested != 0) return true;
+        if (checkpoint_every > 0.0 && w.now().value() >= next_checkpoint) {
+          checkpointer->save(w, /*terminal=*/false);
+          while (next_checkpoint <= w.now().value()) {
+            next_checkpoint += checkpoint_every;
+          }
+        }
+        return false;
+      });
+    }
+
     world.enable_time_series(!series_path.empty());
     reports.push_back(world.run());
+
+    if (!world.finished()) {
+      // Stopped by SIGINT/SIGTERM at a quiescent event boundary: flush a
+      // terminal snapshot + flight dump, then exit with the distinctive
+      // "stopped but resumable" code 75 (EX_TEMPFAIL).
+      const std::string snap_path = checkpointer->save(world, /*terminal=*/true);
+      obs::FlightRecorder::dump_all("checkpoint-signal");
+      std::cerr << "wrsn_sim: stopped by signal at t=" << world.now().value()
+                << "s after " << world.events_processed()
+                << " events; snapshot saved to " << snap_path
+                << " (resume with --restore)\n";
+      return 75;
+    }
+
     if (span_log != nullptr) span_log->finish(world.now().value());
     if (!series_path.empty()) write_series(series_path, world.time_series());
     if (!svg_path.empty()) save_svg(svg_path, world);

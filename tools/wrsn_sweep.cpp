@@ -10,6 +10,9 @@
 //              [--threads N] [--faults FILE|SPEC] [--csv FILE]
 //              [--telemetry FILE] [--spans PREFIX] [--chrome-trace PREFIX]
 //              [--flight-recorder N]
+//              [--journal DIR] [--resume DIR]
+//              [--watchdog-s S] [--retries N] [--retry-backoff-ms MS]
+//              [--inject-fail POINT,REPLICA]
 //
 // --threads N (or the `threads` config key / WRSN_THREADS env) is the TOTAL
 // thread budget, split between outer replica workers and inner per-replica
@@ -30,13 +33,35 @@
 // per-replica recorder of the last N events, labelled point/rep, dumped to
 // stderr on assert failure or Ctrl-C.
 //
+// Crash safety. Every output file (CSV, telemetry, per-replica span/chrome
+// files) is written to a temp name and atomically renamed into place, so an
+// interrupted sweep never leaves a truncated file under a final name.
+// --journal DIR additionally records each finished (point, replica) cell in
+// an fsync'd append-only journal (DIR/journal.jsonl, schema
+// wrsn.sweep-journal, validated by wrsn_jsonl_check) next to a manifest
+// (DIR/manifest.json) hashing the config x grid; after a crash or kill,
+//   wrsn_sweep ... --resume DIR
+// re-reads the journal, skips every finished cell, and produces output
+// byte-identical to an uninterrupted sweep. Cells that quarantined (below)
+// are not journaled, so a resume retries them.
+//
+// Supervision. Each replica runs under a supervisor (sim/supervisor.hpp):
+// --watchdog-s bounds its wall-clock time (cooperative, event-granular),
+// failures retry with exponential backoff (--retries, --retry-backoff-ms),
+// and a replica that keeps failing is QUARANTINED instead of aborting the
+// sweep: the run completes, prints a `failed_points` section to stderr, and
+// exits 3 (distinct from 1 = hard error). --inject-fail POINT,REPLICA makes
+// that one cell throw on every attempt — the test hook for this machinery.
+//
 // Example (Fig. 6 grid):
 //   wrsn_sweep --sweep scheduler=greedy,partition,combined
 //              --sweep energy_request_percentage=0,0.2,0.4,0.6,0.8,1
 //              --days 120 --seeds 3 --csv fig6.csv
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -46,8 +71,11 @@
 #include <thread>
 #include <vector>
 
+#include "core/atomic_file.hpp"
+#include "core/binio.hpp"
 #include "core/config_io.hpp"
 #include "core/error.hpp"
+#include "core/json.hpp"
 #include "core/parallel.hpp"
 #include "core/stats.hpp"
 #include "core/thread_pool.hpp"
@@ -55,6 +83,8 @@
 #include "obs/spans.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/runner.hpp"
+#include "sim/supervisor.hpp"
+#include "sim/world.hpp"
 
 namespace {
 
@@ -88,6 +118,8 @@ const Metric kMetrics[] = {
     {"latency_min",
      [](const MetricsReport& r) { return r.avg_request_latency.value() / 60.0; }},
 };
+constexpr std::size_t kNumMetrics = std::size(kMetrics);
+using MetricValues = std::array<double, kNumMetrics>;
 
 std::vector<std::string> split(const std::string& s, char sep) {
   std::vector<std::string> out;
@@ -95,6 +127,89 @@ std::vector<std::string> split(const std::string& s, char sep) {
   std::string item;
   while (std::getline(is, item, sep)) out.push_back(item);
   return out;
+}
+
+// --- sweep journal (JSONL, schema "wrsn.sweep-journal") -------------------
+// One meta line, then one `cell` record per finished (point, replica) with
+// the metric values the CSV aggregation needs (full 17-digit precision, so
+// a resumed sweep reproduces the uninterrupted CSV byte for byte), then at
+// most one terminal `done` record once every cell succeeded.
+
+std::string journal_meta_line() {
+  JsonWriter w;
+  w.begin_object()
+      .field("record", "meta")
+      .field("schema", "wrsn.sweep-journal")
+      .field("version", std::int64_t{1});
+  w.key("fields").begin_array();
+  for (const char* f : {"id", "point", "replica", "seed", "m"}) w.value(f);
+  w.end_array().end_object();
+  return w.str();
+}
+
+std::string journal_cell_line(std::uint64_t id, std::size_t point,
+                              std::size_t replica, std::uint64_t seed,
+                              const MetricValues& m) {
+  JsonWriter w;
+  w.begin_object()
+      .field("record", "cell")
+      .field("id", id)
+      .field("point", static_cast<std::uint64_t>(point))
+      .field("replica", static_cast<std::uint64_t>(replica))
+      .field("seed", seed);
+  w.key("m").begin_array();
+  for (const double v : m) w.value(v);
+  w.end_array().end_object();
+  return w.str();
+}
+
+std::string journal_done_line(std::uint64_t cells) {
+  JsonWriter w;
+  w.begin_object().field("record", "done").field("cells", cells).end_object();
+  return w.str();
+}
+
+// Identity of a sweep for resume purposes: base config text + grid spec +
+// replica count. A journal can only resume the exact campaign it recorded.
+// `threads` is normalized out: reports are byte-identical for any thread
+// split, so a resume may use a different budget than the original run.
+std::uint64_t campaign_hash(const SimConfig& base,
+                            const std::vector<Sweep>& sweeps,
+                            std::size_t seeds) {
+  SimConfig ident = base;
+  ident.threads = 0;
+  std::string blob = config_to_text(ident);
+  for (const Sweep& s : sweeps) {
+    blob += '\n' + s.key + '=';
+    for (const std::string& v : s.values) blob += v + ',';
+  }
+  blob += "\nseeds=" + std::to_string(seeds);
+  return fnv1a64(blob);
+}
+
+// Minimal field extraction from already-json_validate'd journal lines (the
+// same validate-then-scan idiom as wrsn_jsonl_check).
+bool find_json_u64(const std::string& line, const std::string& key,
+                   std::uint64_t* out) {
+  const auto pos = line.find('"' + key + "\":");
+  if (pos == std::string::npos) return false;
+  *out = std::strtoull(line.c_str() + pos + key.size() + 3, nullptr, 10);
+  return true;
+}
+
+bool find_json_doubles(const std::string& line, const std::string& key,
+                       MetricValues* out) {
+  const auto pos = line.find('"' + key + "\":[");
+  if (pos == std::string::npos) return false;
+  const char* p = line.c_str() + pos + key.size() + 4;
+  for (double& v : *out) {
+    char* end = nullptr;
+    v = std::strtod(p, &end);
+    if (end == p) return false;
+    p = end;
+    if (*p == ',') ++p;
+  }
+  return *p == ']';
 }
 
 }  // namespace
@@ -105,6 +220,11 @@ int main(int argc, char** argv) try {
   std::size_t seeds = 2;
   std::string csv_path, telemetry_path, spans_prefix, chrome_prefix;
   std::size_t flight_capacity = 0;
+  std::string journal_dir;
+  bool resume = false;
+  SupervisorOptions sup_options;  // watchdog off, 2 retries, 100 ms backoff
+  bool inject_fail = false;
+  std::size_t inject_point = 0, inject_replica = 0;
 
   const std::vector<std::string> args(argv + 1, argv + argc);
   auto need_value = [&](std::size_t& i) -> const std::string& {
@@ -154,6 +274,23 @@ int main(int argc, char** argv) try {
     } else if (a == "--flight-recorder") {
       flight_capacity = static_cast<std::size_t>(std::stoul(need_value(i)));
       WRSN_REQUIRE(flight_capacity > 0, "--flight-recorder must be positive");
+    } else if (a == "--journal") {
+      journal_dir = need_value(i);
+    } else if (a == "--resume") {
+      journal_dir = need_value(i);
+      resume = true;
+    } else if (a == "--watchdog-s") {
+      sup_options.watchdog_s = std::stod(need_value(i));
+    } else if (a == "--retries") {
+      sup_options.max_retries = static_cast<std::size_t>(std::stoul(need_value(i)));
+    } else if (a == "--retry-backoff-ms") {
+      sup_options.backoff_ms = std::stod(need_value(i));
+    } else if (a == "--inject-fail") {
+      const std::vector<std::string> pr = split(need_value(i), ',');
+      WRSN_REQUIRE(pr.size() == 2, "--inject-fail expects POINT,REPLICA");
+      inject_fail = true;
+      inject_point = static_cast<std::size_t>(std::stoul(pr[0]));
+      inject_replica = static_cast<std::size_t>(std::stoul(pr[1]));
     } else {
       std::cerr << "unknown option '" << a << "' (try --help)\n";
       return 2;
@@ -167,25 +304,6 @@ int main(int argc, char** argv) try {
   std::cout << "sweeping " << total_points << " grid point(s) x " << seeds
             << " replica(s), " << base.sim_duration.value() / 86400.0
             << " simulated days each\n";
-
-  std::ofstream csv;
-  if (!csv_path.empty()) {
-    csv.open(csv_path);
-    WRSN_REQUIRE(csv.good(), "cannot open '" + csv_path + "'");
-  }
-  std::ostream& out = csv.is_open() ? static_cast<std::ostream&>(csv) : std::cout;
-
-  // Header.
-  for (const Sweep& s : sweeps) out << s.key << ',';
-  for (std::size_t m = 0; m < std::size(kMetrics); ++m) {
-    out << kMetrics[m].name << ',' << kMetrics[m].name << "_ci95"
-        << (m + 1 < std::size(kMetrics) ? "," : "\n");
-  }
-
-  obs::TelemetryRegistry telemetry;
-  obs::TelemetryRegistry* telemetry_ptr =
-      telemetry_path.empty() ? nullptr : &telemetry;
-  if (telemetry_ptr != nullptr) obs::require_writable(telemetry_path);
 
   // Materialize the grid up front (mixed-radix counter over the sweeps), so
   // the (point x replica) product flattens into one task list and a single
@@ -215,6 +333,84 @@ int main(int argc, char** argv) try {
 
   const std::size_t total_tasks = total_points * seeds;
 
+  // --- journal / resume ---------------------------------------------------
+  std::vector<MetricValues> values(total_tasks, MetricValues{});
+  std::vector<char> done(total_tasks, 0);
+  std::vector<std::string> failures(total_tasks);
+  std::unique_ptr<JournalWriter> journal;
+  std::uint64_t journal_next_id = 1;
+  bool journal_has_done = false;
+  if (!journal_dir.empty()) {
+    const std::uint64_t hash = campaign_hash(base, sweeps, seeds);
+    const std::string manifest_path = journal_dir + "/manifest.json";
+    const std::string journal_path = journal_dir + "/journal.jsonl";
+    std::filesystem::create_directories(journal_dir);
+    std::ifstream manifest_in(manifest_path);
+    if (manifest_in.is_open()) {
+      // Existing campaign: only --resume may append to it, and only when
+      // the config x grid identity matches exactly.
+      WRSN_REQUIRE(resume, "journal '" + journal_dir +
+                               "' already exists; use --resume to continue it");
+      std::ostringstream buf;
+      buf << manifest_in.rdbuf();
+      std::uint64_t recorded = 0;
+      WRSN_REQUIRE(
+          find_json_u64(buf.str(), "campaign_hash", &recorded) && recorded == hash,
+          "journal '" + journal_dir +
+              "' records a different campaign (config/grid/seeds mismatch)");
+    } else {
+      WRSN_REQUIRE(!resume, "nothing to resume: no manifest in '" + journal_dir + "'");
+      JsonWriter w;
+      w.begin_object()
+          .field("record", "manifest")
+          .field("schema", "wrsn.sweep-journal")
+          .field("version", std::int64_t{1})
+          .field("campaign_hash", hash)
+          .field("points", static_cast<std::uint64_t>(total_points))
+          .field("seeds", static_cast<std::uint64_t>(seeds))
+          .end_object();
+      write_file_atomic(manifest_path, w.str() + "\n");
+    }
+    std::ifstream journal_in(journal_path);
+    std::size_t restored_cells = 0;
+    std::size_t journal_lines = 0;
+    if (journal_in.is_open()) {
+      std::string line;
+      while (std::getline(journal_in, line)) {
+        if (line.empty()) continue;
+        ++journal_lines;
+        std::string err;
+        WRSN_REQUIRE(json_validate(line, &err),
+                     journal_path + ": corrupt journal line: " + err);
+        if (line.find("\"record\":\"done\"") != std::string::npos) {
+          journal_has_done = true;
+          continue;
+        }
+        if (line.find("\"record\":\"cell\"") == std::string::npos) continue;
+        std::uint64_t id = 0, point = 0, replica = 0;
+        MetricValues m{};
+        WRSN_REQUIRE(find_json_u64(line, "id", &id) &&
+                         find_json_u64(line, "point", &point) &&
+                         find_json_u64(line, "replica", &replica) &&
+                         find_json_doubles(line, "m", &m),
+                     journal_path + ": malformed cell record");
+        WRSN_REQUIRE(point < total_points && replica < seeds,
+                     journal_path + ": cell outside the campaign grid");
+        const std::size_t task = point * seeds + replica;
+        values[task] = m;
+        done[task] = 1;
+        ++restored_cells;
+        journal_next_id = std::max(journal_next_id, id + 1);
+      }
+    }
+    journal = std::make_unique<JournalWriter>(journal_path);
+    if (journal_lines == 0) journal->append(journal_meta_line());
+    if (resume) {
+      std::cout << "resuming from " << journal_dir << ": " << restored_cells
+                << '/' << total_tasks << " cell(s) already finished\n";
+    }
+  }
+
   // Thread-budget split (see file header): outer replica workers x inner
   // per-replica shard threads <= budget. The budget comes from the single
   // `threads` knob (CLI / config / WRSN_THREADS); when nobody set it, keep
@@ -232,24 +428,31 @@ int main(int argc, char** argv) try {
     std::cout << "thread budget " << budget << ": " << outer
               << " replica worker(s) x " << inner << " shard thread(s)\n";
   }
-  std::vector<MetricsReport> reports(total_tasks);
+
+  obs::TelemetryRegistry telemetry;
+  obs::TelemetryRegistry* telemetry_ptr =
+      telemetry_path.empty() ? nullptr : &telemetry;
+  if (telemetry_ptr != nullptr) obs::require_writable(telemetry_path);
   // Replica-private registries, merged in task order after the parallel
-  // phase so the aggregate is independent of completion order.
+  // phase so the aggregate is independent of completion order. The
+  // supervisor's own counters (supervisor/retries, ...) land here too.
   std::vector<obs::TelemetryRegistry> local_telemetry(
       telemetry_ptr != nullptr ? total_tasks : 0);
 
-  // Rows stream out in point order as soon as every replica of a point has
-  // finished, each flushed immediately, so partial results survive an
-  // interrupted sweep.
-  std::mutex write_mutex;
-  std::vector<std::size_t> remaining(total_points, seeds);
-  std::size_t next_write = 0;
   // Progress/ETA bookkeeping: replicas completed so far (updated under the
   // write mutex) against the wall clock since the sweep started. The ETA is
   // a straight linear extrapolation — good enough to answer "lunch or
   // overnight?" for a homogeneous grid.
+  std::mutex write_mutex;
+  std::vector<std::size_t> remaining(total_points, seeds);
+  for (std::size_t task = 0; task < total_tasks; ++task) {
+    if (done[task]) --remaining[task / seeds];
+  }
   const auto sweep_began = std::chrono::steady_clock::now();
-  std::size_t tasks_done = 0;
+  std::size_t tasks_done = 0, tasks_todo = 0;
+  for (std::size_t task = 0; task < total_tasks; ++task) {
+    if (!done[task]) ++tasks_todo;
+  }
   auto format_eta = [](double s) {
     std::ostringstream os;
     if (s >= 3600.0) {
@@ -261,30 +464,6 @@ int main(int argc, char** argv) try {
     }
     return os.str();
   };
-  auto write_row = [&](std::size_t point) {
-    for (const std::string& v : point_values[point]) out << v << ',';
-    for (std::size_t m = 0; m < std::size(kMetrics); ++m) {
-      RunningStats stats;
-      for (std::size_t i = 0; i < seeds; ++i) {
-        stats.add(kMetrics[m].get(reports[point * seeds + i]));
-      }
-      out << stats.mean() << ',' << stats.ci95_halfwidth()
-          << (m + 1 < std::size(kMetrics) ? "," : "\n");
-    }
-    out.flush();
-    const double elapsed = std::chrono::duration<double>(
-                               std::chrono::steady_clock::now() - sweep_began)
-                               .count();
-    std::cerr << "point " << point + 1 << '/' << total_points << " done ("
-              << tasks_done << '/' << total_tasks << " replicas";
-    if (tasks_done > 0 && tasks_done < total_tasks) {
-      const double eta =
-          elapsed * static_cast<double>(total_tasks - tasks_done) /
-          static_cast<double>(tasks_done);
-      std::cerr << ", ETA " << format_eta(eta);
-    }
-    std::cerr << ")\n";
-  };
 
   if (flight_capacity > 0) {
     obs::FlightRecorder::arm_failure_hook();
@@ -293,68 +472,177 @@ int main(int argc, char** argv) try {
 
   ThreadPool pool(outer);
   pool.parallel_for(total_tasks, [&](std::size_t task) {
+    if (done[task]) return;  // journaled by a previous (interrupted) run
     const std::size_t point = task / seeds;
     const std::size_t replica = task % seeds;
     SimConfig cfg = point_cfgs[point];
     // Same per-replica seed derivation as run_replicas, so the flattened
     // grid reproduces the sequential driver's reports byte for byte.
     cfg.seed = point_cfgs[point].seed + replica;
-    // Replicas run concurrently, so span sinks cannot be shared: each task
-    // gets its own PREFIX.point<P>.rep<R> file pair and its own recorder.
     const std::string tag =
         ".point" + std::to_string(point) + ".rep" + std::to_string(replica);
-    std::ofstream spans_file, chrome_file;
-    std::unique_ptr<obs::JsonlSpanSink> spans_sink;
-    std::unique_ptr<obs::ChromeTraceSink> chrome_sink;
-    std::unique_ptr<obs::SpanLog> span_log;
-    std::unique_ptr<obs::FlightRecorder> flight;
-    if (!spans_prefix.empty()) {
-      const std::string path = spans_prefix + tag + ".jsonl";
-      spans_file.open(path);
-      WRSN_REQUIRE(spans_file.good(), "cannot open '" + path + "'");
-      spans_sink = std::make_unique<obs::JsonlSpanSink>(spans_file);
-    }
-    if (!chrome_prefix.empty()) {
-      const std::string path = chrome_prefix + tag + ".json";
-      chrome_file.open(path);
-      WRSN_REQUIRE(chrome_file.good(), "cannot open '" + path + "'");
-      chrome_sink = std::make_unique<obs::ChromeTraceSink>(chrome_file);
-    }
-    if (spans_sink != nullptr || chrome_sink != nullptr) {
-      span_log =
-          std::make_unique<obs::SpanLog>(spans_sink.get(), chrome_sink.get());
-    }
-    if (flight_capacity > 0) {
-      flight = std::make_unique<obs::FlightRecorder>(flight_capacity);
-      flight->set_label("wrsn_sweep" + tag + " seed " + std::to_string(cfg.seed));
-    }
-    ReplicaInstruments instruments;
-    instruments.telemetry =
-        telemetry_ptr != nullptr ? &local_telemetry[task] : nullptr;
-    instruments.spans = span_log.get();
-    instruments.flight = flight.get();
-    reports[task] = run_replica(cfg, instruments);
-    if (span_log != nullptr) span_log->finish(point_cfgs[point].sim_duration.value());
+
+    SupervisorOptions options = sup_options;
+    ReplicaSupervisor supervisor(
+        options, telemetry_ptr != nullptr ? &local_telemetry[task] : nullptr);
+    // Each attempt opens its own sinks and commits them only on success, so
+    // retried attempts never leave partial or duplicated span files.
+    const ReplicaResult result = supervisor.supervise([&]() {
+      WRSN_REQUIRE(!(inject_fail && point == inject_point && replica == inject_replica),
+                   "injected failure (--inject-fail)");
+      std::unique_ptr<AtomicFile> spans_file, chrome_file;
+      std::unique_ptr<obs::JsonlSpanSink> spans_sink;
+      std::unique_ptr<obs::ChromeTraceSink> chrome_sink;
+      std::unique_ptr<obs::SpanLog> span_log;
+      std::unique_ptr<obs::FlightRecorder> flight;
+      if (!spans_prefix.empty()) {
+        spans_file = std::make_unique<AtomicFile>(spans_prefix + tag + ".jsonl");
+        spans_sink = std::make_unique<obs::JsonlSpanSink>(spans_file->stream());
+      }
+      if (!chrome_prefix.empty()) {
+        chrome_file = std::make_unique<AtomicFile>(chrome_prefix + tag + ".json");
+        chrome_sink = std::make_unique<obs::ChromeTraceSink>(chrome_file->stream());
+      }
+      if (spans_sink != nullptr || chrome_sink != nullptr) {
+        span_log =
+            std::make_unique<obs::SpanLog>(spans_sink.get(), chrome_sink.get());
+      }
+      if (flight_capacity > 0) {
+        flight = std::make_unique<obs::FlightRecorder>(flight_capacity);
+        flight->set_label("wrsn_sweep" + tag + " seed " + std::to_string(cfg.seed));
+      }
+
+      AttemptOutcome out;
+      World world(cfg);
+      world.set_telemetry(telemetry_ptr != nullptr ? &local_telemetry[task]
+                                                   : nullptr);
+      world.set_span_log(span_log.get());
+      world.set_flight_recorder(flight.get());
+      if (options.watchdog_s > 0.0) {
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(options.watchdog_s));
+        std::uint32_t tick = 0;
+        world.set_checkpoint_hook([deadline, tick](const World&) mutable {
+          if (++tick % 1024 != 0) return false;
+          return std::chrono::steady_clock::now() >= deadline;
+        });
+      }
+      world.run_until(cfg.sim_duration);
+      if (!world.finished()) {
+        out.status = AttemptOutcome::Status::kTimeout;
+        return out;
+      }
+      out.status = AttemptOutcome::Status::kOk;
+      out.report = world.report();
+      if (span_log != nullptr) span_log->finish(world.now().value());
+      if (spans_file != nullptr) spans_file->commit();
+      if (chrome_file != nullptr) chrome_file->commit();
+      return out;
+    });
+
     const std::lock_guard lock(write_mutex);
     ++tasks_done;
-    if (--remaining[point] == 0) {
-      while (next_write < total_points && remaining[next_write] == 0) {
-        write_row(next_write);
-        ++next_write;
+    if (result.ok) {
+      for (std::size_t m = 0; m < kNumMetrics; ++m) {
+        values[task][m] = kMetrics[m].get(result.report);
       }
+      done[task] = 1;
+      if (journal != nullptr) {
+        journal->append(journal_cell_line(journal_next_id++, point, replica,
+                                          cfg.seed, values[task]));
+      }
+    } else {
+      failures[task] = result.error + " (" + std::to_string(result.attempts) +
+                       " attempt(s)" + (result.timed_out ? ", timed out" : "") +
+                       ")";
+    }
+    if (--remaining[point] == 0 || !result.ok) {
+      const double elapsed = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - sweep_began)
+                                 .count();
+      std::cerr << "point " << point + 1 << '/' << total_points
+                << (result.ok ? " done (" : " FAILED a replica (") << tasks_done
+                << '/' << tasks_todo << " replicas";
+      if (tasks_done > 0 && tasks_done < tasks_todo) {
+        const double eta = elapsed *
+                           static_cast<double>(tasks_todo - tasks_done) /
+                           static_cast<double>(tasks_done);
+        std::cerr << ", ETA " << format_eta(eta);
+      }
+      std::cerr << ")\n";
     }
   });
+
   if (telemetry_ptr != nullptr) {
     for (const obs::TelemetryRegistry& local : local_telemetry) {
       telemetry.merge_from(local);
     }
   }
-  if (csv.is_open()) {
+
+  // --- output -------------------------------------------------------------
+  // The CSV is assembled in memory and published with one atomic rename: an
+  // interrupted sweep leaves either the previous file or the complete new
+  // one, never a truncated half-row. (Recovery of partial progress is the
+  // journal's job, not the CSV's.)
+  std::ostringstream csv_text;
+  for (const Sweep& s : sweeps) csv_text << s.key << ',';
+  for (std::size_t m = 0; m < kNumMetrics; ++m) {
+    csv_text << kMetrics[m].name << ',' << kMetrics[m].name << "_ci95"
+             << (m + 1 < kNumMetrics ? "," : "\n");
+  }
+  for (std::size_t point = 0; point < total_points; ++point) {
+    for (const std::string& v : point_values[point]) csv_text << v << ',';
+    for (std::size_t m = 0; m < kNumMetrics; ++m) {
+      RunningStats stats;
+      for (std::size_t i = 0; i < seeds; ++i) {
+        if (done[point * seeds + i]) stats.add(values[point * seeds + i][m]);
+      }
+      if (stats.count() > 0) {
+        csv_text << stats.mean() << ',' << stats.ci95_halfwidth();
+      } else {
+        csv_text << "nan,nan";  // every replica of this point quarantined
+      }
+      csv_text << (m + 1 < kNumMetrics ? "," : "\n");
+    }
+  }
+  if (!csv_path.empty()) {
+    AtomicFile csv(csv_path);
+    csv.stream() << csv_text.str();
+    csv.commit();
     std::cout << "\nwrote " << total_points << " row(s) to " << csv_path << '\n';
+  } else {
+    std::cout << csv_text.str();
   }
   if (!telemetry_path.empty()) {
     obs::write_registry_file(telemetry_path, telemetry);
     std::cout << "wrote telemetry to " << telemetry_path << '\n';
+  }
+
+  std::size_t failed_cells = 0;
+  for (std::size_t task = 0; task < total_tasks; ++task) {
+    if (!done[task]) ++failed_cells;
+  }
+  if (journal != nullptr && failed_cells == 0 && !journal_has_done) {
+    journal->append(journal_done_line(static_cast<std::uint64_t>(total_tasks)));
+  }
+  if (failed_cells > 0) {
+    // Quarantined cells: the sweep still completed (exit 3, not 1), the CSV
+    // holds every healthy point, and a --resume retries exactly these cells.
+    std::cerr << "failed_points:\n";
+    for (std::size_t task = 0; task < total_tasks; ++task) {
+      if (done[task]) continue;
+      const std::size_t point = task / seeds;
+      const std::size_t replica = task % seeds;
+      std::cerr << "  point " << point << " replica " << replica << " seed "
+                << point_cfgs[point].seed + replica << ": " << failures[task]
+                << '\n';
+    }
+    std::cerr << failed_cells << " cell(s) quarantined"
+              << (journal != nullptr ? "; rerun with --resume to retry them\n"
+                                     : "\n");
+    return 3;
   }
   return 0;
 } catch (const std::exception& e) {

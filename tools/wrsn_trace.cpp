@@ -20,6 +20,7 @@
 // --spans / --chrome-trace write lifecycle spans (schema wrsn.spans v2 JSONL
 // / Chrome trace-event JSON for Perfetto); --flight-recorder N keeps the last
 // N events in memory and dumps them to stderr on assert failure or Ctrl-C.
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -32,7 +33,15 @@
 #include "obs/spans.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/world.hpp"
+
+namespace {
+// --checkpoint-on-signal: SIGINT/SIGTERM request a stop at the next event
+// boundary, where the world is quiescent and a snapshot is exact.
+volatile std::sig_atomic_t g_stop_requested = 0;
+extern "C" void checkpoint_signal_handler(int) { g_stop_requested = 1; }
+}  // namespace
 
 int main(int argc, char** argv) try {
   using namespace wrsn;
@@ -40,6 +49,9 @@ int main(int argc, char** argv) try {
   cfg.sim_duration = days(1.0);
   std::string out_path, format = "csv", telemetry_path;
   std::string spans_path, chrome_path;
+  std::string checkpoint_prefix, restore_path;
+  double checkpoint_every = 0.0;
+  bool checkpoint_on_signal = false;
   std::size_t flight_capacity = 0;
 
   const std::vector<std::string> args(argv + 1, argv + argc);
@@ -53,7 +65,12 @@ int main(int argc, char** argv) try {
       std::cout << "wrsn_trace [--days N] [--threads N] [--set KEY=VALUE]...\n"
                    "           [--faults FILE|SPEC] [--out FILE] [--format csv|jsonl]\n"
                    "           [--telemetry FILE] [--spans FILE] [--chrome-trace FILE]\n"
-                   "           [--flight-recorder N]\n";
+                   "           [--flight-recorder N]\n"
+                   "           [--checkpoint PREFIX] [--checkpoint-every S]\n"
+                   "           [--checkpoint-on-signal] [--restore FILE]\n"
+                   "checkpoint flags behave as in wrsn_sim: snapshots are\n"
+                   "PREFIX.NNNNNN.snap + PREFIX.manifest.jsonl; a signal stop\n"
+                   "exits 75 and --restore continues byte-identically\n";
       return 0;
     }
     if (a == "--days") {
@@ -82,12 +99,31 @@ int main(int argc, char** argv) try {
     } else if (a == "--flight-recorder") {
       flight_capacity = static_cast<std::size_t>(std::stoul(need_value(i)));
       WRSN_REQUIRE(flight_capacity > 0, "--flight-recorder must be positive");
+    } else if (a == "--checkpoint") {
+      checkpoint_prefix = need_value(i);
+    } else if (a == "--checkpoint-every") {
+      checkpoint_every = std::stod(need_value(i));
+      WRSN_REQUIRE(checkpoint_every > 0.0, "--checkpoint-every must be positive");
+    } else if (a == "--checkpoint-on-signal") {
+      checkpoint_on_signal = true;
+    } else if (a == "--restore") {
+      restore_path = need_value(i);
     } else {
       std::cerr << "unknown option '" << a << "'\n";
       return 2;
     }
   }
   cfg.validate();
+  WRSN_REQUIRE(
+      !checkpoint_prefix.empty() || (checkpoint_every <= 0.0 && !checkpoint_on_signal),
+      "--checkpoint-every/--checkpoint-on-signal require --checkpoint PREFIX");
+
+  // Restore rebuilds the world from the config embedded in the snapshot.
+  std::unique_ptr<WorldSnapshot> restored;
+  if (!restore_path.empty()) {
+    restored = std::make_unique<WorldSnapshot>(load_snapshot_file(restore_path));
+    cfg = config_from_text(restored->config_text);
+  }
 
   std::ofstream file;
   if (!out_path.empty()) {
@@ -121,10 +157,20 @@ int main(int argc, char** argv) try {
     span_log = std::make_unique<obs::SpanLog>(spans_sink.get(), chrome_sink.get());
   }
 
+  // A restored run continues the snapshot's span numbering so stitched span
+  // files stay consistent across the interruption.
+  if (restored != nullptr && span_log != nullptr && !restored->span_state.empty()) {
+    BinReader span_reader(restored->span_state);
+    span_log->deserialize(span_reader);
+    span_reader.expect_end();
+  }
+
   obs::TelemetryRegistry registry;
   if (!telemetry_path.empty()) obs::require_writable(telemetry_path);
   std::size_t count = 0;
-  World world(cfg);
+  auto world_ptr = restored != nullptr ? std::make_unique<World>(*restored)
+                                       : std::make_unique<World>(cfg);
+  World& world = *world_ptr;
   world.set_trace_sink(sink.get());
   if (!telemetry_path.empty()) world.set_telemetry(&registry);
   world.set_span_log(span_log.get());
@@ -135,10 +181,41 @@ int main(int argc, char** argv) try {
     flight->set_context_provider([&world] { return to_json(world.report()); });
     world.set_flight_recorder(flight.get());
     obs::FlightRecorder::arm_failure_hook();
-    obs::FlightRecorder::arm_signal_handlers();
+    // With --checkpoint-on-signal this tool's own handler owns the signals.
+    if (!checkpoint_on_signal) obs::FlightRecorder::arm_signal_handlers();
+  }
+  std::unique_ptr<CheckpointWriter> checkpointer;
+  if (!checkpoint_prefix.empty()) {
+    checkpointer = std::make_unique<CheckpointWriter>(checkpoint_prefix);
+    if (checkpoint_on_signal) {
+      std::signal(SIGINT, checkpoint_signal_handler);
+      std::signal(SIGTERM, checkpoint_signal_handler);
+    }
+    double next_checkpoint =
+        checkpoint_every > 0.0 ? checkpoint_every : cfg.sim_duration.value() * 2.0;
+    world.set_checkpoint_hook([&, next_checkpoint](const World& w) mutable {
+      if (checkpoint_on_signal && g_stop_requested != 0) return true;
+      if (checkpoint_every > 0.0 && w.now().value() >= next_checkpoint) {
+        checkpointer->save(w, /*terminal=*/false);
+        while (next_checkpoint <= w.now().value()) next_checkpoint += checkpoint_every;
+      }
+      return false;
+    });
   }
   world.set_tracer([&](const World::TraceEvent&) { ++count; });
   world.run();
+  if (!world.finished()) {
+    // Signal stop at a quiescent boundary: terminal snapshot + flight dump,
+    // then the distinctive "stopped but resumable" exit code 75.
+    sink->finish();
+    const std::string snap_path = checkpointer->save(world, /*terminal=*/true);
+    obs::FlightRecorder::dump_all("checkpoint-signal");
+    std::cerr << "wrsn_trace: stopped by signal at t=" << world.now().value()
+              << "s after " << world.events_processed()
+              << " events; snapshot saved to " << snap_path
+              << " (resume with --restore)\n";
+    return 75;
+  }
   sink->finish();
   if (span_log != nullptr) span_log->finish(world.now().value());
   if (!spans_path.empty()) std::cerr << "wrote spans to " << spans_path << '\n';
