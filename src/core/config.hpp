@@ -166,6 +166,30 @@ struct FaultConfig {
   double battery_noise_per_day = 0.0;
 };
 
+// Link-quality layer (net/traffic.hpp). The paper treats every routing hop
+// as lossless; with `enabled == true` each hop drops packets with a
+// distance-dependent probability and senders retransmit up to `max_retx`
+// times, which multiplies transmit energy by the expected transmission
+// count (ETX) and attenuates the delivered rate hop by hop. With
+// `enabled == false` (default) traffic accounting is bit-identical to the
+// lossless model.
+struct LinkConfig {
+  bool enabled = false;
+  // Per-hop loss probability: clamp(loss_floor + loss_at_range *
+  // (hop_length / comm_range)^loss_exponent, <= 1). The floor models
+  // interference-type loss independent of distance; the range term models
+  // fading that grows towards the edge of the communication disk.
+  double loss_floor = 0.0;
+  double loss_at_range = 0.3;
+  double loss_exponent = 2.0;
+  // Transmission attempts per packet per hop (1 = no retransmissions).
+  std::size_t max_retx = 3;
+  // Extra receiver duty fraction paid by nodes that are actively receiving
+  // (rx_rate > 0): relays keep the radio on longer to catch retransmitted
+  // frames. Adds rx_duty_tax * rx_power to their radio draw; 0 disables.
+  double rx_duty_tax = 0.0;
+};
+
 struct SimConfig {
   // --- Table II -----------------------------------------------------------
   std::size_t num_sensors = 500;        // N
@@ -186,6 +210,10 @@ struct SimConfig {
   // Name of a registered SchedulerPolicy (see sched/policy.hpp). Validated
   // against the registry at parse time and at World construction.
   std::string scheduler = "combined";
+  // Name of a registered RoutingPolicy (see net/routing.hpp). The default is
+  // the paper's Dijkstra tree; wrsn::routing_names() enumerates whatever is
+  // registered. Validated at parse time and at World construction.
+  std::string routing = "shortest_path";
   // Event-queue implementation: "auto" (WRSN_EVENT_QUEUE env, defaulting to
   // the calendar queue), "calendar" or "heap". Both produce identical event
   // order — the heap is the O(log n) reference, the calendar queue the O(1)
@@ -219,6 +247,7 @@ struct SimConfig {
   BatteryModel battery;
   RvModel rv;
   FaultConfig fault;
+  LinkConfig link;
 
   // --- bookkeeping -----------------------------------------------------------
   std::uint64_t seed = 0x5eed0001ULL;

@@ -32,6 +32,9 @@ Network::Network(const SimConfig& config, Xoshiro256& deploy_rng,
   }
 
   graph_ = CommGraph(positions, base_station_, config.comm_range.value());
+  node_positions_ = std::move(positions);
+  node_positions_.push_back(base_station_);
+  router_ = RoutingRegistry::instance().create(config_.routing);
   rebuild_routing();
 }
 
@@ -69,11 +72,19 @@ void Network::set_target_position(TargetId id, Vec2 pos) {
   targets_[id].pos = pos;
 }
 
+void Network::build_routes(const std::vector<bool>& alive_mask) {
+  RoutingBuildInput in;
+  in.graph = &graph_;
+  in.positions = &node_positions_;
+  in.usable = &alive_mask;
+  router_->build(in, routing_);
+}
+
 bool Network::rebuild_routing() {
   std::vector<bool> alive(sensors_.size());
   for (std::size_t i = 0; i < sensors_.size(); ++i) alive[i] = sensors_[i].alive();
   if (routing_.built() && alive == last_alive_mask_) return false;
-  routing_.build(graph_, alive);
+  build_routes(alive);
   last_alive_mask_ = std::move(alive);
   return true;
 }
@@ -81,7 +92,7 @@ bool Network::rebuild_routing() {
 void Network::restore_routing(const std::vector<bool>& alive_mask) {
   WRSN_REQUIRE(alive_mask.size() == sensors_.size(),
                "alive mask size mismatch");
-  routing_.build(graph_, alive_mask);
+  build_routes(alive_mask);
   last_alive_mask_ = alive_mask;
 }
 

@@ -1,8 +1,10 @@
 #pragma once
 // The deployed network: N sensors uniform over the field, M mobile targets,
 // a base station at the field centre (Section II-A), the communication
-// graph, and a BS-rooted routing tree over alive sensors.
+// graph, and a BS-rooted routing forest over alive sensors, built by the
+// RoutingPolicy named in SimConfig::routing.
 
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -66,17 +68,18 @@ class Network {
   void set_target_position(TargetId id, Vec2 pos);
 
   [[nodiscard]] const CommGraph& graph() const { return graph_; }
-  [[nodiscard]] const RoutingTree& routing() const { return routing_; }
+  [[nodiscard]] const RouteTable& routing() const { return routing_; }
 
-  // Rebuilds the routing tree over currently-alive sensors. Call after any
+  // Rebuilds the routing forest over currently-alive sensors. Call after any
   // death or recharge-revival. Returns true when the alive mask actually
   // changed since the previous build (callers use this to skip reroutes).
   bool rebuild_routing();
 
-  // Checkpoint support: the mask the current routing tree was built from.
+  // Checkpoint support: the mask the current routing forest was built from.
   // Can lag the actual alive flags (a death crossing may be pending), so a
   // restore must rebuild routing from this serialized mask, not from the
-  // restored sensors.
+  // restored sensors. The policy itself is config (SimConfig::routing), so
+  // rebuilding through it reproduces the checkpointed forest exactly.
   [[nodiscard]] const std::vector<bool>& last_alive_mask() const {
     return last_alive_mask_;
   }
@@ -91,8 +94,12 @@ class Network {
   std::vector<Target> targets_;
   SpatialGrid sensing_grid_;  // sensor positions, for coverage queries
   CommGraph graph_;
-  RoutingTree routing_;
+  std::vector<Vec2> node_positions_;  // sensors then BS, graph node order
+  std::unique_ptr<RoutingPolicy> router_;
+  RouteTable routing_;
   std::vector<bool> last_alive_mask_;
+
+  void build_routes(const std::vector<bool>& alive_mask);
 };
 
 }  // namespace wrsn

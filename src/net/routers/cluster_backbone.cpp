@@ -1,0 +1,109 @@
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "core/error.hpp"
+#include "net/routers/builtin.hpp"
+#include "net/routing.hpp"
+
+namespace wrsn {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Weight multiplier for hops that terminate at a non-head node. Large enough
+// that routes prefer a longer physical detour through the head backbone over
+// chaining through ordinary members, small enough that an isolated pocket
+// with no head neighbor still connects.
+constexpr double kMemberPenalty = 4.0;
+
+// Cluster-head backbone in the spirit of pivot cluster heads: a greedy
+// dominating set of heads (chosen closest-to-BS first, so heads tile the
+// field outward from the sink) forms the relay backbone, and routes are the
+// weighted shortest paths where entering a non-head node costs kMemberPenalty
+// times its physical length. Members therefore uplink to a nearby head and
+// inter-cluster traffic rides head-to-head, concentrating relay drain on the
+// heads — the workload shape cluster-head charging schemes assume. Reported
+// route distances are physical metres along the chosen forest.
+class ClusterBackboneRouter final : public RoutingPolicy {
+ public:
+  void build(const RoutingBuildInput& in, RouteTable& out) const override {
+    WRSN_REQUIRE(in.graph && in.positions && in.usable,
+                 "routing build input is incomplete");
+    const CommGraph& graph = *in.graph;
+    const std::vector<bool>& usable = *in.usable;
+    const std::size_t n = graph.num_nodes();
+    const std::size_t bs = graph.base_station_index();
+
+    // Head election: walk nodes in (shortest-path distance, index) order and
+    // make every node not yet adjacent to a head a head itself — a greedy
+    // dominating set seeded at the BS.
+    const ShortestPaths sp = dijkstra(graph, bs, usable);
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    for (std::size_t u = 0; u < n; ++u) {
+      if (sp.dist[u] < kInf && router_usable(graph, usable, u)) {
+        order.push_back(u);
+      }
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (sp.dist[a] != sp.dist[b]) return sp.dist[a] < sp.dist[b];
+      return a < b;
+    });
+
+    std::vector<bool> head(n, false);
+    std::vector<bool> covered(n, false);
+    for (std::size_t u : order) {
+      if (covered[u]) continue;
+      head[u] = true;
+      covered[u] = true;
+      for (const CommGraph::Edge& e : graph.neighbors(u)) {
+        if (router_usable(graph, usable, e.to)) covered[e.to] = true;
+      }
+    }
+
+    // Weighted Dijkstra from the BS: hops into non-head nodes are penalized,
+    // so the forest keeps relay chains on the head backbone wherever one
+    // exists. Same (weight, node) heap discipline as the unweighted builder.
+    std::vector<double> weight(n, kInf);
+    std::vector<std::size_t> parent(n, kInvalidId);
+    using Item = std::pair<double, std::size_t>;  // (weight, node)
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    weight[bs] = 0.0;
+    heap.emplace(0.0, bs);
+    while (!heap.empty()) {
+      const auto [w, u] = heap.top();
+      heap.pop();
+      if (w > weight[u]) continue;  // stale entry
+      for (const CommGraph::Edge& e : graph.neighbors(u)) {
+        if (!router_usable(graph, usable, e.to)) continue;
+        const double step =
+            e.length * (head[e.to] || e.to == bs ? 1.0 : kMemberPenalty);
+        const double nw = w + step;
+        if (nw < weight[e.to]) {
+          weight[e.to] = nw;
+          parent[e.to] = u;
+          heap.emplace(nw, e.to);
+        }
+      }
+    }
+
+    std::vector<double> dist = tree_distances(parent, *in.positions, bs);
+    out.assign(std::move(parent), std::move(dist), *in.positions);
+  }
+};
+
+}  // namespace
+
+void register_cluster_backbone_router(RoutingRegistry& registry) {
+  registry.add(
+      "cluster_backbone",
+      "greedy dominating-set heads carry traffic; members uplink to heads",
+      []() -> std::unique_ptr<RoutingPolicy> {
+        return std::make_unique<ClusterBackboneRouter>();
+      });
+}
+
+}  // namespace wrsn

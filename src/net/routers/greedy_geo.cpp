@@ -1,0 +1,131 @@
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/error.hpp"
+#include "net/routers/builtin.hpp"
+#include "net/routing.hpp"
+
+namespace wrsn {
+namespace {
+
+// Greedy geographic forwarding: each node hands packets to the usable
+// neighbor geographically closest to the base station, provided that
+// neighbor is strictly closer than the node itself. Nodes stuck at a local
+// minimum (a routing void) fall back to a perimeter-style repair: in
+// deterministic rounds, every stuck node attaches to an already-connected
+// usable neighbor (closest-to-BS first, smaller index on ties), growing the
+// connected region around the void until nothing changes. Greedy hops
+// strictly shrink the distance to the BS, so the greedy phase is cycle-free;
+// the repair phase only ever attaches to nodes already proven connected.
+class GreedyGeoRouter final : public RoutingPolicy {
+ public:
+  void build(const RoutingBuildInput& in, RouteTable& out) const override {
+    WRSN_REQUIRE(in.graph && in.positions && in.usable,
+                 "routing build input is incomplete");
+    const CommGraph& graph = *in.graph;
+    const std::vector<Vec2>& pos = *in.positions;
+    const std::vector<bool>& usable = *in.usable;
+    const std::size_t n = graph.num_nodes();
+    const std::size_t bs = graph.base_station_index();
+    const Vec2 bs_pos = pos[bs];
+
+    std::vector<std::size_t> parent(n, kInvalidId);
+
+    // Greedy pass: pick the usable neighbor closest to the BS, but only if
+    // it is strictly closer than we are (otherwise we'd bounce forever).
+    for (std::size_t u = 0; u < n; ++u) {
+      if (u == bs || !router_usable(graph, usable, u)) continue;
+      const double here = distance(pos[u], bs_pos);
+      double best = here;
+      std::size_t best_to = kInvalidId;
+      for (const CommGraph::Edge& e : graph.neighbors(u)) {
+        if (!router_usable(graph, usable, e.to)) continue;
+        const double there = distance(pos[e.to], bs_pos);
+        if (there < best || (best_to != kInvalidId && there == best &&
+                             e.to < best_to)) {
+          best = there;
+          best_to = e.to;
+        }
+      }
+      parent[u] = best_to;
+    }
+
+    // Which greedy chains actually terminate at the BS? Memoized walk; the
+    // greedy phase is acyclic so plain chain-chasing terminates.
+    enum class State : unsigned char { kUnknown, kReached, kStuck };
+    std::vector<State> state(n, State::kUnknown);
+    state[bs] = State::kReached;
+    std::vector<std::size_t> chain;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (state[u] != State::kUnknown) continue;
+      chain.clear();
+      std::size_t cur = u;
+      while (state[cur] == State::kUnknown && parent[cur] != kInvalidId) {
+        chain.push_back(cur);
+        cur = parent[cur];
+        WRSN_ASSERT(chain.size() <= n, "greedy forwarding produced a cycle");
+      }
+      const State end =
+          state[cur] == State::kReached ? State::kReached : State::kStuck;
+      if (state[cur] == State::kUnknown) state[cur] = end;
+      for (std::size_t node : chain) state[node] = end;
+    }
+
+    // Perimeter repair rounds: stuck nodes attach to a connected neighbor.
+    // All attachments of a round are decided against the previous round's
+    // connected set, keeping the result independent of scan order.
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      std::vector<std::size_t> attached;
+      for (std::size_t u = 0; u < n; ++u) {
+        if (state[u] != State::kStuck || !router_usable(graph, usable, u)) {
+          continue;
+        }
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t best_to = kInvalidId;
+        for (const CommGraph::Edge& e : graph.neighbors(u)) {
+          if (state[e.to] != State::kReached ||
+              !router_usable(graph, usable, e.to)) {
+            continue;
+          }
+          const double there = distance(pos[e.to], bs_pos);
+          if (there < best || (there == best && e.to < best_to)) {
+            best = there;
+            best_to = e.to;
+          }
+        }
+        if (best_to != kInvalidId) {
+          parent[u] = best_to;
+          attached.push_back(u);
+        }
+      }
+      for (std::size_t u : attached) {
+        state[u] = State::kReached;
+        grew = true;
+      }
+    }
+
+    // Anything still stuck is genuinely disconnected from the BS.
+    for (std::size_t u = 0; u < n; ++u) {
+      if (state[u] != State::kReached) parent[u] = kInvalidId;
+    }
+
+    std::vector<double> dist = tree_distances(parent, pos, bs);
+    out.assign(std::move(parent), std::move(dist), pos);
+  }
+};
+
+}  // namespace
+
+void register_greedy_geo_router(RoutingRegistry& registry) {
+  registry.add(
+      "greedy_geo",
+      "greedy geographic forwarding with perimeter fallback around voids",
+      []() -> std::unique_ptr<RoutingPolicy> {
+        return std::make_unique<GreedyGeoRouter>();
+      });
+}
+
+}  // namespace wrsn

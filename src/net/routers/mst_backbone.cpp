@@ -1,0 +1,70 @@
+#include <memory>
+#include <queue>
+#include <tuple>
+#include <vector>
+
+#include "core/error.hpp"
+#include "net/routers/builtin.hpp"
+#include "net/routing.hpp"
+
+namespace wrsn {
+namespace {
+
+// Minimum spanning tree backbone, grown from the base station with Prim's
+// algorithm over the usable nodes. The MST minimizes the total link length
+// of the relay topology rather than each node's own path, which funnels
+// traffic onto a few long trunk branches — a deliberately different drain
+// profile from shortest_path (trunk nodes relay far more, leaves far less).
+// Ties on edge length break on (to, from) index order, keeping the tree a
+// deterministic function of the alive set.
+class MstBackboneRouter final : public RoutingPolicy {
+ public:
+  void build(const RoutingBuildInput& in, RouteTable& out) const override {
+    WRSN_REQUIRE(in.graph && in.positions && in.usable,
+                 "routing build input is incomplete");
+    const CommGraph& graph = *in.graph;
+    const std::vector<bool>& usable = *in.usable;
+    const std::size_t n = graph.num_nodes();
+    const std::size_t bs = graph.base_station_index();
+
+    std::vector<std::size_t> parent(n, kInvalidId);
+    std::vector<bool> in_tree(n, false);
+
+    using Item = std::tuple<double, std::size_t, std::size_t>;  // (len, to, from)
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    auto offer = [&](std::size_t from) {
+      for (const CommGraph::Edge& e : graph.neighbors(from)) {
+        if (!in_tree[e.to] && router_usable(graph, usable, e.to)) {
+          heap.emplace(e.length, e.to, from);
+        }
+      }
+    };
+
+    in_tree[bs] = true;
+    offer(bs);
+    while (!heap.empty()) {
+      const auto [len, to, from] = heap.top();
+      heap.pop();
+      if (in_tree[to]) continue;  // stale entry
+      in_tree[to] = true;
+      parent[to] = from;
+      offer(to);
+    }
+
+    std::vector<double> dist = tree_distances(parent, *in.positions, bs);
+    out.assign(std::move(parent), std::move(dist), *in.positions);
+  }
+};
+
+}  // namespace
+
+void register_mst_backbone_router(RoutingRegistry& registry) {
+  registry.add(
+      "mst_backbone",
+      "minimum spanning tree grown from the base station (Prim)",
+      []() -> std::unique_ptr<RoutingPolicy> {
+        return std::make_unique<MstBackboneRouter>();
+      });
+}
+
+}  // namespace wrsn

@@ -1,0 +1,36 @@
+#include <memory>
+
+#include "core/error.hpp"
+#include "net/routers/builtin.hpp"
+#include "net/routing.hpp"
+
+namespace wrsn {
+namespace {
+
+// The paper's routing model: Dijkstra from the base station over the usable
+// nodes, every sensor forwarding along its shortest path. The Dijkstra
+// distances are installed directly as the route distances (no re-derivation)
+// so results stay bit-identical with the pre-registry RoutingTree.
+class ShortestPathRouter final : public RoutingPolicy {
+ public:
+  void build(const RoutingBuildInput& in, RouteTable& out) const override {
+    WRSN_REQUIRE(in.graph && in.positions && in.usable,
+                 "routing build input is incomplete");
+    ShortestPaths sp =
+        dijkstra(*in.graph, in.graph->base_station_index(), *in.usable);
+    out.assign(std::move(sp.parent), std::move(sp.dist), *in.positions);
+  }
+};
+
+}  // namespace
+
+void register_shortest_path_router(RoutingRegistry& registry) {
+  registry.add(
+      "shortest_path",
+      "Dijkstra tree rooted at the base station (paper default)",
+      []() -> std::unique_ptr<RoutingPolicy> {
+        return std::make_unique<ShortestPathRouter>();
+      });
+}
+
+}  // namespace wrsn

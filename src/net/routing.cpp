@@ -2,8 +2,10 @@
 
 #include <limits>
 #include <queue>
+#include <sstream>
 
 #include "core/error.hpp"
+#include "net/routers/builtin.hpp"
 
 namespace wrsn {
 
@@ -47,6 +49,15 @@ ShortestPaths run_dijkstra(const CommGraph& graph, std::size_t source,
   }
   return out;
 }
+
+std::string join_names(const std::vector<std::string>& names) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    os << (i ? ", " : "") << names[i];
+  }
+  return os.str();
+}
+
 }  // namespace
 
 ShortestPaths dijkstra(const CommGraph& graph, std::size_t source,
@@ -54,36 +65,155 @@ ShortestPaths dijkstra(const CommGraph& graph, std::size_t source,
   return run_dijkstra(graph, source, usable);
 }
 
-void RoutingTree::build(const CommGraph& graph, const std::vector<bool>& usable) {
-  ShortestPaths sp = run_dijkstra(graph, graph.base_station_index(), usable);
-  parent_ = std::move(sp.parent);
-  dist_ = std::move(sp.dist);
+bool router_usable(const CommGraph& graph, const std::vector<bool>& usable,
+                   std::size_t node) {
+  if (node == graph.base_station_index()) return true;
+  return node < usable.size() ? static_cast<bool>(usable[node]) : true;
 }
 
-bool RoutingTree::reachable(std::size_t node) const {
-  WRSN_ASSERT(node < dist_.size(), "routing query out of range");
-  return dist_[node] < kInf;
+std::vector<double> tree_distances(const std::vector<std::size_t>& parent,
+                                   const std::vector<Vec2>& positions,
+                                   std::size_t root) {
+  const std::size_t n = parent.size();
+  WRSN_REQUIRE(positions.size() == n,
+               "tree_distances needs one position per node");
+  std::vector<double> dist(n, kInf);
+  dist[root] = 0.0;
+  // Resolve each node by chasing parents to a node with a known distance,
+  // then unwind so d(child) = d(parent) + hop accumulates root -> leaf —
+  // the same association order Dijkstra's relaxations produce.
+  std::vector<std::size_t> chain;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (dist[start] < kInf || parent[start] == kInvalidId) continue;
+    chain.clear();
+    std::size_t cur = start;
+    while (parent[cur] != kInvalidId && dist[cur] == kInf) {
+      chain.push_back(cur);
+      cur = parent[cur];
+      WRSN_ASSERT(chain.size() <= n, "routing forest contains a cycle");
+    }
+    if (dist[cur] == kInf) continue;  // chain ends at an unreachable node
+    for (std::size_t i = chain.size(); i-- > 0;) {
+      const std::size_t node = chain[i];
+      dist[node] =
+          dist[parent[node]] + distance(positions[node], positions[parent[node]]);
+    }
+  }
+  return dist;
 }
 
-std::optional<std::size_t> RoutingTree::hops_to_base(std::size_t node) const {
+std::optional<std::size_t> RouteView::hops_to_base(std::size_t node) const {
   if (!reachable(node)) return std::nullopt;
   std::size_t hops = 0;
-  for (std::size_t cur = node; parent_[cur] != kInvalidId; cur = parent_[cur]) {
+  for (std::size_t cur = node; next_hop(cur) != kInvalidId;
+       cur = next_hop(cur)) {
     ++hops;
-    WRSN_ASSERT(hops <= parent_.size(), "routing tree contains a cycle");
+    WRSN_ASSERT(hops <= num_nodes(), "routing forest contains a cycle");
   }
   return hops;
 }
 
-std::vector<std::size_t> RoutingTree::path_to_base(std::size_t node) const {
+std::vector<std::size_t> RouteView::path_to_base(std::size_t node) const {
   std::vector<std::size_t> path;
   if (!reachable(node)) return path;
-  for (std::size_t cur = node;; cur = parent_[cur]) {
+  for (std::size_t cur = node;; cur = next_hop(cur)) {
     path.push_back(cur);
-    if (parent_[cur] == kInvalidId) break;
-    WRSN_ASSERT(path.size() <= parent_.size(), "routing tree contains a cycle");
+    if (next_hop(cur) == kInvalidId) break;
+    WRSN_ASSERT(path.size() <= num_nodes(), "routing forest contains a cycle");
   }
   return path;
+}
+
+void RouteTable::assign(std::vector<std::size_t> parent,
+                        std::vector<double> dist,
+                        const std::vector<Vec2>& positions) {
+  WRSN_REQUIRE(parent.size() == dist.size(),
+               "route table parent/dist size mismatch");
+  WRSN_REQUIRE(positions.size() == parent.size(),
+               "route table needs one position per node");
+  parent_ = std::move(parent);
+  dist_ = std::move(dist);
+  hop_len_.assign(parent_.size(), 0.0);
+  for (std::size_t n = 0; n < parent_.size(); ++n) {
+    if (parent_[n] != kInvalidId) {
+      hop_len_[n] = distance(positions[n], positions[parent_[n]]);
+    }
+  }
+}
+
+bool RouteTable::reachable(std::size_t node) const {
+  WRSN_ASSERT(node < dist_.size(), "routing query out of range");
+  return dist_[node] < kInf;
+}
+
+RoutingRegistry& RoutingRegistry::instance() {
+  static RoutingRegistry* registry = [] {
+    auto* r = new RoutingRegistry();
+    // The paper's Dijkstra tree first (the default), then the alternative
+    // topologies — the order names() reports and the docs table uses.
+    register_shortest_path_router(*r);
+    register_greedy_geo_router(*r);
+    register_mst_backbone_router(*r);
+    register_cluster_backbone_router(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void RoutingRegistry::add(std::string name, std::string summary,
+                          Factory factory) {
+  WRSN_REQUIRE(!name.empty(), "routing policy name must be non-empty");
+  WRSN_REQUIRE(factory != nullptr,
+               "routing policy '" + name + "' needs a factory");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& e : entries_) {
+    WRSN_REQUIRE(e.name != name,
+                 "routing policy '" + name + "' is already registered");
+  }
+  entries_.push_back({std::move(name), std::move(summary), factory});
+}
+
+bool RoutingRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& e : entries_) {
+    if (e.name == name) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<RoutingPolicy> RoutingRegistry::create(
+    const std::string& name) const {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const Entry& e : entries_) {
+      if (e.name == name) return e.factory();
+    }
+  }
+  throw InvalidArgument("unknown routing policy '" + name +
+                        "' (valid: " + join_names(names()) + ")");
+}
+
+std::vector<std::string> RoutingRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+std::string RoutingRegistry::summary(const std::string& name) const {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const Entry& e : entries_) {
+      if (e.name == name) return e.summary;
+    }
+  }
+  throw InvalidArgument("unknown routing policy '" + name +
+                        "' (valid: " + join_names(names()) + ")");
+}
+
+std::vector<std::string> routing_names() {
+  return RoutingRegistry::instance().names();
 }
 
 }  // namespace wrsn

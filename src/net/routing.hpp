@@ -1,56 +1,152 @@
 #pragma once
-// Shortest-path routing (Section V: "The routing path is calculated using
-// Dijkstra's shortest path algorithm").
+// Pluggable routing layer.
 //
-// The data plane only ever routes towards the base station, so we maintain a
-// single BS-rooted shortest-path tree over the currently alive nodes and
-// read any sensor's route as the tree path. The tree is rebuilt when the set
-// of alive nodes changes (death / recharge-revival), which is rare compared
-// with activation rotations.
+// The data plane only ever routes towards the base station, so every routing
+// scheme reduces to a BS-rooted next-hop forest over the currently usable
+// nodes. A RoutingPolicy is a strategy that builds that forest into a
+// RouteTable; consumers (TrafficModel, stats, the World) only see the narrow
+// RouteView contract — next-hop, path, reachability and hop distance — so
+// swapping the scheme never touches them. Policies are selected by name
+// through the string-keyed RoutingRegistry (mirroring SchedulerRegistry):
+// the paper's Dijkstra tree is the default `shortest_path` policy, and a new
+// scheme is one file in src/net/routers/ plus one registration line.
+//
+// The table is rebuilt when the set of alive nodes changes (death /
+// recharge-revival), which is rare compared with activation rotations.
 
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "geom/vec2.hpp"
 #include "net/graph.hpp"
 #include "net/ids.hpp"
 
 namespace wrsn {
 
-class RoutingTree {
+// Read-only routing contract the traffic/statistics layers consume. All
+// queries address graph node indices ([0, N) sensors, N the base station).
+class RouteView {
  public:
-  RoutingTree() = default;
+  virtual ~RouteView() = default;
 
-  // Builds the shortest-path tree rooted at the base station over the nodes
-  // for which usable[node] is true (the base station is always usable).
-  // `usable` must have size graph.num_nodes() - 1 (sensors only) or
-  // graph.num_nodes() (base station entry ignored).
-  void build(const CommGraph& graph, const std::vector<bool>& usable);
-
-  [[nodiscard]] bool built() const { return !parent_.empty(); }
-  [[nodiscard]] std::size_t num_nodes() const { return parent_.size(); }
-
-  // True when the node can reach the base station through alive relays.
-  [[nodiscard]] bool reachable(std::size_t node) const;
+  [[nodiscard]] virtual bool built() const = 0;
+  [[nodiscard]] virtual std::size_t num_nodes() const = 0;
+  // True when the node can reach the base station through usable relays.
+  [[nodiscard]] virtual bool reachable(std::size_t node) const = 0;
   // Next hop towards the base station (kInvalidId for the BS itself or
   // unreachable nodes).
-  [[nodiscard]] std::size_t parent(std::size_t node) const { return parent_[node]; }
-  // Shortest distance (metres) to the base station; infinity if unreachable.
-  [[nodiscard]] double distance_to_base(std::size_t node) const { return dist_[node]; }
+  [[nodiscard]] virtual std::size_t next_hop(std::size_t node) const = 0;
+  // Route length (metres) to the base station along this policy's forest;
+  // infinity if unreachable. For `shortest_path` this is the Dijkstra
+  // distance.
+  [[nodiscard]] virtual double distance_to_base(std::size_t node) const = 0;
+  // Length (metres) of the node -> next_hop(node) link; 0 when there is none.
+  // The link-quality layer derives per-hop loss from this.
+  [[nodiscard]] virtual double hop_length(std::size_t node) const = 0;
+
   // Hop count to the base station; nullopt if unreachable.
   [[nodiscard]] std::optional<std::size_t> hops_to_base(std::size_t node) const;
   // Full path node -> ... -> base station (inclusive); empty if unreachable.
   [[nodiscard]] std::vector<std::size_t> path_to_base(std::size_t node) const;
+};
+
+// The concrete next-hop forest every built-in policy fills: parent pointers,
+// per-node route distance and per-node uplink length.
+class RouteTable final : public RouteView {
+ public:
+  RouteTable() = default;
+
+  // Installs a built forest. `parent[n] == kInvalidId` marks the root (BS)
+  // and unreachable nodes; `dist[n]` is the policy's route distance
+  // (infinity when unreachable). Hop lengths are derived from `positions`
+  // (node order matching the graph, BS last).
+  void assign(std::vector<std::size_t> parent, std::vector<double> dist,
+              const std::vector<Vec2>& positions);
+
+  [[nodiscard]] bool built() const override { return !parent_.empty(); }
+  [[nodiscard]] std::size_t num_nodes() const override { return parent_.size(); }
+  [[nodiscard]] bool reachable(std::size_t node) const override;
+  [[nodiscard]] std::size_t next_hop(std::size_t node) const override {
+    return parent_[node];
+  }
+  [[nodiscard]] double distance_to_base(std::size_t node) const override {
+    return dist_[node];
+  }
+  [[nodiscard]] double hop_length(std::size_t node) const override {
+    return hop_len_[node];
+  }
 
  private:
   std::vector<std::size_t> parent_;
   std::vector<double> dist_;
+  std::vector<double> hop_len_;
 };
 
+// Everything a policy may consult while building routes. `usable` covers the
+// sensors (the base station is always usable); `positions` lists every graph
+// node's location, base station last.
+struct RoutingBuildInput {
+  const CommGraph* graph = nullptr;
+  const std::vector<Vec2>* positions = nullptr;
+  const std::vector<bool>* usable = nullptr;
+};
+
+// Strategy interface. Implementations must be deterministic pure functions
+// of the build input (no RNG, no state across builds): the snapshot codec
+// restores routing by re-running build() on the serialized alive mask, so
+// any nondeterminism would break byte-identical resume.
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+  virtual void build(const RoutingBuildInput& in, RouteTable& out) const = 0;
+};
+
+// String-keyed registry of routing-policy factories, mirroring
+// SchedulerRegistry: built-ins register on first access, lookups are
+// thread-safe, unknown names throw listing every registered name.
+class RoutingRegistry {
+ public:
+  using Factory = std::unique_ptr<RoutingPolicy> (*)();
+
+  static RoutingRegistry& instance();
+
+  // Registers a policy. `summary` is the one-line description surfaced by
+  // `wrsn_sim --list-routers` and the README table. Throws InvalidArgument
+  // on a duplicate or empty name.
+  void add(std::string name, std::string summary, Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  // Instantiates the named policy; throws InvalidArgument listing the
+  // registered names when `name` is unknown.
+  [[nodiscard]] std::unique_ptr<RoutingPolicy> create(
+      const std::string& name) const;
+  // Registered names, in registration order (the paper's default first).
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::string summary(const std::string& name) const;
+
+ private:
+  RoutingRegistry() = default;
+
+  struct Entry {
+    std::string name;
+    std::string summary;
+    Factory factory;
+  };
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+};
+
+// Convenience: RoutingRegistry::instance().names().
+[[nodiscard]] std::vector<std::string> routing_names();
+
 // General single-source Dijkstra over a CommGraph (used by tests to
-// cross-check the tree and exposed for library users who need sensor-to-
-// sensor paths). Returns distances and parents from `source`; nodes with
-// usable[n]==false are skipped (source and target of an edge both need to be
-// usable).
+// cross-check the shortest_path policy and exposed for library users who
+// need sensor-to-sensor paths). Returns distances and parents from
+// `source`; nodes with usable[n]==false are skipped (source and target of
+// an edge both need to be usable).
 struct ShortestPaths {
   std::vector<double> dist;
   std::vector<std::size_t> parent;
@@ -58,5 +154,20 @@ struct ShortestPaths {
 
 [[nodiscard]] ShortestPaths dijkstra(const CommGraph& graph, std::size_t source,
                                      const std::vector<bool>& usable);
+
+// Shared helpers for routers that build parents first and derive distances
+// after the fact (greedy_geo, mst_backbone, cluster_backbone). Distances
+// telescope root -> leaf (d(child) = d(parent) + hop length), matching how
+// Dijkstra accumulates, and unreachable nodes get infinity.
+[[nodiscard]] std::vector<double> tree_distances(
+    const std::vector<std::size_t>& parent, const std::vector<Vec2>& positions,
+    std::size_t root);
+
+// The usable predicate every built-in router shares: the base station is
+// always usable, and indices beyond the mask (the optional BS entry) are
+// treated as usable.
+[[nodiscard]] bool router_usable(const CommGraph& graph,
+                                 const std::vector<bool>& usable,
+                                 std::size_t node);
 
 }  // namespace wrsn

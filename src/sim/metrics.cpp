@@ -16,6 +16,7 @@ void MetricsIntegrator::advance(Second dt, const StateSnapshot& snap) {
   alive_time_ += s * static_cast<double>(snap.alive_sensors);
   dead_time_ += s * static_cast<double>(snap.total_sensors - snap.alive_sensors);
   report_.packets_delivered += s * snap.delivery_rate_pps;
+  report_.packets_offered += s * snap.offered_rate_pps;
   hop_packet_integral_ += s * snap.delivery_rate_pps * snap.avg_delivery_hops;
   elapsed_ += s;
 }
@@ -125,6 +126,7 @@ void MetricsIntegrator::serialize(BinWriter& w) const {
   w.size(report_.rv_tours);
   w.size(report_.rv_base_recharges);
   w.f64(report_.packets_delivered);
+  w.f64(report_.packets_offered);
   w.size(report_.sensor_deaths);
   w.size(report_.recharge_requests);
   w.size(report_.requests_lost);
@@ -173,6 +175,7 @@ void MetricsIntegrator::deserialize(BinReader& r) {
   r.size(report_.rv_tours);
   r.size(report_.rv_base_recharges);
   r.f64(report_.packets_delivered);
+  r.f64(report_.packets_offered);
   r.size(report_.sensor_deaths);
   r.size(report_.recharge_requests);
   r.size(report_.requests_lost);

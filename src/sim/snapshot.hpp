@@ -30,7 +30,9 @@
 
 namespace wrsn {
 
-inline constexpr std::uint32_t kSnapshotSchemaVersion = 1;
+// v2: routing policy knob + link-quality layer (traffic flows carry per-hop
+// ETX/success captures, the integrator tracks packets_offered).
+inline constexpr std::uint32_t kSnapshotSchemaVersion = 2;
 
 struct WorldSnapshot {
   std::uint32_t version = kSnapshotSchemaVersion;

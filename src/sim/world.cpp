@@ -85,6 +85,9 @@ World::World(const SimConfig& config, WorldEngine engine)
   // switching engines never changes the traffic model's behaviour.
   drain_marks_.reset(config_.num_sensors);
   traffic_.set_touch_log(&drain_marks_);
+  // Install the link-quality model before any source registration (the
+  // initial recluster below captures per-hop loss with each flow).
+  traffic_.set_link_model(config_.link, config_.comm_range.value());
 
   target_waypoint_.resize(config_.num_targets);
   target_dwelling_.assign(config_.num_targets, true);
@@ -414,6 +417,7 @@ StateSnapshot World::snapshot_scan() const {
   snap.total_sensors = net_.num_sensors();
   snap.alive_sensors = net_.alive_count();
   snap.delivery_rate_pps = traffic_.delivery_rate();
+  snap.offered_rate_pps = traffic_.offered_rate();
   snap.avg_delivery_hops = traffic_.average_delivery_hops();
   for (TargetId t = 0; t < net_.num_targets(); ++t) {
     if (!coverable_[t]) continue;
@@ -442,6 +446,7 @@ StateSnapshot World::snapshot_counters() const {
   snap.coverable_targets = coverable_count_;
   snap.covered_targets = covered_count_;
   snap.delivery_rate_pps = traffic_.delivery_rate();
+  snap.offered_rate_pps = traffic_.offered_rate();
   snap.avg_delivery_hops = traffic_.average_delivery_hops();
   return snap;
 }

@@ -5,6 +5,7 @@
 
 #include "core/config_io.hpp"
 #include "core/error.hpp"
+#include "net/routing.hpp"
 
 namespace wrsn {
 namespace {
@@ -55,7 +56,10 @@ TEST(ConfigIo, RejectsBadInput) {
   EXPECT_THROW(config_set(cfg, "num_sensors", "1.5"), InvalidArgument);
   EXPECT_THROW(config_set(cfg, "field_side_m", "12abc"), InvalidArgument);
   EXPECT_THROW(config_set(cfg, "scheduler", "quantum"), InvalidArgument);
+  EXPECT_THROW(config_set(cfg, "routing", "pigeon"), InvalidArgument);
   EXPECT_THROW(config_set(cfg, "two_opt_tours", "maybe"), InvalidArgument);
+  EXPECT_THROW(config_set(cfg, "link.enabled", "maybe"), InvalidArgument);
+  EXPECT_THROW(config_set(cfg, "link.max_retx", "several"), InvalidArgument);
   EXPECT_THROW((void)config_get(cfg, "no_such_key"), InvalidArgument);
 }
 
@@ -72,20 +76,30 @@ TEST(ConfigIo, UnknownEnumValueErrorsListValidNames) {
     ADD_FAILURE() << key << " accepted '" << value << "'";
     return std::string();
   };
-  const std::string sched = error_for("scheduler", "quantum");
-  for (const char* name : {"greedy", "partition", "combined", "nearest-first",
-                           "fcfs", "edf"}) {
-    EXPECT_NE(sched.find(name), std::string::npos) << sched;
+  // Table-driven: each enum-like key pairs a bogus value with the full list
+  // of names the error must surface. Registry-backed knobs pull the expected
+  // list live from their registry, so a newly registered policy is covered
+  // without touching this test.
+  struct Case {
+    const char* key;
+    const char* bogus;
+    std::vector<std::string> expected;
+  };
+  const std::vector<Case> cases = {
+      {"scheduler", "quantum",
+       {"greedy", "partition", "combined", "nearest-first", "fcfs", "edf"}},
+      {"routing", "pigeon", routing_names()},
+      {"activation", "psychic", {"full-time", "round-robin"}},
+      {"target_motion", "warp", {"teleport", "random-waypoint"}},
+      {"rv.charge_profile", "fusion", {"constant-power", "tapered-cc-cv"}},
+  };
+  for (const Case& c : cases) {
+    const std::string message = error_for(c.key, c.bogus);
+    for (const std::string& name : c.expected) {
+      EXPECT_NE(message.find(name), std::string::npos)
+          << c.key << ": " << message;
+    }
   }
-  const std::string act = error_for("activation", "psychic");
-  EXPECT_NE(act.find("full-time"), std::string::npos) << act;
-  EXPECT_NE(act.find("round-robin"), std::string::npos) << act;
-  const std::string motion = error_for("target_motion", "warp");
-  EXPECT_NE(motion.find("teleport"), std::string::npos) << motion;
-  EXPECT_NE(motion.find("random-waypoint"), std::string::npos) << motion;
-  const std::string profile = error_for("rv.charge_profile", "fusion");
-  EXPECT_NE(profile.find("constant-power"), std::string::npos) << profile;
-  EXPECT_NE(profile.find("tapered-cc-cv"), std::string::npos) << profile;
 }
 
 TEST(ConfigIo, TextRoundTrip) {
@@ -100,6 +114,25 @@ TEST(ConfigIo, TextRoundTrip) {
   EXPECT_EQ(back.scheduler, "nearest-first");
   EXPECT_DOUBLE_EQ(back.energy_request_percentage, 0.35);
   EXPECT_DOUBLE_EQ(back.rv.charge_power.value(), 2.5);
+}
+
+TEST(ConfigIo, RoutingAndLinkKeysRoundTrip) {
+  SimConfig cfg;
+  cfg.routing = "greedy_geo";
+  cfg.link.enabled = true;
+  cfg.link.loss_floor = 0.02;
+  cfg.link.loss_at_range = 0.4;
+  cfg.link.loss_exponent = 2.5;
+  cfg.link.max_retx = 5;
+  cfg.link.rx_duty_tax = 0.03;
+  const SimConfig back = config_from_text(config_to_text(cfg));
+  EXPECT_EQ(back.routing, "greedy_geo");
+  EXPECT_TRUE(back.link.enabled);
+  EXPECT_DOUBLE_EQ(back.link.loss_floor, 0.02);
+  EXPECT_DOUBLE_EQ(back.link.loss_at_range, 0.4);
+  EXPECT_DOUBLE_EQ(back.link.loss_exponent, 2.5);
+  EXPECT_EQ(back.link.max_retx, 5u);
+  EXPECT_DOUBLE_EQ(back.link.rx_duty_tax, 0.03);
 }
 
 TEST(ConfigIo, ParsingSkipsCommentsAndBlanks) {

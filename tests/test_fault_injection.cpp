@@ -79,7 +79,7 @@ TEST(FaultInjection, DeadSensorLeavesRoutingTree) {
   SensorId relay = kInvalidId;
   for (SensorId s = 0; s < w.network().num_sensors() && relay == kInvalidId; ++s) {
     for (SensorId v = 0; v < w.network().num_sensors(); ++v) {
-      if (w.network().routing().parent(v) == s) {
+      if (w.network().routing().next_hop(v) == s) {
         relay = s;
         break;
       }
@@ -91,7 +91,7 @@ TEST(FaultInjection, DeadSensorLeavesRoutingTree) {
   // No alive sensor routes through the dead relay anymore.
   for (SensorId v = 0; v < w.network().num_sensors(); ++v) {
     if (!w.network().sensor(v).alive()) continue;
-    EXPECT_NE(w.network().routing().parent(v), relay);
+    EXPECT_NE(w.network().routing().next_hop(v), relay);
   }
 }
 

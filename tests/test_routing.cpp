@@ -10,6 +10,18 @@
 namespace wrsn {
 namespace {
 
+// Builds the default shortest_path forest the way Network does: positions
+// with the base station appended, policy resolved through the registry.
+RouteTable build_tree(const CommGraph& g, const std::vector<Vec2>& sensors,
+                      Vec2 bs, const std::vector<bool>& usable) {
+  std::vector<Vec2> all = sensors;
+  all.push_back(bs);
+  RouteTable table;
+  const RoutingBuildInput in{&g, &all, &usable};
+  RoutingRegistry::instance().create("shortest_path")->build(in, table);
+  return table;
+}
+
 // Floyd-Warshall reference for cross-checking Dijkstra.
 std::vector<std::vector<double>> floyd_warshall(const CommGraph& g,
                                                 const std::vector<bool>& usable) {
@@ -39,25 +51,26 @@ std::vector<std::vector<double>> floyd_warshall(const CommGraph& g,
 TEST(Routing, LineTopologyDistances) {
   const std::vector<Vec2> pos = {{0, 0}, {10, 0}, {20, 0}};
   CommGraph g(pos, Vec2{30, 0}, 12.0);
-  RoutingTree tree;
-  tree.build(g, std::vector<bool>(3, true));
+  const RouteTable tree =
+      build_tree(g, pos, Vec2{30, 0}, std::vector<bool>(3, true));
   EXPECT_DOUBLE_EQ(tree.distance_to_base(2), 10.0);
   EXPECT_DOUBLE_EQ(tree.distance_to_base(1), 20.0);
   EXPECT_DOUBLE_EQ(tree.distance_to_base(0), 30.0);
-  EXPECT_EQ(tree.parent(0), 1u);
-  EXPECT_EQ(tree.parent(1), 2u);
-  EXPECT_EQ(tree.parent(2), 3u);
-  EXPECT_EQ(tree.parent(3), kInvalidId);
+  EXPECT_EQ(tree.next_hop(0), 1u);
+  EXPECT_EQ(tree.next_hop(1), 2u);
+  EXPECT_EQ(tree.next_hop(2), 3u);
+  EXPECT_EQ(tree.next_hop(3), kInvalidId);
   EXPECT_EQ(tree.hops_to_base(0), 3u);
   EXPECT_EQ(tree.path_to_base(0), (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(tree.hop_length(0), 10.0);
+  EXPECT_DOUBLE_EQ(tree.hop_length(2), 10.0);
 }
 
 TEST(Routing, DeadRelayBreaksPath) {
   const std::vector<Vec2> pos = {{0, 0}, {10, 0}, {20, 0}};
   CommGraph g(pos, Vec2{30, 0}, 12.0);
-  RoutingTree tree;
   std::vector<bool> usable = {true, false, true};  // middle node dead
-  tree.build(g, usable);
+  const RouteTable tree = build_tree(g, pos, Vec2{30, 0}, usable);
   EXPECT_TRUE(tree.reachable(2));
   EXPECT_FALSE(tree.reachable(1));
   EXPECT_FALSE(tree.reachable(0));
@@ -73,8 +86,7 @@ TEST(Routing, TreeMatchesFloydWarshall) {
   // Kill a few nodes.
   for (std::size_t i = 0; i < 60; i += 7) usable[i] = false;
 
-  RoutingTree tree;
-  tree.build(g, usable);
+  const RouteTable tree = build_tree(g, pos, Vec2{30, 30}, usable);
   const auto ref = floyd_warshall(g, usable);
   const std::size_t bs = g.base_station_index();
   for (std::size_t v = 0; v < 60; ++v) {
@@ -95,8 +107,8 @@ TEST(Routing, PathDistancesTelescope) {
   Xoshiro256 rng(23);
   const auto pos = deploy_uniform(120, 80.0, rng);
   CommGraph g(pos, Vec2{40, 40}, 14.0);
-  RoutingTree tree;
-  tree.build(g, std::vector<bool>(120, true));
+  const RouteTable tree =
+      build_tree(g, pos, Vec2{40, 40}, std::vector<bool>(120, true));
   for (std::size_t v = 0; v < 120; ++v) {
     if (!tree.reachable(v)) continue;
     const auto path = tree.path_to_base(v);
@@ -133,13 +145,13 @@ TEST(Routing, ParentPointersConsistentWithDistances) {
   Xoshiro256 rng(27);
   const auto pos = deploy_uniform(100, 70.0, rng);
   CommGraph g(pos, Vec2{35, 35}, 13.0);
-  RoutingTree tree;
-  tree.build(g, std::vector<bool>(100, true));
+  const RouteTable tree =
+      build_tree(g, pos, Vec2{35, 35}, std::vector<bool>(100, true));
   std::vector<Vec2> all = pos;
   all.push_back({35, 35});
   for (std::size_t v = 0; v < 100; ++v) {
-    if (!tree.reachable(v) || tree.parent(v) == kInvalidId) continue;
-    const std::size_t p = tree.parent(v);
+    if (!tree.reachable(v) || tree.next_hop(v) == kInvalidId) continue;
+    const std::size_t p = tree.next_hop(v);
     EXPECT_NEAR(tree.distance_to_base(v),
                 tree.distance_to_base(p) + distance(all[v], all[p]), 1e-9);
   }

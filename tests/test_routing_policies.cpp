@@ -1,0 +1,227 @@
+// Registry contract and forest validity for every registered routing policy:
+// whatever scheme a policy encodes, the result must be a BS-rooted next-hop
+// forest (acyclic, every reachable node's chain ends at the base station,
+// distances telescope) and build() must be a deterministic pure function of
+// its input — the snapshot codec relies on that to restore routing by
+// re-running build() on the serialized alive mask.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "net/deployment.hpp"
+#include "net/graph.hpp"
+#include "net/routing.hpp"
+
+namespace wrsn {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Instance {
+  CommGraph graph;
+  std::vector<Vec2> positions;  // BS last
+  std::vector<bool> usable;
+};
+
+Instance make_instance(std::uint64_t seed, std::size_t n, double side,
+                       double range, bool kill_some) {
+  Xoshiro256 rng(seed);
+  Instance inst;
+  const Vec2 bs{side / 2.0, side / 2.0};
+  std::vector<Vec2> sensors = deploy_uniform(n, side, rng);
+  inst.graph = CommGraph(sensors, bs, range);
+  inst.positions = std::move(sensors);
+  inst.positions.push_back(bs);
+  inst.usable.assign(n, true);
+  if (kill_some) {
+    for (std::size_t i = 0; i < n; i += 5) inst.usable[i] = false;
+  }
+  return inst;
+}
+
+RouteTable build_with(const std::string& policy, const Instance& inst) {
+  RouteTable table;
+  const RoutingBuildInput in{&inst.graph, &inst.positions, &inst.usable};
+  RoutingRegistry::instance().create(policy)->build(in, table);
+  return table;
+}
+
+class RoutingPolicies : public testing::TestWithParam<std::string> {};
+
+TEST(RoutingRegistry, ShortestPathIsTheDefaultAndListedFirst) {
+  const auto names = routing_names();
+  ASSERT_FALSE(names.empty());
+  EXPECT_EQ(names.front(), "shortest_path");
+  EXPECT_GE(names.size(), 4u);
+  for (const auto& name : names) {
+    EXPECT_TRUE(RoutingRegistry::instance().contains(name));
+    EXPECT_FALSE(RoutingRegistry::instance().summary(name).empty());
+    EXPECT_NE(RoutingRegistry::instance().create(name), nullptr);
+  }
+}
+
+TEST(RoutingRegistry, UnknownNameErrorListsEveryRegisteredPolicy) {
+  try {
+    (void)RoutingRegistry::instance().create("carrier_pigeon");
+    FAIL() << "unknown policy name was accepted";
+  } catch (const InvalidArgument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("carrier_pigeon"), std::string::npos) << message;
+    for (const auto& name : routing_names()) {
+      EXPECT_NE(message.find(name), std::string::npos) << message;
+    }
+  }
+}
+
+TEST(RoutingRegistry, DuplicateAndEmptyRegistrationRejected) {
+  auto factory = []() -> std::unique_ptr<RoutingPolicy> { return nullptr; };
+  EXPECT_THROW(RoutingRegistry::instance().add("shortest_path", "dup", factory),
+               InvalidArgument);
+  EXPECT_THROW(RoutingRegistry::instance().add("", "anonymous", factory),
+               InvalidArgument);
+}
+
+TEST_P(RoutingPolicies, BuildsAcyclicForestRootedAtTheBase) {
+  const Instance inst = make_instance(101, 80, 70.0, 14.0, /*kill_some=*/true);
+  const RouteTable table = build_with(GetParam(), inst);
+  const std::size_t bs = inst.graph.base_station_index();
+  ASSERT_TRUE(table.built());
+  ASSERT_EQ(table.num_nodes(), inst.graph.num_nodes());
+  EXPECT_EQ(table.next_hop(bs), kInvalidId);
+  for (std::size_t v = 0; v < 80; ++v) {
+    if (!inst.usable[v]) {
+      EXPECT_FALSE(table.reachable(v)) << "dead node " << v << " routed";
+      continue;
+    }
+    if (!table.reachable(v)) {
+      EXPECT_EQ(table.next_hop(v), kInvalidId);
+      EXPECT_TRUE(std::isinf(table.distance_to_base(v)));
+      continue;
+    }
+    // The parent chain must terminate at the BS within num_nodes steps
+    // (anything longer means a cycle), stepping only over usable relays.
+    std::size_t node = v;
+    std::size_t steps = 0;
+    while (node != bs) {
+      ASSERT_LT(steps++, table.num_nodes()) << "cycle reached from " << v;
+      const std::size_t next = table.next_hop(node);
+      ASSERT_NE(next, kInvalidId) << "chain from " << v << " dead-ends";
+      ASSERT_TRUE(next == bs || inst.usable[next])
+          << "chain from " << v << " crosses dead node " << next;
+      node = next;
+    }
+  }
+}
+
+TEST_P(RoutingPolicies, DistancesTelescopeAlongParentChains) {
+  const Instance inst = make_instance(103, 60, 60.0, 14.0, /*kill_some=*/false);
+  const RouteTable table = build_with(GetParam(), inst);
+  const std::size_t bs = inst.graph.base_station_index();
+  EXPECT_DOUBLE_EQ(table.distance_to_base(bs), 0.0);
+  for (std::size_t v = 0; v < 60; ++v) {
+    if (!table.reachable(v)) continue;
+    const std::size_t p = table.next_hop(v);
+    const double hop = distance(inst.positions[v], inst.positions[p]);
+    EXPECT_NEAR(table.hop_length(v), hop, 1e-9);
+    EXPECT_NEAR(table.distance_to_base(v), table.distance_to_base(p) + hop,
+                1e-9);
+    // Every hop must be physically transmittable.
+    EXPECT_LE(hop, 14.0 + 1e-9);
+  }
+}
+
+TEST_P(RoutingPolicies, BuildIsDeterministic) {
+  const Instance inst = make_instance(105, 70, 65.0, 13.0, /*kill_some=*/true);
+  const RouteTable a = build_with(GetParam(), inst);
+  const RouteTable b = build_with(GetParam(), inst);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (std::size_t v = 0; v < a.num_nodes(); ++v) {
+    EXPECT_EQ(a.next_hop(v), b.next_hop(v)) << "node " << v;
+    EXPECT_EQ(std::isinf(a.distance_to_base(v)), std::isinf(b.distance_to_base(v)));
+    if (!std::isinf(a.distance_to_base(v))) {
+      EXPECT_DOUBLE_EQ(a.distance_to_base(v), b.distance_to_base(v));
+    }
+  }
+}
+
+TEST_P(RoutingPolicies, ConnectedInstanceReachesEveryUsableNode) {
+  // A dense line is connected under every scheme: no policy may strand a
+  // usable node that Dijkstra can reach.
+  const std::vector<Vec2> sensors = {{0, 0}, {8, 0}, {16, 0}, {24, 0}};
+  Instance inst;
+  inst.graph = CommGraph(sensors, Vec2{32, 0}, 10.0);
+  inst.positions = sensors;
+  inst.positions.push_back({32, 0});
+  inst.usable.assign(4, true);
+  const RouteTable table = build_with(GetParam(), inst);
+  for (std::size_t v = 0; v < 4; ++v) {
+    EXPECT_TRUE(table.reachable(v)) << "node " << v;
+    EXPECT_LT(table.distance_to_base(v), kInf);
+  }
+}
+
+std::string policy_name(const testing::TestParamInfo<std::string>& param) {
+  return param.param;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegistered, RoutingPolicies,
+                         testing::ValuesIn(routing_names()), policy_name);
+
+TEST(ShortestPathPolicy, MatchesFreeDijkstra) {
+  const Instance inst = make_instance(107, 90, 75.0, 14.0, /*kill_some=*/true);
+  const RouteTable table = build_with("shortest_path", inst);
+  const ShortestPaths sp =
+      dijkstra(inst.graph, inst.graph.base_station_index(), inst.usable);
+  for (std::size_t v = 0; v < inst.graph.num_nodes(); ++v) {
+    EXPECT_EQ(table.next_hop(v), sp.parent[v]) << "node " << v;
+    if (std::isinf(sp.dist[v])) {
+      EXPECT_TRUE(std::isinf(table.distance_to_base(v)));
+    } else {
+      EXPECT_DOUBLE_EQ(table.distance_to_base(v), sp.dist[v]);
+    }
+  }
+}
+
+TEST(AlternativePolicies, BackbonesAreNeverShorterThanShortestPath) {
+  const Instance inst = make_instance(109, 80, 70.0, 14.0, /*kill_some=*/false);
+  const RouteTable sp = build_with("shortest_path", inst);
+  for (const std::string& name : routing_names()) {
+    if (name == "shortest_path") continue;
+    const RouteTable alt = build_with(name, inst);
+    for (std::size_t v = 0; v < 80; ++v) {
+      if (!alt.reachable(v)) continue;
+      ASSERT_TRUE(sp.reachable(v));
+      // Route distance through any other scheme is bounded below by the
+      // true shortest path (alt distances are physical path lengths).
+      EXPECT_GE(alt.distance_to_base(v) + 1e-9, sp.distance_to_base(v))
+          << name << " node " << v;
+    }
+  }
+}
+
+TEST(AlternativePolicies, GreedyGeoRecoversFromLocalMinimaOnConnectedGraphs) {
+  // A BS-centred ring with a gap forces perimeter repair: pure greedy would
+  // strand nodes whose every neighbour is farther from the BS than they are.
+  std::vector<Vec2> sensors;
+  for (int i = 0; i < 12; ++i) {
+    const double a = 2.0 * 3.14159265358979323846 * i / 14.0;  // 12/14 arc
+    sensors.push_back({30.0 + 20.0 * std::cos(a), 30.0 + 20.0 * std::sin(a)});
+  }
+  sensors.push_back({30.0 + 10.0, 30.0});  // bridge towards the BS
+  Instance inst;
+  inst.graph = CommGraph(sensors, Vec2{30, 30}, 12.0);
+  inst.positions = sensors;
+  inst.positions.push_back({30, 30});
+  inst.usable.assign(sensors.size(), true);
+  const RouteTable greedy = build_with("greedy_geo", inst);
+  const RouteTable sp = build_with("shortest_path", inst);
+  for (std::size_t v = 0; v < sensors.size(); ++v) {
+    EXPECT_EQ(greedy.reachable(v), sp.reachable(v)) << "node " << v;
+  }
+}
+
+}  // namespace
+}  // namespace wrsn

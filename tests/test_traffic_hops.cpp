@@ -14,11 +14,21 @@ class HopsTest : public ::testing::Test {
   // Line: s0 -- s1 -- s2 -- BS, 10 m spacing.
   void SetUp() override {
     graph_ = CommGraph({{0, 0}, {10, 0}, {20, 0}}, Vec2{30, 0}, 12.0);
-    tree_.build(graph_, std::vector<bool>(3, true));
+    positions_ = {{0, 0}, {10, 0}, {20, 0}, {30, 0}};
+    tree_ = build(std::vector<bool>(3, true));
     traffic_.reset(3);
   }
+
+  [[nodiscard]] RouteTable build(const std::vector<bool>& usable) const {
+    RouteTable table;
+    const RoutingBuildInput in{&graph_, &positions_, &usable};
+    RoutingRegistry::instance().create("shortest_path")->build(in, table);
+    return table;
+  }
+
   CommGraph graph_;
-  RoutingTree tree_;
+  std::vector<Vec2> positions_;
+  RouteTable tree_;
   TrafficModel traffic_;
 };
 
@@ -35,8 +45,7 @@ TEST_F(HopsTest, RateWeightedMean) {
 }
 
 TEST_F(HopsTest, UnreachableSourcesExcluded) {
-  RoutingTree broken;
-  broken.build(graph_, std::vector<bool>{true, false, true});
+  const RouteTable broken = build({true, false, true});
   traffic_.add_source(broken, 0, 1.0);  // unreachable
   EXPECT_DOUBLE_EQ(traffic_.average_delivery_hops(), 0.0);
   traffic_.add_source(broken, 2, 1.0);  // 1 hop

@@ -6,6 +6,7 @@
 //     --days N             shorthand for --set sim_days=N
 //     --seed N             shorthand for --set seed=N
 //     --scheduler NAME     shorthand for --set scheduler=NAME
+//     --routing NAME       shorthand for --set routing=NAME
 //     --threads N          shorthand for --set threads=N
 //     --seeds N            run N replicas (seed, seed+1, ...) and report
 //                          mean +/- 95% CI per metric
@@ -15,6 +16,7 @@
 //     --print-config       print the effective configuration and exit
 //     --list-keys          list every recognized config key and exit
 //     --list-schedulers    list registered scheduler policies and exit
+//     --list-routers       list registered routing policies and exit
 //     --list               list every enum-like knob with its values and exit
 //     --help               this text
 #include <algorithm>
@@ -34,6 +36,7 @@
 #include "core/thread_pool.hpp"
 #include "obs/flight.hpp"
 #include "obs/spans.hpp"
+#include "net/routing.hpp"
 #include "obs/telemetry.hpp"
 #include "sched/policy.hpp"
 #include "sim/runner.hpp"
@@ -61,6 +64,7 @@ extern "C" void checkpoint_signal_handler(int) { g_stop_requested = 1; }
       "  --days N             shorthand for --set sim_days=N\n"
       "  --seed N             shorthand for --set seed=N\n"
       "  --scheduler NAME     a registered policy (see --list-schedulers)\n"
+      "  --routing NAME       a registered routing policy (see --list-routers)\n"
       "  --threads N          shorthand for --set threads=N: worker threads\n"
       "                       for the deterministic intra-simulation shards\n"
       "                       (0 = auto from WRSN_THREADS, default 1; output\n"
@@ -99,6 +103,7 @@ extern "C" void checkpoint_signal_handler(int) { g_stop_requested = 1; }
       "  --print-config       print the effective configuration and exit\n"
       "  --list-keys          list recognized config keys and exit\n"
       "  --list-schedulers    list registered scheduler policies and exit\n"
+      "  --list-routers       list registered routing policies and exit\n"
       "  --list               list every enum-like knob and its accepted\n"
       "                       values (one sweepable knob=v1,v2,... per line)\n"
       "  --help               this text\n";
@@ -107,6 +112,18 @@ extern "C" void checkpoint_signal_handler(int) { g_stop_requested = 1; }
 
 void print_schedulers() {
   const SchedulerRegistry& registry = SchedulerRegistry::instance();
+  std::size_t width = 0;
+  for (const std::string& name : registry.names()) {
+    width = std::max(width, name.size());
+  }
+  for (const std::string& name : registry.names()) {
+    std::cout << std::left << std::setw(static_cast<int>(width) + 2) << name
+              << registry.summary(name) << '\n';
+  }
+}
+
+void print_routers() {
+  const RoutingRegistry& registry = RoutingRegistry::instance();
   std::size_t width = 0;
   for (const std::string& name : registry.names()) {
     width = std::max(width, name.size());
@@ -130,6 +147,7 @@ void print_list(std::ostream& os, const std::string& knob,
 // a shell loop can split a line straight into `--set key=value` sweeps.
 void print_knob_lists() {
   print_list(std::cout, "scheduler", scheduler_names());
+  print_list(std::cout, "routing", routing_names());
   print_list(std::cout, "activation", activation_policy_names());
   print_list(std::cout, "target_motion", target_motion_names());
   print_list(std::cout, "rv.charge_profile", charge_profile_names());
@@ -167,6 +185,8 @@ const MetricRow kMetrics[] = {
      [](const MetricsReport& r) { return static_cast<double>(r.sensor_deaths); }},
     {"packets delivered (k)",
      [](const MetricsReport& r) { return r.packets_delivered / 1e3; }},
+    {"delivery ratio (%)",
+     [](const MetricsReport& r) { return 100.0 * r.delivery_ratio(); }},
 };
 
 void write_csv(const std::string& path, const SimConfig& cfg,
@@ -175,12 +195,12 @@ void write_csv(const std::string& path, const SimConfig& cfg,
   std::ofstream os(path, std::ios::app);
   WRSN_REQUIRE(os.good(), "cannot open '" + path + "' for writing");
   if (!exists) {
-    os << "seed,scheduler,activation,erp";
+    os << "seed,scheduler,routing,activation,erp";
     for (const MetricRow& m : kMetrics) os << ',' << m.name;
     os << '\n';
   }
   for (std::size_t i = 0; i < reports.size(); ++i) {
-    os << cfg.seed + i << ',' << cfg.scheduler << ','
+    os << cfg.seed + i << ',' << cfg.scheduler << ',' << cfg.routing << ','
        << to_string(cfg.activation) << ',' << cfg.energy_request_percentage;
     for (const MetricRow& m : kMetrics) os << ',' << m.get(reports[i]);
     os << '\n';
@@ -227,6 +247,10 @@ int main(int argc, char** argv) try {
       print_schedulers();
       return 0;
     }
+    if (a == "--list-routers") {
+      print_routers();
+      return 0;
+    }
     if (a == "--list") {
       print_knob_lists();
       return 0;
@@ -244,6 +268,8 @@ int main(int argc, char** argv) try {
       config_set(cfg, "seed", need_value(i));
     } else if (a == "--scheduler") {
       config_set(cfg, "scheduler", need_value(i));
+    } else if (a == "--routing") {
+      config_set(cfg, "routing", need_value(i));
     } else if (a == "--threads") {
       config_set(cfg, "threads", need_value(i));
     } else if (a == "--faults") {

@@ -12,7 +12,7 @@
 //              [--flight-recorder N]
 //              [--journal DIR] [--resume DIR]
 //              [--watchdog-s S] [--retries N] [--retry-backoff-ms MS]
-//              [--inject-fail POINT,REPLICA]
+//              [--inject-fail POINT,REPLICA] [--list-routers]
 //
 // --threads N (or the `threads` config key / WRSN_THREADS env) is the TOTAL
 // thread budget, split between outer replica workers and inner per-replica
@@ -79,6 +79,7 @@
 #include "core/parallel.hpp"
 #include "core/stats.hpp"
 #include "core/thread_pool.hpp"
+#include "net/routing.hpp"
 #include "obs/flight.hpp"
 #include "obs/spans.hpp"
 #include "obs/telemetry.hpp"
@@ -237,6 +238,10 @@ int main(int argc, char** argv) try {
       std::cout << "see the header of tools/wrsn_sweep.cpp for usage\n"
                    "`wrsn_sim --list` prints every enum-like knob as a\n"
                    "ready-made --sweep KEY=V1,V2,... line\n";
+      return 0;
+    }
+    if (a == "--list-routers") {
+      for (const std::string& name : wrsn::routing_names()) std::cout << name << '\n';
       return 0;
     }
     if (a == "--sweep") {

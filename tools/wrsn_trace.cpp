@@ -29,6 +29,7 @@
 
 #include "core/config_io.hpp"
 #include "core/error.hpp"
+#include "net/routing.hpp"
 #include "obs/flight.hpp"
 #include "obs/spans.hpp"
 #include "obs/telemetry.hpp"
@@ -68,9 +69,14 @@ int main(int argc, char** argv) try {
                    "           [--flight-recorder N]\n"
                    "           [--checkpoint PREFIX] [--checkpoint-every S]\n"
                    "           [--checkpoint-on-signal] [--restore FILE]\n"
+                   "           [--list-routers]\n"
                    "checkpoint flags behave as in wrsn_sim: snapshots are\n"
                    "PREFIX.NNNNNN.snap + PREFIX.manifest.jsonl; a signal stop\n"
                    "exits 75 and --restore continues byte-identically\n";
+      return 0;
+    }
+    if (a == "--list-routers") {
+      for (const std::string& name : routing_names()) std::cout << name << '\n';
       return 0;
     }
     if (a == "--days") {
